@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/string_util.hpp"
+#include "telemetry/recorder.hpp"
+
+/// \file bench_util.hpp
+/// Shared plumbing for the figure-reproduction binaries: banner printing,
+/// table emission, and CSV dumps under bench_out/.
+
+namespace greennfv::bench {
+
+/// Prints the figure banner (id, description, parameter echo).
+inline void banner(const std::string& figure, const std::string& title,
+                   const Config& config) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  if (!config.entries().empty()) {
+    std::printf("overrides:");
+    for (const auto& [key, value] : config.entries())
+      std::printf(" %s=%s", key.c_str(), value.c_str());
+    std::printf("\n");
+  }
+  std::printf("=============================================================\n");
+}
+
+/// Emits a table to stdout.
+inline void print_table(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::fputs(render_table(header, rows).c_str(), stdout);
+}
+
+/// Dumps a recorder to bench_out/<name>.csv (best effort: prints a warning
+/// instead of failing the bench when the directory is not writable).
+inline void dump_csv(const telemetry::Recorder& recorder,
+                     const std::string& name) {
+  if (recorder.num_series() == 0) return;
+  const std::string path = "bench_out_" + name + ".csv";
+  try {
+    recorder.to_csv(path);
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::printf("[csv] skipped (%s)\n", e.what());
+  }
+}
+
+/// Downsamples a series to `points` rows of (x, value) cells.
+inline std::vector<std::vector<std::string>> series_rows(
+    const TimeSeries& series, std::size_t points, int decimals = 3) {
+  const TimeSeries d = series.downsample(points);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    rows.push_back({format_double(d.times()[i], 0),
+                    format_double(d.values()[i], decimals)});
+  }
+  return rows;
+}
+
+}  // namespace greennfv::bench

@@ -1,0 +1,80 @@
+/// Reproduces Figure 11: "Total energy consumption (including the energy
+/// cost of training RL algorithm) improvement compared to other models."
+///
+/// The RL model costs energy to train, but trains once and is then reused;
+/// the saving is amortized. Following Eq. 9's intent we report
+///
+///     Es(t) = (E_baseline(t) - E_greennfv(t) - E_train) / E_baseline(t)
+///
+/// over deployment time t = 1..6 hours, with E_train measured as the
+/// actual energy the simulator burned during the training episodes. (The
+/// paper's Eq. 9 as printed normalizes by E_nf + E_t; we normalize by the
+/// baseline so the value reads directly as "% saved vs baseline", matching
+/// the figure's axis. EXPERIMENTS.md records this deviation.)
+///
+/// Expected shape (paper): ~20-25% saving after the first hour, growing
+/// toward ~60% as the one-time training cost amortizes.
+
+#include <cstdio>
+
+#include "bench/train_util.hpp"
+#include "core/nf_controller.hpp"
+
+using namespace greennfv;
+using namespace greennfv::core;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  bench::banner("Figure 11", "energy saving incl. training cost", config);
+  const int episodes = static_cast<int>(config.get_int("episodes", 400));
+  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+
+  const double reference_j = hwmodel::NodeSpec{}.p_max_w * 10.0;
+  TrainerConfig trainer_config = bench::standard_trainer(
+      config, Sla::min_energy(7.5, reference_j), episodes);
+
+  // Train while accounting the energy every training episode burned.
+  telemetry::Recorder curves;
+  GreenNfvTrainer trainer(trainer_config);
+  (void)trainer.train(&curves);
+  const auto& train_energy = curves.series("energy_j");
+  double e_train_j = 0.0;
+  for (const double e : train_energy.values())
+    e_train_j += e * trainer_config.env.steps_per_episode;
+  auto scheduler = trainer.make_scheduler("GreenNFV(MinE)");
+
+  // Steady-state powers of the trained policy and the baseline.
+  BaselineScheduler baseline{trainer_config.env.spec};
+  const EvalResult base =
+      evaluate_scheduler(trainer_config.env, baseline, 8, seed + 5);
+  const EvalResult green =
+      evaluate_scheduler(trainer_config.env, *scheduler, 8, seed + 5);
+
+  // The model "needs to be trained only once before deployment and is run
+  // many times": training happens once, the policy then drives every
+  // hosting node (the paper's testbed runs chains on three nodes).
+  const int nodes = static_cast<int>(config.get_int("nodes", 3));
+  std::printf("baseline power %.1f W/node, GreenNFV(MinE) power %.1f "
+              "W/node, one-time training cost %.2f MJ, fleet of %d nodes\n\n",
+              base.mean_power_w, green.mean_power_w, e_train_j / 1e6,
+              nodes);
+
+  std::vector<std::vector<std::string>> rows;
+  telemetry::Recorder recorder;
+  for (int hour = 1; hour <= 6; ++hour) {
+    const double t_s = hour * 3600.0;
+    const double e_baseline = nodes * base.mean_power_w * t_s;
+    const double e_green = nodes * green.mean_power_w * t_s;
+    const double saving =
+        (e_baseline - e_green - e_train_j) / e_baseline * 100.0;
+    rows.push_back({format("%d", hour), format_double(saving, 1) + "%"});
+    recorder.record("saving_pct", hour, saving);
+  }
+  bench::print_table({"time(h)", "energy saving"}, rows);
+  std::printf(
+      "\nshape check: saving starts low (training cost dominates) and"
+      " climbs toward\nthe steady-state power gap (paper: 23%% at first,"
+      " 62%% over time).\n");
+  bench::dump_csv(recorder, "fig11_energy_saving");
+  return 0;
+}

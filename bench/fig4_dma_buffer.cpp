@@ -1,0 +1,84 @@
+/// Reproduces Figure 4: "Micro-benchmarking of DMA buffer size: effect of
+/// DMA buffer size on NF throughput and energy efficiency."
+///
+/// One chain is fed line-rate traffic of 64-byte and 1518-byte frames while
+/// the NIC DMA buffer sweeps 1..40 MB. Small buffers stall the NIC between
+/// polls; larger buffers approach line rate with diminishing returns (and
+/// silently spill DDIO, which keeps the gain sub-linear).
+///
+/// Expected shape (paper): throughput rises steadily toward a plateau for
+/// both frame sizes; energy per million packets falls as the fixed power
+/// amortizes over more delivered packets; the 64-byte flow saturates the
+/// CPU far below line rate and pays more J/Mpkt.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "hwmodel/node.hpp"
+#include "traffic/generator.hpp"
+
+using namespace greennfv;
+using namespace greennfv::hwmodel;
+
+namespace {
+
+struct Point {
+  double gbps = 0.0;
+  double j_per_mpkt = 0.0;
+};
+
+Point measure(const NodeModel& node, std::uint32_t pkt_bytes,
+              double dma_mib, double cores) {
+  ChainDeployment dep;
+  dep.nfs = {nf_catalog::firewall(), nf_catalog::router(),
+             nf_catalog::ids()};
+  const traffic::FlowSpec flow = traffic::line_rate_flow(pkt_bytes);
+  dep.workload.offered_pps = flow.mean_rate_pps;
+  dep.workload.pkt_bytes = pkt_bytes;
+  dep.cores = cores;
+  dep.freq_ghz = 2.1;
+  dep.llc_fraction = 1.0;
+  dep.dma_bytes = units::mib_to_bytes(dma_mib);
+  dep.batch = 64;
+  dep.poll_mode = true;
+  const auto eval = node.evaluate({dep}, true);
+  Point p;
+  p.gbps = eval.chains[0].eval.throughput_gbps;
+  p.j_per_mpkt = eval.chains[0].energy_per_mpkt_j;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  bench::banner("Figure 4", "DMA buffer size sweep (64B vs 1518B)", config);
+  const double cores = config.get_double("cores", 2.0);
+
+  const NodeModel node;
+  std::vector<std::vector<std::string>> rows;
+  telemetry::Recorder recorder;
+  for (double dma = 1.0; dma <= 40.0; dma += (dma < 8 ? 1.0 : 4.0)) {
+    const Point small = measure(node, 64, dma, cores);
+    const Point large = measure(node, 1518, dma, cores);
+    rows.push_back({format_double(dma, 0), format_double(small.gbps, 2),
+                    format_double(large.gbps, 2),
+                    format_double(small.j_per_mpkt, 1),
+                    format_double(large.j_per_mpkt, 1)});
+    recorder.record("gbps_64B", dma, small.gbps);
+    recorder.record("gbps_1518B", dma, large.gbps);
+    recorder.record("j_per_mpkt_64B", dma, small.j_per_mpkt);
+    recorder.record("j_per_mpkt_1518B", dma, large.j_per_mpkt);
+  }
+
+  bench::print_table({"DMA(MiB)", "Gbps 64B", "Gbps 1518B",
+                      "J/Mpkt 64B", "J/Mpkt 1518B"},
+                     rows);
+  std::printf(
+      "\nshape check: both curves rise steadily to a plateau; J/Mpkt falls\n"
+      "with buffer size; the 1518B flow reaches a much higher Gbps"
+      " plateau.\n");
+  bench::dump_csv(recorder, "fig4_dma_buffer");
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// Reproduces Figure 7: "Training progress of the proposed reinforcement
+/// learning algorithm during the testing of the Minimum Energy SLA."
+///
+/// The agent minimizes energy subject to T >= 7.5 Gbps ("we set the
+/// minimum throughput constraint to 7.5 Gbps, and if the model violates
+/// that constraint, it gets no rewards"). Same panels as Fig. 6.
+///
+/// Expected shape (paper): the model first finds high-throughput settings
+/// (high CPU/frequency), then walks energy down while holding the floor —
+/// keeping LLC stable and growing batch/buffer to compensate for the CPU
+/// it gives back.
+
+#include "bench/train_util.hpp"
+
+using namespace greennfv;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const double floor = config.get_double("throughput_floor", 7.5);
+  // Energy reference for reward scaling: a full-power window.
+  const core::EnvConfig probe = bench::standard_env(config,
+                                                    core::Sla::energy_efficiency());
+  const double reference_j = probe.spec.p_max_w * probe.window_s;
+  (void)bench::run_training_figure(
+      "Figure 7", "Minimum Energy SLA training progress",
+      core::Sla::min_energy(floor, reference_j), config,
+      /*show_efficiency=*/false, "fig7_mine_training");
+  return 0;
+}

@@ -1,0 +1,22 @@
+/// Reproduces Figure 8: "Training progress of the proposed reinforcement
+/// learning algorithm during the testing of the Energy-Efficiency SLA."
+///
+/// Unconstrained maximization of λ = T/E (Eq. 3). Panels (a)-(h): as
+/// Figs 6-7 plus the efficiency trace itself.
+///
+/// Expected shape (paper): efficiency climbs in stages as the policy first
+/// raises throughput, then sheds energy (dropping CPU allocation while
+/// batch and DMA compensate), stabilizing around several Gbps per KJ.
+
+#include "bench/train_util.hpp"
+
+using namespace greennfv;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  (void)bench::run_training_figure(
+      "Figure 8", "Energy-Efficiency SLA training progress",
+      core::Sla::energy_efficiency(), config,
+      /*show_efficiency=*/true, "fig8_ee_training");
+  return 0;
+}

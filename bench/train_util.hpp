@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "core/greennfv.hpp"
+
+/// \file train_util.hpp
+/// Shared harness for the training-progress figures (Figs 6-8): builds the
+/// paper's evaluation environment (§5: three hosting nodes' worth of 3-NF
+/// chains behind one controller, five flows), trains the DDPG policy for
+/// the requested SLA while recording every per-episode panel, and prints
+/// the panels as one downsampled table.
+
+namespace greennfv::bench {
+
+inline core::EnvConfig standard_env(const Config& config, core::Sla sla) {
+  core::EnvConfig env;
+  env.num_chains = static_cast<int>(config.get_int("chains", 3));
+  env.num_flows = static_cast<int>(config.get_int("flows", 5));
+  env.total_offered_gbps = config.get_double("offered_gbps", 12.0);
+  env.window_s = config.get_double("window_s", 10.0);
+  env.sub_windows = static_cast<int>(config.get_int("sub_windows", 5));
+  env.steps_per_episode =
+      static_cast<int>(config.get_int("steps_per_episode", 8));
+  env.sla = sla;
+  return env;
+}
+
+inline core::TrainerConfig standard_trainer(const Config& config,
+                                            core::Sla sla,
+                                            int default_episodes) {
+  core::TrainerConfig trainer;
+  trainer.env = standard_env(config, sla);
+  trainer.episodes =
+      static_cast<int>(config.get_int("episodes", default_episodes));
+  trainer.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  trainer.prioritized_replay = config.get_bool("prioritized", true);
+  trainer.noise_sigma = config.get_double("noise_sigma", 0.45);
+  trainer.noise_decay = config.get_double("noise_decay", 0.9985);
+  return trainer;
+}
+
+/// Trains and prints the Fig 6/7/8-style panel table. Returns the result.
+inline core::TrainResult run_training_figure(const std::string& figure,
+                                             const std::string& title,
+                                             core::Sla sla,
+                                             const Config& config,
+                                             bool show_efficiency,
+                                             const std::string& csv_name) {
+  banner(figure, title, config);
+  core::TrainerConfig trainer_config =
+      standard_trainer(config, sla, /*default_episodes=*/800);
+
+  telemetry::Recorder curves;
+  core::GreenNfvTrainer trainer(trainer_config);
+  const core::TrainResult result = trainer.train(&curves);
+
+  const std::size_t points =
+      static_cast<std::size_t>(config.get_int("table_rows", 20));
+  const auto col = [&](const std::string& name) {
+    return curves.series(name).downsample(points);
+  };
+  const TimeSeries t = col("throughput_gbps");
+  const TimeSeries e = col("energy_j");
+  const TimeSeries eff = col("efficiency");
+  const TimeSeries cpu = col("cpu_usage_pct");
+  const TimeSeries freq = col("core_freq_ghz");
+  const TimeSeries llc = col("llc_alloc_pct");
+  const TimeSeries dma = col("dma_mib");
+  const TimeSeries batch = col("batch");
+
+  std::vector<std::string> header = {"episode", "Gbps", "Energy(J)"};
+  if (show_efficiency) header.push_back("Efficiency");
+  header.insert(header.end(),
+                {"CPU(%)", "Freq(GHz)", "LLC(%)", "DMA(MiB)", "Batch"});
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    std::vector<std::string> row = {format_double(t.times()[i], 0),
+                                    format_double(t.values()[i], 2),
+                                    format_double(e.values()[i], 0)};
+    if (show_efficiency)
+      row.push_back(format_double(eff.values()[i], 2));
+    row.insert(row.end(), {format_double(cpu.values()[i], 0),
+                           format_double(freq.values()[i], 2),
+                           format_double(llc.values()[i], 0),
+                           format_double(dma.values()[i], 1),
+                           format_double(batch.values()[i], 0)});
+    rows.push_back(std::move(row));
+  }
+  print_table(header, rows);
+
+  std::printf(
+      "\nconverged tail (last 10%% of %d episodes): %.2f Gbps, %.0f J, "
+      "efficiency %.2f, reward %.3f  (%lld learner steps)\n",
+      result.episodes, result.tail_gbps, result.tail_energy_j,
+      result.tail_efficiency, result.tail_reward,
+      static_cast<long long>(result.train_steps));
+  dump_csv(curves, csv_name);
+  return result;
+}
+
+}  // namespace greennfv::bench

@@ -1,0 +1,84 @@
+/// Live adaptive control under bursty traffic: runs the runtime NF
+/// controller (Algorithm 3's actor loop) with three different policies —
+/// static baseline, EE-Pstate's DES+threshold P-states, and Algorithm 1's
+/// heuristic — over the same MMPP/on-off traffic and prints the reaction
+/// timeline. Shows why the paper moves from static rules to learning.
+///
+///   build/examples/adaptive_controller [windows=N] [seed=K]
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "core/ee_pstate.hpp"
+#include "core/heuristic.hpp"
+#include "core/nf_controller.hpp"
+
+using namespace greennfv;
+using namespace greennfv::core;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const int windows = static_cast<int>(config.get_int("windows", 16));
+  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+
+  EnvConfig env_config;
+  env_config.num_chains = 3;
+  env_config.num_flows = 6;
+  env_config.total_offered_gbps = 10.0;
+  env_config.window_s = 5.0;
+  env_config.sub_windows = 5;
+  env_config.sla = Sla::energy_efficiency();
+
+  BaselineScheduler baseline{env_config.spec};
+  EePstateScheduler ee_pstate{env_config.spec, EePstateConfig{}};
+  HeuristicScheduler heuristic{env_config.spec, HeuristicConfig{}};
+
+  struct Row {
+    std::string name;
+    telemetry::Recorder recorder;
+    EvalResult result;
+  };
+  std::vector<Row> runs;
+  for (Scheduler* scheduler :
+       std::initializer_list<Scheduler*>{&baseline, &ee_pstate,
+                                         &heuristic}) {
+    Row row;
+    row.name = scheduler->name();
+    NfvEnvironment env(env_config, seed);
+    scheduler->reset();
+    NfController controller(env, *scheduler);
+    row.result =
+        controller.run(windows, &row.recorder, /*prefix=*/"");
+    runs.push_back(std::move(row));
+  }
+
+  std::printf("reaction timeline (Gbps | W) over %d five-second windows of"
+              " bursty traffic:\n\n", windows);
+  std::printf("%6s", "t(s)");
+  for (const Row& row : runs) std::printf("  %-22s", row.name.c_str());
+  std::printf("\n");
+  const auto& t_axis = runs[0].recorder.series("throughput_gbps").times();
+  for (std::size_t w = 0; w < t_axis.size(); ++w) {
+    std::printf("%6.0f", t_axis[w]);
+    for (const Row& row : runs) {
+      const double gbps =
+          row.recorder.series("throughput_gbps").values()[w];
+      const double watts = row.recorder.series("power_w").values()[w];
+      std::printf("  %8.2f | %-11.1f", gbps, watts);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nmeans:\n");
+  for (const Row& row : runs) {
+    std::printf("  %-12s %6.2f Gbps  %6.1f W  efficiency %.2f\n",
+                row.name.c_str(), row.result.mean_gbps,
+                row.result.mean_power_w, row.result.mean_efficiency);
+  }
+  std::printf(
+      "\nthe static baseline burns constant power regardless of load; the\n"
+      "DES predictor tracks bursts with its P-states; the heuristic walks\n"
+      "batch/frequency but oscillates around its thresholds — the gap\n"
+      "GreenNFV's learned policy closes (see examples/sla_training.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "cluster/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace greennfv::cluster {
+
+Cluster::Cluster(int num_nodes, const hwmodel::NodeSpec& spec,
+                 nfvsim::SchedMode mode)
+    : spec_(spec) {
+  GNFV_REQUIRE(num_nodes >= 1, "Cluster: need >= 1 node");
+  for (int n = 0; n < num_nodes; ++n) {
+    nodes_.push_back(std::make_unique<nfvsim::OnvmController>(spec, mode));
+  }
+}
+
+Cluster::Deployed Cluster::deploy_chain(
+    const std::string& name, const std::vector<std::string>& nfs,
+    int node) {
+  GNFV_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < nodes_.size(),
+               "deploy_chain: bad node index");
+  GNFV_REQUIRE(engines_.empty(),
+               "deploy_chain: traffic already attached; deploy first");
+  Deployed deployed;
+  deployed.node = node;
+  deployed.chain =
+      nodes_[static_cast<std::size_t>(node)]->add_chain(name, nfs);
+  return deployed;
+}
+
+void Cluster::attach_traffic(
+    const std::vector<std::vector<traffic::FlowSpec>>& per_node_flows,
+    std::uint64_t seed) {
+  GNFV_REQUIRE(per_node_flows.size() == nodes_.size(),
+               "attach_traffic: one flow set per node required");
+  GNFV_REQUIRE(engines_.empty(), "attach_traffic: already attached");
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    GNFV_REQUIRE(nodes_[n]->num_chains() > 0,
+                 "attach_traffic: node has no chains");
+    engines_.push_back(std::make_unique<nfvsim::AnalyticEngine>(
+        *nodes_[n],
+        traffic::TrafficGenerator(per_node_flows[n],
+                                  seed + 0x9E37ull * (n + 1))));
+  }
+}
+
+void Cluster::apply_knobs_everywhere(const nfvsim::ChainKnobs& knobs) {
+  for (auto& node : nodes_) {
+    for (std::size_t c = 0; c < node->num_chains(); ++c) {
+      (void)node->apply_knobs(c, knobs);
+    }
+  }
+}
+
+ClusterMetrics Cluster::step(double dt) {
+  GNFV_REQUIRE(!engines_.empty(), "step: attach_traffic first");
+  ClusterMetrics metrics;
+  metrics.node_gbps.resize(engines_.size());
+  metrics.node_power_w.resize(engines_.size());
+  for (std::size_t n = 0; n < engines_.size(); ++n) {
+    const auto window = engines_[n]->step(dt);
+    metrics.node_gbps[n] = window.total_gbps();
+    metrics.node_power_w[n] = window.power_w();
+    metrics.total_gbps += window.total_gbps();
+    metrics.total_power_w += window.power_w();
+    metrics.total_energy_j += window.energy_j;
+  }
+  return metrics;
+}
+
+ClusterMetrics Cluster::run(int windows, double dt) {
+  GNFV_REQUIRE(windows > 0, "run: windows must be positive");
+  ClusterMetrics aggregate;
+  aggregate.node_gbps.assign(engines_.size(), 0.0);
+  aggregate.node_power_w.assign(engines_.size(), 0.0);
+  for (int w = 0; w < windows; ++w) {
+    const ClusterMetrics m = step(dt);
+    aggregate.total_gbps += m.total_gbps / windows;
+    aggregate.total_power_w += m.total_power_w / windows;
+    aggregate.total_energy_j += m.total_energy_j;
+    for (std::size_t n = 0; n < engines_.size(); ++n) {
+      aggregate.node_gbps[n] += m.node_gbps[n] / windows;
+      aggregate.node_power_w[n] += m.node_power_w[n] / windows;
+    }
+  }
+  return aggregate;
+}
+
+}  // namespace greennfv::cluster

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "nfvsim/engine_analytic.hpp"
+
+/// \file cluster.hpp
+/// A multi-node NFV deployment: N hosting nodes, each with its own ONVM
+/// controller and analytic engine, fed by a partitioned flow set — the
+/// paper's actual testbed shape (three hosting nodes, one chain of three
+/// NFs each). Aggregates fleet-level throughput/energy, which is what
+/// Fig. 11's amortization argument and any TSP-scale deployment reads.
+
+namespace greennfv::cluster {
+
+/// Per-window fleet metrics.
+struct ClusterMetrics {
+  double total_gbps = 0.0;
+  double total_power_w = 0.0;
+  double total_energy_j = 0.0;
+  std::vector<double> node_gbps;
+  std::vector<double> node_power_w;
+};
+
+class Cluster {
+ public:
+  /// Builds `num_nodes` identical hosting nodes.
+  Cluster(int num_nodes, const hwmodel::NodeSpec& spec,
+          nfvsim::SchedMode mode = nfvsim::SchedMode::kHybrid);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] nfvsim::OnvmController& node(std::size_t i) {
+    return *nodes_.at(i);
+  }
+
+  /// Deploys one chain (by NF catalog names) onto a node chosen by the
+  /// placement bookkeeping; returns (node, chain index within node).
+  struct Deployed {
+    int node = 0;
+    int chain = 0;
+  };
+  Deployed deploy_chain(const std::string& name,
+                        const std::vector<std::string>& nfs, int node);
+
+  /// Attaches per-node traffic (flows' chain_index refers to chains within
+  /// that node) and finalizes the engines. Call once after deployment.
+  void attach_traffic(
+      const std::vector<std::vector<traffic::FlowSpec>>& per_node_flows,
+      std::uint64_t seed);
+
+  /// Applies one knob configuration to every chain in the fleet.
+  void apply_knobs_everywhere(const nfvsim::ChainKnobs& knobs);
+
+  /// Advances every node by `dt` seconds of virtual time.
+  ClusterMetrics step(double dt);
+
+  /// Runs `windows` steps and returns aggregate means/totals.
+  ClusterMetrics run(int windows, double dt);
+
+ private:
+  hwmodel::NodeSpec spec_;
+  std::vector<std::unique_ptr<nfvsim::OnvmController>> nodes_;
+  std::vector<std::unique_ptr<nfvsim::AnalyticEngine>> engines_;
+};
+
+}  // namespace greennfv::cluster

@@ -1,0 +1,88 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace greennfv::cluster {
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFitDecreasing: return "first-fit-decreasing";
+    case PlacementPolicy::kLeastLoaded:        return "least-loaded";
+  }
+  return "?";
+}
+
+Placement place_chains(const std::vector<ChainDemand>& chains,
+                       const std::vector<NodeCapacity>& nodes,
+                       PlacementPolicy policy) {
+  if (chains.empty()) throw std::invalid_argument("placement: no chains");
+  if (nodes.empty()) throw std::invalid_argument("placement: no nodes");
+  for (const auto& chain : chains) {
+    if (chain.cores <= 0.0)
+      throw std::invalid_argument("placement: non-positive core demand");
+  }
+
+  Placement placement;
+  placement.assignment.assign(chains.size(), -1);
+  placement.node_cores.assign(nodes.size(), 0.0);
+
+  // Process chains heaviest-first: optimal for FFD, harmless for balance.
+  std::vector<std::size_t> order(chains.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return chains[a].cores > chains[b].cores;
+  });
+
+  for (const std::size_t c : order) {
+    int chosen = -1;
+    if (policy == PlacementPolicy::kFirstFitDecreasing) {
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (placement.node_cores[n] + chains[c].cores <=
+            nodes[n].cores + 1e-9) {
+          chosen = static_cast<int>(n);
+          break;
+        }
+      }
+    } else {
+      // Least-loaded among nodes with room.
+      double best_load = 1e300;
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (placement.node_cores[n] + chains[c].cores >
+            nodes[n].cores + 1e-9) {
+          continue;
+        }
+        const double load = placement.node_cores[n] / nodes[n].cores;
+        if (load < best_load) {
+          best_load = load;
+          chosen = static_cast<int>(n);
+        }
+      }
+    }
+    if (chosen < 0) {
+      throw std::invalid_argument("placement: chain '" + chains[c].name +
+                                  "' does not fit on any node");
+    }
+    placement.assignment[c] = chosen;
+    placement.node_cores[static_cast<std::size_t>(chosen)] +=
+        chains[c].cores;
+  }
+  return placement;
+}
+
+double imbalance(const Placement& placement) {
+  GNFV_REQUIRE(!placement.node_cores.empty(), "imbalance: no nodes");
+  const double total = std::accumulate(placement.node_cores.begin(),
+                                       placement.node_cores.end(), 0.0);
+  const double mean =
+      total / static_cast<double>(placement.node_cores.size());
+  if (mean <= 0.0) return 1.0;
+  const double max_load = *std::max_element(placement.node_cores.begin(),
+                                            placement.node_cores.end());
+  return max_load / mean;
+}
+
+}  // namespace greennfv::cluster

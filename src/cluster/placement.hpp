@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file placement.hpp
+/// Chain-to-node placement for multi-node deployments. The paper's testbed
+/// hosts its chains on three nodes ("we used three servers to generate the
+/// traffic ... and the rest of the three servers are used to host the NF
+/// chains"), and VNF placement is the problem its related-work section
+/// surveys at length (Bari et al., Marotta et al., Kar et al.). Two
+/// classic policies are provided:
+///
+///   * first-fit-decreasing on core demand — the bin-packing baseline
+///   * least-loaded (balance) — spread demand evenly
+///
+/// Placement here is static (per deployment); the SDN controller handles
+/// the dynamic flow-level rebalancing.
+
+namespace greennfv::cluster {
+
+/// What the placer knows about one chain before deployment.
+struct ChainDemand {
+  std::string name;
+  double cores = 1.0;          ///< expected core allocation
+  double offered_gbps = 0.0;   ///< expected traffic share
+};
+
+/// Capacity of one node from the placer's perspective.
+struct NodeCapacity {
+  double cores = 14.0;  ///< schedulable cores (total minus manager)
+};
+
+enum class PlacementPolicy {
+  kFirstFitDecreasing,
+  kLeastLoaded,
+};
+
+[[nodiscard]] std::string to_string(PlacementPolicy policy);
+
+/// Result: assignment[i] = node index hosting chain i.
+struct Placement {
+  std::vector<int> assignment;
+  /// Cores committed per node after placement.
+  std::vector<double> node_cores;
+
+  [[nodiscard]] int node_of(std::size_t chain) const {
+    return assignment.at(chain);
+  }
+};
+
+/// Places every chain on one of `nodes.size()` nodes. Throws
+/// std::invalid_argument when a chain cannot fit anywhere (its core demand
+/// exceeds every node's remaining capacity).
+[[nodiscard]] Placement place_chains(const std::vector<ChainDemand>& chains,
+                                     const std::vector<NodeCapacity>& nodes,
+                                     PlacementPolicy policy);
+
+/// Max/mean core commitment across nodes (1.0 = perfectly balanced).
+[[nodiscard]] double imbalance(const Placement& placement);
+
+}  // namespace greennfv::cluster

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Lightweight contract-checking macros used throughout GreenNFV.
+///
+/// GNFV_REQUIRE checks preconditions (stays on in release builds — config
+/// errors must never silently corrupt an experiment), GNFV_ASSERT checks
+/// internal invariants (compiled out when NDEBUG && GNFV_NO_ASSERT).
+
+namespace greennfv::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "[greennfv] %s failed: %s\n  at %s:%d\n  %s\n", kind,
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace greennfv::detail
+
+#define GNFV_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::greennfv::detail::contract_failure("precondition", #expr,     \
+                                           __FILE__, __LINE__, (msg));\
+    }                                                                 \
+  } while (false)
+
+#if defined(NDEBUG) && defined(GNFV_NO_ASSERT)
+#define GNFV_ASSERT(expr, msg) ((void)0)
+#else
+#define GNFV_ASSERT(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::greennfv::detail::contract_failure("invariant", #expr,        \
+                                           __FILE__, __LINE__, (msg));\
+    }                                                                 \
+  } while (false)
+#endif

@@ -1,0 +1,100 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace greennfv {
+
+namespace {
+
+void parse_token(Config& config, std::string_view token) {
+  token = trim(token);
+  if (token.empty()) return;
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) {
+    config.set(std::string(token), "1");
+    return;
+  }
+  config.set(std::string(trim(token.substr(0, eq))),
+             std::string(trim(token.substr(eq + 1))));
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) parse_token(config, argv[i]);
+  return config;
+}
+
+Config Config::from_string(std::string_view text) {
+  Config config;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ' ' || text[i] == ',' ||
+        text[i] == '\n' || text[i] == '\t') {
+      if (i > start) parse_token(config, text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not a number: " + *value);
+  }
+  return parsed;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not an integer: " + *value);
+  }
+  return parsed;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  if (*value == "1" || *value == "true" || *value == "yes" || *value == "on")
+    return true;
+  if (*value == "0" || *value == "false" || *value == "no" || *value == "off")
+    return false;
+  throw std::invalid_argument("Config: key '" + key +
+                              "' is not a boolean: " + *value);
+}
+
+}  // namespace greennfv

@@ -1,0 +1,61 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace greennfv {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), width_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  GNFV_REQUIRE(!columns.empty(), "CsvWriter: need at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::append(const std::vector<double>& values) {
+  GNFV_REQUIRE(values.size() == width_, "CsvWriter: row width mismatch");
+  std::ostringstream row;
+  row.precision(10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) row << ',';
+    row << values[i];
+  }
+  out_ << row.str() << '\n';
+  ++rows_;
+}
+
+void CsvWriter::append_strings(const std::vector<std::string>& cells) {
+  GNFV_REQUIRE(cells.size() == width_, "CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace greennfv

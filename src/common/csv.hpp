@@ -1,0 +1,44 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file csv.hpp
+/// Minimal CSV writer used by the telemetry recorder and the figure benches
+/// to dump the series the paper plots.
+
+namespace greennfv {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; the number of values must match the header width.
+  void append(const std::vector<double>& values);
+
+  /// Appends one row of preformatted cells.
+  void append_strings(const std::vector<std::string>& cells);
+
+  /// Flushes buffered rows to disk.
+  void flush();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] std::size_t columns() const { return width_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell for CSV output (quotes cells containing , " or newline).
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+}  // namespace greennfv

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file log.hpp
+/// Minimal leveled logger. GreenNFV components log sparingly (experiments
+/// produce their output through the telemetry recorder, not the log), so a
+/// simple stderr sink with a global level is sufficient and keeps the
+/// library dependency-free.
+
+namespace greennfv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn so tests stay quiet).
+void set_log_level(LogLevel level);
+
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the global threshold.
+/// Thread-safe (single write call per line).
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace greennfv
+
+#define GNFV_LOG_DEBUG(component) \
+  ::greennfv::detail::LogLine(::greennfv::LogLevel::kDebug, (component))
+#define GNFV_LOG_INFO(component) \
+  ::greennfv::detail::LogLine(::greennfv::LogLevel::kInfo, (component))
+#define GNFV_LOG_WARN(component) \
+  ::greennfv::detail::LogLine(::greennfv::LogLevel::kWarn, (component))
+#define GNFV_LOG_ERROR(component) \
+  ::greennfv::detail::LogLine(::greennfv::LogLevel::kError, (component))

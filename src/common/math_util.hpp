@@ -1,0 +1,65 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+/// \file math_util.hpp
+/// Small math helpers shared by the hardware model and the RL stack.
+
+namespace greennfv::math_util {
+
+/// Clamps `x` into [lo, hi].
+[[nodiscard]] inline double clamp(double x, double lo, double hi) {
+  GNFV_ASSERT(lo <= hi, "clamp bounds inverted");
+  return std::min(std::max(x, lo), hi);
+}
+
+/// Linear interpolation between a and b with t in [0,1].
+[[nodiscard]] inline double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Maps x from [in_lo, in_hi] to [out_lo, out_hi], clamping to the range.
+[[nodiscard]] inline double remap(double x, double in_lo, double in_hi,
+                                  double out_lo, double out_hi) {
+  GNFV_ASSERT(in_hi > in_lo, "remap: degenerate input range");
+  const double t = clamp((x - in_lo) / (in_hi - in_lo), 0.0, 1.0);
+  return lerp(out_lo, out_hi, t);
+}
+
+/// Logistic sigmoid.
+[[nodiscard]] inline double sigmoid(double x) {
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Numerically stable softplus: log(1 + e^x).
+[[nodiscard]] inline double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return 0.0;
+  return std::log1p(std::exp(x));
+}
+
+/// Saturating curve x / (x + k): 0 at x=0, ->1 as x->inf. k is the
+/// half-saturation point. Used for cache-pressure and buffer-occupancy
+/// response curves in the hardware model.
+[[nodiscard]] inline double saturating(double x, double k) {
+  GNFV_ASSERT(k > 0.0, "saturating: k must be positive");
+  if (x <= 0.0) return 0.0;
+  return x / (x + k);
+}
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] inline bool approx_equal(double a, double b, double rtol = 1e-9,
+                                       double atol = 1e-12) {
+  return std::fabs(a - b) <=
+         atol + rtol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Relative difference |a-b| / max(|b|, eps); convenient in tests.
+[[nodiscard]] inline double rel_diff(double a, double b, double eps = 1e-12) {
+  return std::fabs(a - b) / std::max(std::fabs(b), eps);
+}
+
+}  // namespace greennfv::math_util

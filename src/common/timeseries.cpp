@@ -1,0 +1,88 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace greennfv {
+
+void TimeSeries::push(double t, double value) {
+  t_.push_back(t);
+  v_.push_back(value);
+}
+
+double TimeSeries::front() const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::front on empty series");
+  return v_.front();
+}
+
+double TimeSeries::back() const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::back on empty series");
+  return v_.back();
+}
+
+double TimeSeries::min() const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::min on empty series");
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+double TimeSeries::max() const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::max on empty series");
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+double TimeSeries::mean() const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::mean on empty series");
+  return std::accumulate(v_.begin(), v_.end(), 0.0) /
+         static_cast<double>(v_.size());
+}
+
+double TimeSeries::tail_mean(std::size_t n) const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::tail_mean on empty series");
+  const std::size_t count = std::min(n, v_.size());
+  const double sum =
+      std::accumulate(v_.end() - static_cast<std::ptrdiff_t>(count), v_.end(),
+                      0.0);
+  return sum / static_cast<double>(count);
+}
+
+TimeSeries TimeSeries::downsample(std::size_t max_points) const {
+  GNFV_REQUIRE(max_points > 0, "downsample: max_points must be positive");
+  TimeSeries out(name_);
+  if (size() <= max_points) {
+    out.t_ = t_;
+    out.v_ = v_;
+    return out;
+  }
+  const std::size_t n = size();
+  for (std::size_t bucket = 0; bucket < max_points; ++bucket) {
+    const std::size_t lo = bucket * n / max_points;
+    const std::size_t hi = std::max(lo + 1, (bucket + 1) * n / max_points);
+    double t_sum = 0.0;
+    double v_sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      t_sum += t_[i];
+      v_sum += v_[i];
+    }
+    const auto width = static_cast<double>(hi - lo);
+    out.push(t_sum / width, v_sum / width);
+  }
+  return out;
+}
+
+double TimeSeries::interpolate(double t) const {
+  GNFV_REQUIRE(!v_.empty(), "TimeSeries::interpolate on empty series");
+  if (t <= t_.front()) return v_.front();
+  if (t >= t_.back()) return v_.back();
+  const auto it = std::lower_bound(t_.begin(), t_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - t_.begin());
+  GNFV_ASSERT(idx > 0 && idx < t_.size(), "interpolate: bad bracket");
+  const double t0 = t_[idx - 1];
+  const double t1 = t_[idx];
+  if (t1 <= t0) return v_[idx];
+  const double alpha = (t - t0) / (t1 - t0);
+  return v_[idx - 1] + alpha * (v_[idx] - v_[idx - 1]);
+}
+
+}  // namespace greennfv

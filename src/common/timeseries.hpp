@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file timeseries.hpp
+/// A named (t, value) series with summary statistics and uniform
+/// downsampling — the storage format behind every figure in the paper.
+
+namespace greennfv {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a sample. Timestamps are expected (but not required) to be
+  /// non-decreasing; the figure benches always append in order.
+  void push(double t, double value);
+
+  [[nodiscard]] std::size_t size() const { return t_.size(); }
+  [[nodiscard]] bool empty() const { return t_.empty(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<double>& times() const { return t_; }
+  [[nodiscard]] const std::vector<double>& values() const { return v_; }
+
+  [[nodiscard]] double front() const;
+  [[nodiscard]] double back() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Mean of the last `n` samples (or all if fewer) — used to report the
+  /// converged tail of a training curve.
+  [[nodiscard]] double tail_mean(std::size_t n) const;
+
+  /// Returns a series downsampled to at most `max_points` by uniform-stride
+  /// bucket averaging. Used to compress 10^4-episode curves for printing.
+  [[nodiscard]] TimeSeries downsample(std::size_t max_points) const;
+
+  /// Linear interpolation of the value at time t (clamped at the ends).
+  [[nodiscard]] double interpolate(double t) const;
+
+ private:
+  std::string name_;
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+}  // namespace greennfv

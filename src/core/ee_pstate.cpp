@@ -1,0 +1,100 @@
+#include "core/ee_pstate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace greennfv::core {
+
+DesPredictor::DesPredictor(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  GNFV_REQUIRE(alpha > 0.0 && alpha <= 1.0, "DES: alpha out of (0,1]");
+  GNFV_REQUIRE(beta >= 0.0 && beta <= 1.0, "DES: beta out of [0,1]");
+}
+
+double DesPredictor::update(double value) {
+  if (!primed_) {
+    level_ = value;
+    trend_ = 0.0;
+    primed_ = true;
+    return forecast();
+  }
+  const double prev_level = level_;
+  level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  return forecast();
+}
+
+double DesPredictor::forecast() const { return level_ + trend_; }
+
+void DesPredictor::reset() {
+  level_ = 0.0;
+  trend_ = 0.0;
+  primed_ = false;
+}
+
+EePstateScheduler::EePstateScheduler(const hwmodel::NodeSpec& spec,
+                                     EePstateConfig config)
+    : spec_(spec), dvfs_(spec), config_(std::move(config)) {
+  GNFV_REQUIRE(!config_.thresholds.empty(), "EE-Pstate: no thresholds");
+  GNFV_REQUIRE(std::is_sorted(config_.thresholds.begin(),
+                              config_.thresholds.end()),
+               "EE-Pstate: thresholds must ascend");
+}
+
+int EePstateScheduler::pstate_for_load(double load_fraction) const {
+  const double load = math_util::clamp(load_fraction, 0.0, 1.0);
+  // Band index = number of thresholds below the load.
+  std::size_t band = 0;
+  while (band < config_.thresholds.size() &&
+         load >= config_.thresholds[band]) {
+    ++band;
+  }
+  // Spread bands across the ladder: band 0 -> lowest P-state, top band ->
+  // highest.
+  const int num_bands = static_cast<int>(config_.thresholds.size()) + 1;
+  const int ladder_max = dvfs_.max_pstate();
+  return static_cast<int>(
+      std::lround(static_cast<double>(band) /
+                  static_cast<double>(num_bands - 1) * ladder_max));
+}
+
+std::vector<nfvsim::ChainKnobs> EePstateScheduler::decide(
+    const std::vector<ChainObservation>& obs,
+    const std::vector<nfvsim::ChainKnobs>& current) {
+  GNFV_REQUIRE(obs.size() == current.size(), "EE-Pstate: size mismatch");
+  if (predictors_.size() != obs.size()) {
+    predictors_.assign(obs.size(),
+                       DesPredictor(config_.des_alpha, config_.des_beta));
+    peak_arrival_pps_.assign(obs.size(), 1.0);
+  }
+
+  std::vector<nfvsim::ChainKnobs> knobs(obs.size(),
+                                        nfvsim::baseline_knobs(spec_));
+  for (std::size_t c = 0; c < obs.size(); ++c) {
+    peak_arrival_pps_[c] =
+        std::max(peak_arrival_pps_[c], obs[c].arrival_pps);
+    const double predicted = predictors_[c].update(obs[c].arrival_pps);
+    const double load_fraction =
+        peak_arrival_pps_[c] > 0.0
+            ? math_util::clamp(predicted / peak_arrival_pps_[c], 0.0, 1.0)
+            : 0.0;
+    nfvsim::ChainKnobs& k = knobs[c];
+    k.cores = 3.0;  // same static one-core-per-NF deployment
+    k.freq_ghz = dvfs_.frequency_ghz(pstate_for_load(load_fraction));
+    // "leaves other control knobs without optimization": stock-platform
+    // defaults — small burst, default DMA ring, no CAT.
+    k.batch = 3;
+    k = k.clamped(spec_);
+  }
+  return knobs;
+}
+
+void EePstateScheduler::reset() {
+  predictors_.clear();
+  peak_arrival_pps_.clear();
+}
+
+}  // namespace greennfv::core

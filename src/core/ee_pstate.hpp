@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "hwmodel/dvfs.hpp"
+
+/// \file ee_pstate.hpp
+/// The EE-Pstate comparator (Iqbal & John, "Efficient Traffic Aware Power
+/// Management in Multicore Communications Processors", ANCS'12) as the
+/// paper describes it: "a threshold-based approach to decide on P-state.
+/// They also use simple predictors like Double Exponent Smoothing (DES)
+/// for traffic prediction" and "uses thresholding on the p-state level of
+/// the processor cores and leaves other control knobs without
+/// optimization."
+///
+/// Per chain: a DES predictor forecasts next-window packet arrival; the
+/// forecast (as a fraction of the chain's observed peak) is thresholded
+/// into a P-state. Idle windows allow C-state residency, which is what the
+/// hybrid scheduling mode models.
+
+namespace greennfv::core {
+
+/// Holt's double exponential smoothing: level + trend.
+class DesPredictor {
+ public:
+  DesPredictor(double alpha = 0.4, double beta = 0.3);
+
+  /// Feeds an observation; returns the one-step-ahead forecast.
+  double update(double value);
+
+  [[nodiscard]] double forecast() const;
+  [[nodiscard]] bool primed() const { return primed_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  bool primed_ = false;
+};
+
+struct EePstateConfig {
+  /// Load-fraction thresholds (ascending) mapping to P-state bands; a
+  /// forecast below thresholds[i] selects band i of the ladder.
+  std::vector<double> thresholds = {0.25, 0.5, 0.75};
+  double des_alpha = 0.4;
+  double des_beta = 0.3;
+};
+
+class EePstateScheduler final : public Scheduler {
+ public:
+  EePstateScheduler(const hwmodel::NodeSpec& spec, EePstateConfig config);
+
+  [[nodiscard]] std::string name() const override { return "EE-Pstate"; }
+  [[nodiscard]] std::vector<nfvsim::ChainKnobs> decide(
+      const std::vector<ChainObservation>& obs,
+      const std::vector<nfvsim::ChainKnobs>& current) override;
+  /// EE-Pstate manages P/C-states only; no CAT.
+  [[nodiscard]] bool wants_cat() const override { return false; }
+  void reset() override;
+
+  /// Exposed for tests: the P-state chosen for a load fraction in [0,1].
+  [[nodiscard]] int pstate_for_load(double load_fraction) const;
+
+ private:
+  hwmodel::NodeSpec spec_;
+  hwmodel::DvfsController dvfs_;
+  EePstateConfig config_;
+  std::vector<DesPredictor> predictors_;
+  std::vector<double> peak_arrival_pps_;
+};
+
+}  // namespace greennfv::core

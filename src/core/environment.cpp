@@ -1,0 +1,132 @@
+#include "core/environment.hpp"
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+#include "traffic/generator.hpp"
+
+namespace greennfv::core {
+
+std::unique_ptr<nfvsim::OnvmController> make_eval_controller(
+    const hwmodel::NodeSpec& spec, int num_chains) {
+  auto controller = std::make_unique<nfvsim::OnvmController>(
+      spec, nfvsim::SchedMode::kHybrid);
+  for (int c = 0; c < num_chains; ++c) {
+    controller->add_chain(format("chain%d", c),
+                          nfvsim::standard_chain_nfs(c));
+  }
+  return controller;
+}
+
+NfvEnvironment::NfvEnvironment(EnvConfig config, std::uint64_t seed)
+    : config_(config),
+      controller_(make_eval_controller(config.spec, config.num_chains)),
+      state_codec_(config.spec, static_cast<std::size_t>(config.num_chains),
+                   config.window_s),
+      action_codec_(config.spec,
+                    static_cast<std::size_t>(config.num_chains)) {
+  GNFV_REQUIRE(config_.num_chains >= 1, "env: need >= 1 chain");
+  GNFV_REQUIRE(config_.num_flows >= 1, "env: need >= 1 flow");
+  GNFV_REQUIRE(config_.window_s > 0.0, "env: bad window");
+  GNFV_REQUIRE(config_.sub_windows >= 1, "env: bad sub-window count");
+  engine_ = std::make_unique<nfvsim::AnalyticEngine>(
+      *controller_,
+      traffic::TrafficGenerator(
+          traffic::make_eval_flows(config_.num_flows, config_.num_chains,
+                                   config_.total_offered_gbps, seed),
+          seed));
+  last_knobs_.assign(static_cast<std::size_t>(config_.num_chains),
+                     nfvsim::baseline_knobs(config_.spec));
+}
+
+std::size_t NfvEnvironment::state_dim() const {
+  return state_codec_.state_dim();
+}
+
+std::size_t NfvEnvironment::action_dim() const {
+  return action_codec_.action_dim();
+}
+
+NfvEnvironment::WindowOutcome NfvEnvironment::run_window(
+    const std::vector<nfvsim::ChainKnobs>& knobs) {
+  GNFV_REQUIRE(knobs.size() == controller_->num_chains(),
+               "run_window: knob count mismatch");
+  last_knobs_.clear();
+  for (std::size_t c = 0; c < knobs.size(); ++c) {
+    last_knobs_.push_back(controller_->apply_knobs(c, knobs[c]));
+  }
+
+  const double dt = config_.window_s / config_.sub_windows;
+  const auto summary = engine_->run(config_.sub_windows, dt);
+
+  WindowOutcome outcome;
+  outcome.throughput_gbps = summary.mean_gbps;
+  outcome.energy_j = summary.energy_j;
+  outcome.sla_satisfied =
+      config_.sla.satisfied(outcome.throughput_gbps, outcome.energy_j);
+  outcome.reward =
+      config_.shaped_reward
+          ? config_.sla.shaped_reward(outcome.throughput_gbps,
+                                      outcome.energy_j)
+          : config_.sla.reward(outcome.throughput_gbps, outcome.energy_j);
+  outcome.efficiency =
+      Sla::efficiency(outcome.throughput_gbps, outcome.energy_j);
+  outcome.observations = StateCodec::observe(summary);
+  last_outcome_ = outcome;
+  return outcome;
+}
+
+std::vector<double> NfvEnvironment::encode_state() const {
+  return state_codec_.encode(last_outcome_.observations);
+}
+
+std::vector<double> NfvEnvironment::reset(std::uint64_t seed) {
+  engine_->reset(seed);
+  steps_in_episode_ = 0;
+  // Settle one window at the *current* knob configuration. Algorithm 3's
+  // controller runs continuously — episodes are a training artifact — so
+  // the state distribution the policy trains on must match the closed loop
+  // it will drive at deployment, not a baseline restart. (The very first
+  // reset settles at the construction-time baseline knobs.)
+  (void)run_window(last_knobs_);
+  return encode_state();
+}
+
+rl::Environment::StepResult NfvEnvironment::step(
+    std::span<const double> action) {
+  const auto knobs = action_codec_.decode(action);
+  (void)run_window(knobs);
+  ++steps_in_episode_;
+
+  StepResult result;
+  result.next_state = encode_state();
+  result.reward = last_outcome_.reward;
+  result.done = steps_in_episode_ >= config_.steps_per_episode;
+  return result;
+}
+
+nfvsim::ChainKnobs NfvEnvironment::mean_knobs() const {
+  GNFV_REQUIRE(!last_knobs_.empty(), "mean_knobs: no window run yet");
+  nfvsim::ChainKnobs mean;
+  mean.cores = 0.0;
+  mean.freq_ghz = 0.0;
+  mean.llc_fraction = 0.0;
+  mean.dma_bytes = 0;
+  double dma = 0.0;
+  double batch = 0.0;
+  for (const auto& k : last_knobs_) {
+    mean.cores += k.cores;
+    mean.freq_ghz += k.freq_ghz;
+    mean.llc_fraction += k.llc_fraction;
+    dma += static_cast<double>(k.dma_bytes);
+    batch += k.batch;
+  }
+  const auto n = static_cast<double>(last_knobs_.size());
+  mean.cores /= n;
+  mean.freq_ghz /= n;
+  mean.llc_fraction /= n;
+  mean.dma_bytes = static_cast<std::uint64_t>(dma / n);
+  mean.batch = static_cast<std::uint32_t>(batch / n);
+  return mean;
+}
+
+}  // namespace greennfv::core

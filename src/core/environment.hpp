@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/sla.hpp"
+#include "core/spaces.hpp"
+#include "nfvsim/engine_analytic.hpp"
+#include "rl/env.hpp"
+
+/// \file environment.hpp
+/// The NFV control environment the RL agents train against. One `step` is
+/// one measurement window of the paper's evaluation: the agent's action
+/// reconfigures every chain's five knobs, the simulator runs `window_s` of
+/// virtual time under live traffic, and the SLA converts (ΣT, E) into the
+/// reward. States are the Eq.-8 tuples {T, E, ξ, Ω} per chain.
+
+namespace greennfv::core {
+
+struct EnvConfig {
+  hwmodel::NodeSpec spec;
+  int num_chains = 3;
+  int num_flows = 5;                 ///< paper §5.1: "use five flows"
+  double total_offered_gbps = 12.0;  ///< aggregate offered load
+  /// One control/measurement window (one RL step) in virtual seconds.
+  double window_s = 10.0;
+  /// Sub-windows per step (traffic variation resolution inside a window).
+  int sub_windows = 5;
+  int steps_per_episode = 8;
+  Sla sla = Sla::energy_efficiency();
+  /// Use gated rewards (paper) or shaped rewards (ablation).
+  bool shaped_reward = false;
+};
+
+class NfvEnvironment final : public rl::Environment {
+ public:
+  NfvEnvironment(EnvConfig config, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t state_dim() const override;
+  [[nodiscard]] std::size_t action_dim() const override;
+  [[nodiscard]] std::vector<double> reset(std::uint64_t seed) override;
+  [[nodiscard]] StepResult step(std::span<const double> action) override;
+
+  /// Applies explicit knob settings instead of a normalized action and runs
+  /// one window — the entry point for the non-RL schedulers (baseline,
+  /// heuristic, EE-Pstate) so every model is measured by identical code.
+  struct WindowOutcome {
+    double throughput_gbps = 0.0;
+    double energy_j = 0.0;
+    double reward = 0.0;
+    double efficiency = 0.0;
+    bool sla_satisfied = false;
+    std::vector<ChainObservation> observations;
+  };
+  WindowOutcome run_window(const std::vector<nfvsim::ChainKnobs>& knobs);
+
+  // --- introspection for telemetry/benches -----------------------------------
+  [[nodiscard]] const EnvConfig& config() const { return config_; }
+  [[nodiscard]] const StateCodec& state_codec() const { return state_codec_; }
+  [[nodiscard]] const ActionCodec& action_codec() const {
+    return action_codec_;
+  }
+  [[nodiscard]] const WindowOutcome& last_outcome() const {
+    return last_outcome_;
+  }
+  [[nodiscard]] const std::vector<nfvsim::ChainKnobs>& last_knobs() const {
+    return last_knobs_;
+  }
+  [[nodiscard]] nfvsim::OnvmController& controller() { return *controller_; }
+  /// The live traffic generator (SDN flow steering hooks in here).
+  [[nodiscard]] traffic::TrafficGenerator& generator() {
+    return engine_->generator();
+  }
+
+  /// Mean knob values across chains (what Figs 6-8 plot per episode).
+  [[nodiscard]] nfvsim::ChainKnobs mean_knobs() const;
+
+ private:
+  EnvConfig config_;
+  std::unique_ptr<nfvsim::OnvmController> controller_;
+  std::unique_ptr<nfvsim::AnalyticEngine> engine_;
+  StateCodec state_codec_;
+  ActionCodec action_codec_;
+  WindowOutcome last_outcome_;
+  std::vector<nfvsim::ChainKnobs> last_knobs_;
+  int steps_in_episode_ = 0;
+
+  [[nodiscard]] std::vector<double> encode_state() const;
+};
+
+/// Builds the standard evaluation node: `num_chains` heterogeneous 3-NF
+/// chains behind one ONVM controller (hybrid scheduling, CAT on).
+[[nodiscard]] std::unique_ptr<nfvsim::OnvmController> make_eval_controller(
+    const hwmodel::NodeSpec& spec, int num_chains);
+
+}  // namespace greennfv::core

@@ -1,0 +1,245 @@
+#include "core/greennfv.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "core/nf_controller.hpp"
+#include "rl/noise.hpp"
+#include "rl/replay.hpp"
+
+namespace greennfv::core {
+
+namespace {
+
+/// Fills the DDPG dims from the environment geometry.
+rl::DdpgConfig resolve_ddpg(const TrainerConfig& config) {
+  rl::DdpgConfig ddpg = config.ddpg;
+  const StateCodec sc(config.env.spec,
+                      static_cast<std::size_t>(config.env.num_chains),
+                      config.env.window_s);
+  const ActionCodec ac(config.env.spec,
+                       static_cast<std::size_t>(config.env.num_chains));
+  ddpg.state_dim = sc.state_dim();
+  ddpg.action_dim = ac.action_dim();
+  return ddpg;
+}
+
+/// Records one episode's outcome + mean knob choices (Figs 6-8 panels).
+void record_episode(telemetry::Recorder& rec, double episode,
+                    const NfvEnvironment& env, double mean_reward) {
+  const auto& outcome = env.last_outcome();
+  const nfvsim::ChainKnobs knobs = env.mean_knobs();
+  rec.record("throughput_gbps", episode, outcome.throughput_gbps);
+  rec.record("energy_j", episode, outcome.energy_j);
+  rec.record("efficiency", episode, outcome.efficiency);
+  rec.record("reward", episode, mean_reward);
+  rec.record("cpu_usage_pct", episode, knobs.cores * 100.0);
+  rec.record("core_freq_ghz", episode, knobs.freq_ghz);
+  rec.record("llc_alloc_pct", episode, knobs.llc_fraction * 100.0);
+  rec.record("dma_mib", episode, units::bytes_to_mib(knobs.dma_bytes));
+  rec.record("batch", episode, static_cast<double>(knobs.batch));
+}
+
+}  // namespace
+
+GreenNfvTrainer::GreenNfvTrainer(TrainerConfig config)
+    : config_(std::move(config)) {
+  GNFV_REQUIRE(config_.episodes >= 1, "trainer: need >= 1 episode");
+  rl::DdpgConfig ddpg = resolve_ddpg(config_);
+  agent_ = std::make_shared<rl::DdpgAgent>(ddpg, config_.seed);
+}
+
+TrainResult GreenNfvTrainer::train(telemetry::Recorder* curves) {
+  return config_.use_apex ? train_apex(curves) : train_sync(curves);
+}
+
+TrainResult GreenNfvTrainer::train_sync(telemetry::Recorder* curves) {
+  NfvEnvironment env(config_.env, config_.seed);
+  Rng rng(config_.seed ^ 0xD1CEF00Dull);
+
+  std::unique_ptr<rl::ReplayInterface> replay;
+  if (config_.prioritized_replay) {
+    replay = std::make_unique<rl::PrioritizedReplay>(config_.per);
+  } else {
+    replay = std::make_unique<rl::UniformReplay>(config_.per.capacity);
+  }
+  rl::GaussianNoise noise(agent_->config().action_dim, config_.noise_sigma,
+                          config_.noise_decay, config_.noise_sigma_min);
+
+  TrainResult result;
+  result.episodes = config_.episodes;
+  const int tail_start = config_.episodes - std::max(1, config_.episodes / 10);
+  double tail_windows = 0.0;
+
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    std::vector<double> state = env.reset(config_.seed + 1000003ull *
+                                          static_cast<std::uint64_t>(episode));
+    double reward_sum = 0.0;
+    bool done = false;
+    int steps = 0;
+    while (!done) {
+      const std::vector<double> action = agent_->act_noisy(state, noise, rng);
+      auto sr = env.step(action);
+      rl::Transition t;
+      t.state = std::move(state);
+      t.action = action;
+      t.reward = sr.reward;
+      t.next_state = sr.next_state;
+      t.done = sr.done;
+      replay->add(std::move(t), 0.0);
+      reward_sum += sr.reward;
+      state = std::move(sr.next_state);
+      done = sr.done;
+      ++steps;
+
+      if (replay->size() >= agent_->config().batch_size * 2) {
+        const rl::TrainStats stats = agent_->train_step(*replay, rng);
+        replay->update_priorities(stats.indices, stats.td_errors);
+        ++result.train_steps;
+      }
+    }
+
+    const double mean_reward = reward_sum / std::max(1, steps);
+    if (curves != nullptr) {
+      record_episode(*curves, static_cast<double>(episode), env,
+                     mean_reward);
+    }
+    if (episode >= tail_start) {
+      result.tail_gbps += env.last_outcome().throughput_gbps;
+      result.tail_energy_j += env.last_outcome().energy_j;
+      result.tail_reward += mean_reward;
+      result.tail_efficiency += env.last_outcome().efficiency;
+      tail_windows += 1.0;
+    }
+  }
+  if (tail_windows > 0.0) {
+    result.tail_gbps /= tail_windows;
+    result.tail_energy_j /= tail_windows;
+    result.tail_reward /= tail_windows;
+    result.tail_efficiency /= tail_windows;
+  }
+  return result;
+}
+
+TrainResult GreenNfvTrainer::train_apex(telemetry::Recorder* curves) {
+  rl::ApexConfig apex = config_.apex;
+  apex.per = config_.per;
+  apex.steps_per_episode = config_.env.steps_per_episode;
+  // Split the episode budget across actors.
+  apex.episodes_per_actor =
+      std::max(1, config_.episodes / std::max(1, apex.num_actors));
+
+  const EnvConfig env_config = config_.env;
+  rl::EnvFactory factory = [env_config](std::uint64_t seed) {
+    return std::make_unique<NfvEnvironment>(env_config, seed);
+  };
+
+  rl::ApexRunner runner(resolve_ddpg(config_), apex, factory, config_.seed);
+  // Share parameters: the runner owns its own agent; we adopt it afterward
+  // by copying parameters into ours (the runner agent dies with the call).
+  std::mutex curve_mutex;
+  rl::EpisodeCallback callback = nullptr;
+  if (curves != nullptr) {
+    callback = [curves, &curve_mutex](const rl::EpisodeReport& report) {
+      if (report.actor_id != 0) return;  // record one actor's view
+      std::lock_guard<std::mutex> lock(curve_mutex);
+      curves->record("reward", static_cast<double>(report.episode),
+                     report.mean_reward);
+    };
+  }
+  const rl::ApexResult apex_result = runner.train(callback);
+
+  // Adopt the learner's policy.
+  agent_ = std::make_shared<rl::DdpgAgent>(resolve_ddpg(config_),
+                                           config_.seed);
+  agent_->set_actor_parameters(runner.agent().actor_parameters());
+
+  TrainResult result;
+  result.episodes = apex.episodes_per_actor * apex.num_actors;
+  result.train_steps = apex_result.learner_steps;
+  result.tail_reward = apex_result.final_mean_reward;
+
+  // Measure converged behaviour with a short greedy evaluation.
+  NfvEnvironment env(config_.env, config_.seed ^ 0xE7A1ull);
+  auto sched = make_scheduler("GreenNFV");
+  NfController controller(env, *sched);
+  const EvalResult eval = controller.run(8);
+  result.tail_gbps = eval.mean_gbps;
+  result.tail_energy_j = eval.mean_energy_j;
+  result.tail_efficiency = eval.mean_efficiency;
+  return result;
+}
+
+std::unique_ptr<Scheduler> GreenNfvTrainer::make_scheduler(
+    const std::string& label) const {
+  return std::make_unique<DdpgScheduler>(
+      agent_, config_.env.spec,
+      static_cast<std::size_t>(config_.env.num_chains),
+      config_.env.window_s, label);
+}
+
+std::unique_ptr<Scheduler> train_best_scheduler(
+    const TrainerConfig& base_config, const std::string& label,
+    int candidates, int validation_windows) {
+  GNFV_REQUIRE(candidates >= 1, "train_best: need >= 1 candidate");
+  std::unique_ptr<Scheduler> best;
+  double best_score = -1e300;
+  for (int k = 0; k < candidates; ++k) {
+    TrainerConfig config = base_config;
+    config.seed = base_config.seed + 1000ull * static_cast<std::uint64_t>(k);
+    GreenNfvTrainer trainer(config);
+    (void)trainer.train();
+    auto scheduler = trainer.make_scheduler(label);
+    const EvalResult eval = evaluate_scheduler(
+        config.env, *scheduler, validation_windows,
+        base_config.seed ^ 0x5EEDFACEull);
+    const double score =
+        config.env.sla.reward(eval.mean_gbps, eval.mean_energy_j);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(scheduler);
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Scheduler> train_qlearning_scheduler(
+    const EnvConfig& env_config, int episodes, std::uint64_t seed,
+    int state_levels, int action_levels) {
+  NfvEnvironment env(env_config, seed);
+  const auto num_chains = static_cast<std::size_t>(env_config.num_chains);
+  // The tied formulation (see QLearningScheduler): the tabular agent sees
+  // the aggregated 4-signal state and emits one 5-knob action shared by
+  // every chain — the best a k^5 table can afford.
+  rl::QLearningConfig qconfig;
+  qconfig.state_dim = 4;
+  qconfig.action_dim = 5;
+  qconfig.state_levels = state_levels;
+  qconfig.action_levels = action_levels;
+  auto agent = std::make_shared<rl::QLearningAgent>(qconfig, seed);
+
+  const StateCodec codec(env_config.spec, num_chains, env_config.window_s);
+  for (int episode = 0; episode < episodes; ++episode) {
+    (void)env.reset(seed + 7919ull * static_cast<std::uint64_t>(episode));
+    std::vector<double> state = QLearningScheduler::aggregate_state(
+        env.last_outcome().observations, codec);
+    bool done = false;
+    while (!done) {
+      const std::vector<double> tied = agent->act(state);
+      auto sr = env.step(
+          QLearningScheduler::expand_action(tied, num_chains));
+      const std::vector<double> next_state =
+          QLearningScheduler::aggregate_state(
+              env.last_outcome().observations, codec);
+      agent->update(state, tied, sr.reward, next_state, sr.done);
+      state = next_state;
+      done = sr.done;
+    }
+  }
+  return std::make_unique<QLearningScheduler>(agent, env_config.spec,
+                                              num_chains,
+                                              env_config.window_s);
+}
+
+}  // namespace greennfv::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+
+#include "core/environment.hpp"
+#include "core/rl_schedulers.hpp"
+#include "rl/apex.hpp"
+#include "rl/per.hpp"
+#include "telemetry/recorder.hpp"
+
+/// \file greennfv.hpp
+/// The GreenNFV façade: trains a DDPG policy for a given SLA (the
+/// CENTRAL_LEARNER of Algorithm 3) either synchronously (one env, clean
+/// per-episode curves — what the figure benches use) or distributed via
+/// Ape-X actor threads, and packages the result as a Scheduler for the
+/// evaluation harness.
+
+namespace greennfv::core {
+
+struct TrainerConfig {
+  EnvConfig env;
+  int episodes = 2000;
+  /// Synchronous-mode replay: prioritized (paper) or uniform (ablation).
+  bool prioritized_replay = true;
+  rl::PerConfig per;
+  /// DDPG hyperparameters (state/action dims are filled automatically).
+  rl::DdpgConfig ddpg;
+  /// Exploration noise. The floor keeps the continuing-control loop from
+  /// freezing into a bad closed-loop attractor late in training.
+  double noise_sigma = 0.3;
+  double noise_decay = 0.9990;
+  double noise_sigma_min = 0.05;
+  /// Distributed mode (Ape-X threads) instead of the synchronous loop.
+  bool use_apex = false;
+  rl::ApexConfig apex;
+  std::uint64_t seed = 42;
+};
+
+struct TrainResult {
+  /// Converged tail (last 10% of episodes) means.
+  double tail_gbps = 0.0;
+  double tail_energy_j = 0.0;
+  double tail_reward = 0.0;
+  double tail_efficiency = 0.0;
+  std::int64_t train_steps = 0;
+  int episodes = 0;
+};
+
+class GreenNfvTrainer {
+ public:
+  explicit GreenNfvTrainer(TrainerConfig config);
+
+  /// Trains the policy. When `curves` is non-null, per-episode series are
+  /// recorded against the episode index — exactly the panels of Figs 6-8:
+  ///   throughput_gbps, energy_j, efficiency, reward,
+  ///   cpu_usage_pct, core_freq_ghz, llc_alloc_pct, dma_mib, batch.
+  TrainResult train(telemetry::Recorder* curves = nullptr);
+
+  /// Snapshot the trained policy as a Scheduler named after the SLA.
+  [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+      const std::string& label) const;
+
+  [[nodiscard]] const rl::DdpgAgent& agent() const { return *agent_; }
+  [[nodiscard]] const TrainerConfig& config() const { return config_; }
+
+ private:
+  TrainerConfig config_;
+  std::shared_ptr<rl::DdpgAgent> agent_;
+
+  TrainResult train_sync(telemetry::Recorder* curves);
+  TrainResult train_apex(telemetry::Recorder* curves);
+};
+
+/// Trains the discretized Q-learning comparison model on the same
+/// environment/SLA and returns it as a Scheduler.
+std::unique_ptr<Scheduler> train_qlearning_scheduler(
+    const EnvConfig& env_config, int episodes, std::uint64_t seed,
+    int state_levels = 4, int action_levels = 3);
+
+/// Trains `candidates` policies from different seeds and keeps the one
+/// whose greedy rollout scores the highest SLA reward on a validation
+/// traffic realization — standard model selection, needed because the
+/// continuing-control loop has multiple attractors.
+std::unique_ptr<Scheduler> train_best_scheduler(
+    const TrainerConfig& base_config, const std::string& label,
+    int candidates = 2, int validation_windows = 4);
+
+}  // namespace greennfv::core

@@ -1,0 +1,102 @@
+#include "core/heuristic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "core/sla.hpp"
+
+namespace greennfv::core {
+
+HeuristicScheduler::HeuristicScheduler(const hwmodel::NodeSpec& spec,
+                                       HeuristicConfig config)
+    : spec_(spec), dvfs_(spec), config_(config) {}
+
+std::vector<nfvsim::ChainKnobs> HeuristicScheduler::initial_allocation(
+    const std::vector<ChainObservation>& obs) const {
+  // Lines 1-6 of Algorithm 1.
+  std::vector<nfvsim::ChainKnobs> knobs(obs.size());
+  const double total_arrival = std::accumulate(
+      obs.begin(), obs.end(), 0.0,
+      [](double acc, const ChainObservation& o) {
+        return acc + o.arrival_pps;
+      });
+  const double median_freq =
+      dvfs_.frequency_ghz(dvfs_.num_pstates() / 2);  // line 3
+  for (std::size_t c = 0; c < obs.size(); ++c) {
+    nfvsim::ChainKnobs& k = knobs[c];
+    // Lines 1-2: one core per NF, evenly.
+    k.cores = static_cast<double>(config_.nfs_per_chain);
+    k.freq_ghz = median_freq; // line 3
+    k.batch = 2;              // line 4
+    // Line 5: LLC proportional to flow rate.
+    k.llc_fraction =
+        total_arrival > 0.0
+            ? std::max(nfvsim::ChainKnobs::kMinLlcFraction,
+                       obs[c].arrival_pps / total_arrival)
+            : 1.0 / static_cast<double>(obs.size());
+    // Line 6: DMA = LLC_size / packet_size * batch_size. With pkt unknown
+    // at this layer we use the allocatable share in bytes over a nominal
+    // 512 B frame, floored at several batches of mbuf-ring coverage.
+    const double llc_bytes =
+        k.llc_fraction *
+        static_cast<double>(spec_.allocatable_llc_bytes());
+    const auto formula_bytes = static_cast<std::uint64_t>(
+        llc_bytes / 512.0 * static_cast<double>(k.batch));
+    const std::uint64_t coverage_floor =
+        static_cast<std::uint64_t>(k.batch) * 2048ull * 16ull;
+    k.dma_bytes = std::max(formula_bytes, coverage_floor);
+    k = k.clamped(spec_);
+  }
+  return knobs;
+}
+
+std::vector<nfvsim::ChainKnobs> HeuristicScheduler::decide(
+    const std::vector<ChainObservation>& obs,
+    const std::vector<nfvsim::ChainKnobs>& current) {
+  GNFV_REQUIRE(obs.size() == current.size(), "heuristic: size mismatch");
+  if (!initialized_) {
+    state_ = initial_allocation(obs);
+    initialized_ = true;
+    return state_;
+  }
+
+  // Lines 7-16: periodic per-chain feedback control.
+  for (std::size_t c = 0; c < obs.size(); ++c) {
+    nfvsim::ChainKnobs& k = state_[c];
+    const double lambda =
+        Sla::efficiency(obs[c].throughput_gbps, obs[c].energy_j);
+    if (lambda < config_.threshold1) {
+      k.freq_ghz = dvfs_.step_down(k.freq_ghz);  // lines 9-10
+    } else {
+      k.freq_ghz = dvfs_.step_up(k.freq_ghz);    // lines 11-12
+    }
+    if (lambda < config_.threshold2) {
+      k.batch = k.batch + 1;                      // lines 13-14
+    } else {
+      k.batch = k.batch > nfvsim::ChainKnobs::kMinBatch
+                    ? k.batch - 1
+                    : k.batch;                    // lines 15-16
+    }
+    // Line 6 is a function of the batch size, so the derived DMA buffer is
+    // recomputed whenever the batch moves. The ring must at minimum cover
+    // several batches of mbuf slots or the NIC starves between polls.
+    const double llc_bytes =
+        k.llc_fraction * static_cast<double>(spec_.allocatable_llc_bytes());
+    const auto formula_bytes = static_cast<std::uint64_t>(
+        llc_bytes / 512.0 * static_cast<double>(k.batch));
+    const std::uint64_t coverage_floor =
+        static_cast<std::uint64_t>(k.batch) * 2048ull * 16ull;
+    k.dma_bytes = std::max(formula_bytes, coverage_floor);
+    k = k.clamped(spec_);
+  }
+  return state_;
+}
+
+void HeuristicScheduler::reset() {
+  initialized_ = false;
+  state_.clear();
+}
+
+}  // namespace greennfv::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "hwmodel/dvfs.hpp"
+
+/// \file heuristic.hpp
+/// The paper's Algorithm 1 — "Baseline Heuristics Algorithm":
+///
+///   1  Allocate cores and frequencies evenly to each NF
+///   2  cores <- 1
+///   3  core_frequency <- median(core_frequency)
+///   4  batch_size <- 2
+///   5  LLC_size <- proportion to flow rate
+///   6  DMA_buffer_size <- LLC_size / packet_size * batch_size
+///   7  Periodically check throughput and energy:
+///   8    λ <- throughput / energy_consumed
+///   9    if λ < threshold1: step core_frequency down
+///  11    else: step core_frequency up
+///  13    if λ < threshold2: batch_size += 1 else batch_size -= 1
+///
+/// The thresholds are energy-efficiency levels (Gbps/KJ); defaults put
+/// threshold1 below and threshold2 above the baseline's operating point so
+/// the controller oscillates toward better efficiency, exactly the "slow
+/// to converge" behaviour §5.1 describes.
+
+namespace greennfv::core {
+
+struct HeuristicConfig {
+  double threshold1 = 1.0;  ///< λ below this -> lower frequency
+  double threshold2 = 6.0;  ///< λ below this -> grow batch
+  /// Line 1 allocates "cores ... evenly to each NF", one core per NF; the
+  /// standard evaluation chains carry three NFs.
+  int nfs_per_chain = 3;
+};
+
+class HeuristicScheduler final : public Scheduler {
+ public:
+  HeuristicScheduler(const hwmodel::NodeSpec& spec, HeuristicConfig config);
+
+  [[nodiscard]] std::string name() const override { return "Heuristics"; }
+  [[nodiscard]] std::vector<nfvsim::ChainKnobs> decide(
+      const std::vector<ChainObservation>& obs,
+      const std::vector<nfvsim::ChainKnobs>& current) override;
+  void reset() override;
+
+ private:
+  hwmodel::NodeSpec spec_;
+  hwmodel::DvfsController dvfs_;
+  HeuristicConfig config_;
+  bool initialized_ = false;
+  std::vector<nfvsim::ChainKnobs> state_;
+
+  [[nodiscard]] std::vector<nfvsim::ChainKnobs> initial_allocation(
+      const std::vector<ChainObservation>& obs) const;
+};
+
+}  // namespace greennfv::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "core/environment.hpp"
+#include "core/scheduler.hpp"
+#include "telemetry/recorder.hpp"
+
+/// \file nf_controller.hpp
+/// The runtime NF controller (Algorithm 3, NF_CONTROLLER): once per control
+/// window it collects the chains' state, asks its policy (any Scheduler)
+/// for a resource allocation, reconfigures the platform, and logs the
+/// outcome. This is the loop Fig. 10 plots over wall time, and the
+/// evaluation harness behind Fig. 9's model comparison.
+
+namespace greennfv::core {
+
+/// Aggregate results of an evaluation run.
+struct EvalResult {
+  std::string scheduler;
+  double mean_gbps = 0.0;
+  double mean_energy_j = 0.0;     ///< per measurement window
+  double mean_power_w = 0.0;
+  double mean_efficiency = 0.0;   ///< λ, Gbps per KJ
+  double sla_satisfaction = 0.0;  ///< fraction of windows meeting the SLA
+  int windows = 0;
+};
+
+class NfController {
+ public:
+  /// Borrows the environment and the policy. Configures the platform for
+  /// the policy's CAT/scheduling preferences on construction.
+  NfController(NfvEnvironment& env, Scheduler& scheduler);
+
+  /// Runs `windows` control intervals. When `recorder` is non-null, the
+  /// per-window series `<prefix>throughput_gbps`, `<prefix>energy_j`,
+  /// `<prefix>power_w` and `<prefix>efficiency` are appended against the
+  /// window start time in seconds.
+  EvalResult run(int windows, telemetry::Recorder* recorder = nullptr,
+                 const std::string& prefix = "");
+
+  [[nodiscard]] NfvEnvironment& env() { return env_; }
+
+ private:
+  NfvEnvironment& env_;
+  Scheduler& scheduler_;
+};
+
+/// Convenience: build a fresh environment (seeded), run `scheduler` on it
+/// for `windows` control intervals after `warmup` unrecorded intervals,
+/// and return the aggregate.
+EvalResult evaluate_scheduler(const EnvConfig& config, Scheduler& scheduler,
+                              int windows, std::uint64_t seed,
+                              int warmup = 2,
+                              telemetry::Recorder* recorder = nullptr,
+                              const std::string& prefix = "");
+
+}  // namespace greennfv::core

@@ -1,0 +1,83 @@
+#include "core/rl_schedulers.hpp"
+
+#include "common/assert.hpp"
+
+namespace greennfv::core {
+
+DdpgScheduler::DdpgScheduler(std::shared_ptr<const rl::DdpgAgent> agent,
+                             const hwmodel::NodeSpec& spec,
+                             std::size_t num_chains, double window_s,
+                             std::string label)
+    : agent_(std::move(agent)),
+      state_codec_(spec, num_chains, window_s),
+      action_codec_(spec, num_chains),
+      label_(std::move(label)) {
+  GNFV_REQUIRE(agent_ != nullptr, "DdpgScheduler: null agent");
+  GNFV_REQUIRE(agent_->config().state_dim == state_codec_.state_dim(),
+               "DdpgScheduler: state dim mismatch");
+  GNFV_REQUIRE(agent_->config().action_dim == action_codec_.action_dim(),
+               "DdpgScheduler: action dim mismatch");
+}
+
+std::vector<nfvsim::ChainKnobs> DdpgScheduler::decide(
+    const std::vector<ChainObservation>& obs,
+    const std::vector<nfvsim::ChainKnobs>& current) {
+  (void)current;
+  const std::vector<double> state = state_codec_.encode(obs);
+  return action_codec_.decode(agent_->act(state));
+}
+
+QLearningScheduler::QLearningScheduler(
+    std::shared_ptr<rl::QLearningAgent> agent,
+    const hwmodel::NodeSpec& spec, std::size_t num_chains, double window_s)
+    : agent_(std::move(agent)),
+      state_codec_(spec, num_chains, window_s),
+      action_codec_(spec, num_chains) {
+  GNFV_REQUIRE(agent_ != nullptr, "QLearningScheduler: null agent");
+  GNFV_REQUIRE(agent_->config_state_dim() == 4,
+               "QLearningScheduler: expects the tied 4-signal state");
+}
+
+std::vector<double> QLearningScheduler::aggregate_state(
+    const std::vector<ChainObservation>& obs, const StateCodec& codec) {
+  GNFV_REQUIRE(!obs.empty(), "aggregate_state: no observations");
+  // Mean each signal over chains, then reuse the per-chain normalization
+  // by encoding a single synthetic observation.
+  ChainObservation mean;
+  for (const auto& o : obs) {
+    mean.throughput_gbps += o.throughput_gbps;
+    mean.energy_j += o.energy_j;
+    mean.busy_cores += o.busy_cores;
+    mean.arrival_pps += o.arrival_pps;
+  }
+  const auto n = static_cast<double>(obs.size());
+  mean.throughput_gbps /= n;
+  mean.energy_j /= n;
+  mean.busy_cores /= n;
+  mean.arrival_pps /= n;
+  const StateCodec single(hwmodel::NodeSpec{}, 1, 1.0);
+  (void)codec;
+  return single.encode({mean});
+}
+
+std::vector<double> QLearningScheduler::expand_action(
+    std::span<const double> tied, std::size_t num_chains) {
+  GNFV_REQUIRE(tied.size() == 5, "expand_action: tied action must be 5-dim");
+  std::vector<double> full;
+  full.reserve(5 * num_chains);
+  for (std::size_t c = 0; c < num_chains; ++c)
+    full.insert(full.end(), tied.begin(), tied.end());
+  return full;
+}
+
+std::vector<nfvsim::ChainKnobs> QLearningScheduler::decide(
+    const std::vector<ChainObservation>& obs,
+    const std::vector<nfvsim::ChainKnobs>& current) {
+  (void)current;
+  const std::vector<double> state = aggregate_state(obs, state_codec_);
+  const std::vector<double> tied = agent_->act_greedy(state);
+  return action_codec_.decode(
+      expand_action(tied, action_codec_.num_chains()));
+}
+
+}  // namespace greennfv::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "core/spaces.hpp"
+#include "rl/ddpg.hpp"
+#include "rl/qlearning.hpp"
+
+/// \file rl_schedulers.hpp
+/// Scheduler adapters around the learning agents: the trained DDPG policy
+/// (GreenNFV proper, one instance per SLA) and the discretized Q-learning
+/// comparison model. Both translate observations through the shared codecs
+/// so their action geometry matches exactly.
+
+namespace greennfv::core {
+
+class DdpgScheduler final : public Scheduler {
+ public:
+  /// Takes shared ownership of a trained agent (the trainer keeps
+  /// training; evaluation snapshots share parameters by value).
+  DdpgScheduler(std::shared_ptr<const rl::DdpgAgent> agent,
+                const hwmodel::NodeSpec& spec, std::size_t num_chains,
+                double window_s, std::string label);
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] std::vector<nfvsim::ChainKnobs> decide(
+      const std::vector<ChainObservation>& obs,
+      const std::vector<nfvsim::ChainKnobs>& current) override;
+
+ private:
+  std::shared_ptr<const rl::DdpgAgent> agent_;
+  StateCodec state_codec_;
+  ActionCodec action_codec_;
+  std::string label_;
+};
+
+/// The Q-learning comparison model. Per the paper (§4.3), discretizing the
+/// full per-chain action space explodes as O(n * k^5); a tabular agent can
+/// only afford the *tied* reduction — one aggregated 4-signal state, one
+/// 5-knob action applied to every chain (243 actions at k=3). That
+/// coarseness is precisely the handicap Fig. 9 quantifies.
+class QLearningScheduler final : public Scheduler {
+ public:
+  QLearningScheduler(std::shared_ptr<rl::QLearningAgent> agent,
+                     const hwmodel::NodeSpec& spec, std::size_t num_chains,
+                     double window_s);
+
+  [[nodiscard]] std::string name() const override { return "Q-Learning"; }
+  [[nodiscard]] std::vector<nfvsim::ChainKnobs> decide(
+      const std::vector<ChainObservation>& obs,
+      const std::vector<nfvsim::ChainKnobs>& current) override;
+
+  /// Aggregated (mean-over-chains) 4-signal state in [-1,1]^4.
+  [[nodiscard]] static std::vector<double> aggregate_state(
+      const std::vector<ChainObservation>& obs, const StateCodec& codec);
+
+  /// Expands a tied 5-dim action to the full per-chain action vector.
+  [[nodiscard]] static std::vector<double> expand_action(
+      std::span<const double> tied, std::size_t num_chains);
+
+ private:
+  std::shared_ptr<rl::QLearningAgent> agent_;
+  StateCodec state_codec_;
+  ActionCodec action_codec_;
+};
+
+}  // namespace greennfv::core

@@ -1,0 +1,19 @@
+#include "core/scheduler.hpp"
+
+namespace greennfv::core {
+
+BaselineScheduler::BaselineScheduler(const hwmodel::NodeSpec& spec)
+    : knobs_(nfvsim::baseline_knobs(spec)) {
+  // ONVM's default deployment pins one core per NF; the standard chains
+  // carry three NFs, hence three cores per chain burning full poll duty.
+  knobs_.cores = 3.0;
+}
+
+std::vector<nfvsim::ChainKnobs> BaselineScheduler::decide(
+    const std::vector<ChainObservation>& obs,
+    const std::vector<nfvsim::ChainKnobs>& current) {
+  (void)obs;
+  return std::vector<nfvsim::ChainKnobs>(current.size(), knobs_);
+}
+
+}  // namespace greennfv::core

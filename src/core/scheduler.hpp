@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spaces.hpp"
+#include "nfvsim/controller.hpp"
+#include "nfvsim/knobs.hpp"
+
+/// \file scheduler.hpp
+/// Common contract for every resource-scheduling model the paper compares
+/// in Fig. 9: Baseline, Heuristics (Algorithm 1), EE-Pstate, Q-Learning,
+/// and the three GreenNFV SLA policies. A scheduler sees the per-chain
+/// observations from the last control window and emits the next knob
+/// configuration; the evaluation harness treats all of them identically.
+
+namespace greennfv::core {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Next knob settings given the last window's observations. `current`
+  /// holds the settings that produced those observations.
+  [[nodiscard]] virtual std::vector<nfvsim::ChainKnobs> decide(
+      const std::vector<ChainObservation>& obs,
+      const std::vector<nfvsim::ChainKnobs>& current) = 0;
+
+  /// Whether this model partitions the LLC with CAT.
+  [[nodiscard]] virtual bool wants_cat() const { return true; }
+
+  /// NF scheduling discipline this model runs under.
+  [[nodiscard]] virtual nfvsim::SchedMode sched_mode() const {
+    return nfvsim::SchedMode::kHybrid;
+  }
+
+  /// Clears adaptive state between evaluation runs.
+  virtual void reset() {}
+};
+
+/// The paper's baseline: "uses a Performance power governor, and all other
+/// components are set to default values" — static knobs, pure polling, no
+/// CAT.
+class BaselineScheduler final : public Scheduler {
+ public:
+  explicit BaselineScheduler(const hwmodel::NodeSpec& spec);
+
+  [[nodiscard]] std::string name() const override { return "Baseline"; }
+  [[nodiscard]] std::vector<nfvsim::ChainKnobs> decide(
+      const std::vector<ChainObservation>& obs,
+      const std::vector<nfvsim::ChainKnobs>& current) override;
+  [[nodiscard]] bool wants_cat() const override { return false; }
+  [[nodiscard]] nfvsim::SchedMode sched_mode() const override {
+    return nfvsim::SchedMode::kPoll;
+  }
+
+ private:
+  nfvsim::ChainKnobs knobs_;
+};
+
+}  // namespace greennfv::core

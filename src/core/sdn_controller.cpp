@@ -1,0 +1,88 @@
+#include "core/sdn_controller.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace greennfv::core {
+
+SdnController::SdnController(SdnConfig config) : config_(config) {
+  GNFV_REQUIRE(config_.skew_threshold >= 1.0,
+               "SDN: skew threshold below 1 would always trigger");
+  GNFV_REQUIRE(config_.max_moves_per_rebalance >= 1,
+               "SDN: need at least one move per rebalance");
+}
+
+double SdnController::skew(const std::vector<ChainObservation>& obs) {
+  GNFV_REQUIRE(!obs.empty(), "SDN: no observations");
+  double max_pps = 0.0;
+  double sum_pps = 0.0;
+  for (const auto& o : obs) {
+    max_pps = std::max(max_pps, o.arrival_pps);
+    sum_pps += o.arrival_pps;
+  }
+  const double mean = sum_pps / static_cast<double>(obs.size());
+  return mean > 0.0 ? max_pps / mean : 1.0;
+}
+
+std::vector<FlowMove> SdnController::rebalance(
+    const std::vector<ChainObservation>& obs,
+    traffic::TrafficGenerator& generator) {
+  ++windows_since_move_;
+  if (windows_since_move_ <= config_.cooldown_windows) return {};
+  if (skew(obs) < config_.skew_threshold) return {};
+
+  // Hottest and coldest chains by arrival rate.
+  std::size_t hot = 0;
+  std::size_t cold = 0;
+  for (std::size_t c = 1; c < obs.size(); ++c) {
+    if (obs[c].arrival_pps > obs[hot].arrival_pps) hot = c;
+    if (obs[c].arrival_pps < obs[cold].arrival_pps) cold = c;
+  }
+  if (hot == cold) return {};
+
+  // Move the smallest flows off the hot chain — they relieve pressure with
+  // the least disturbance to the cold chain (and real SDN rules prefer
+  // re-steering mice over elephants).
+  struct Candidate {
+    std::size_t index;
+    double rate;
+  };
+  std::vector<Candidate> candidates;
+  const auto& flows = generator.flows();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].chain_index == static_cast<int>(hot)) {
+      candidates.push_back({i, flows[i].mean_rate_pps});
+    }
+  }
+  if (candidates.size() <= 1) return {};  // never empty a chain entirely
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.rate < b.rate;
+            });
+
+  std::vector<FlowMove> moves;
+  const int budget =
+      std::min<int>(config_.max_moves_per_rebalance,
+                    static_cast<int>(candidates.size()) - 1);
+  for (int m = 0; m < budget; ++m) {
+    FlowMove move;
+    move.flow_index = candidates[static_cast<std::size_t>(m)].index;
+    move.from_chain = static_cast<int>(hot);
+    move.to_chain = static_cast<int>(cold);
+    generator.steer_flow(move.flow_index, move.to_chain);
+    moves.push_back(move);
+  }
+  if (!moves.empty()) {
+    windows_since_move_ = 0;
+    ++rebalances_;
+  }
+  return moves;
+}
+
+void SdnController::reset() {
+  windows_since_move_ = 1 << 20;
+  rebalances_ = 0;
+}
+
+}  // namespace greennfv::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spaces.hpp"
+#include "traffic/generator.hpp"
+
+/// \file sdn_controller.hpp
+/// The paper's future-work extension (§6): "we plan to incorporate
+/// software-defined networking (SDN) and NF controllers to provide higher
+/// flexibility. We envision a model where both the SDN controller and NF
+/// controller can update each other to perform more effective flow
+/// scheduling."
+///
+/// This module implements that loop's SDN half: a flow-steering controller
+/// that watches per-chain load (the same Ω/ξ observations the NF
+/// controller feeds its policy) and re-balances flows across chains when
+/// the load skew exceeds a threshold. The NF controller keeps tuning knobs
+/// per chain; the SDN controller keeps the chains worth tuning.
+
+namespace greennfv::core {
+
+struct SdnConfig {
+  /// Rebalance when max/mean chain arrival exceeds this factor.
+  double skew_threshold = 1.5;
+  /// Minimum windows between rebalances (flow-table churn damping).
+  int cooldown_windows = 2;
+  /// Largest number of flows moved per rebalance.
+  int max_moves_per_rebalance = 1;
+};
+
+/// One flow move decision.
+struct FlowMove {
+  std::size_t flow_index = 0;
+  int from_chain = 0;
+  int to_chain = 0;
+};
+
+class SdnController {
+ public:
+  explicit SdnController(SdnConfig config = SdnConfig{});
+
+  /// Examines per-chain observations and, if the load skew warrants it,
+  /// steers flows from the most- to the least-loaded chain. Applies the
+  /// moves to `generator` and returns them (empty when balanced or cooling
+  /// down).
+  std::vector<FlowMove> rebalance(
+      const std::vector<ChainObservation>& obs,
+      traffic::TrafficGenerator& generator);
+
+  /// Load skew = max / mean of per-chain arrival rates (1.0 = balanced).
+  [[nodiscard]] static double skew(const std::vector<ChainObservation>& obs);
+
+  [[nodiscard]] int rebalances_performed() const { return rebalances_; }
+  [[nodiscard]] const SdnConfig& config() const { return config_; }
+
+  void reset();
+
+ private:
+  SdnConfig config_;
+  int windows_since_move_ = 1 << 20;
+  int rebalances_ = 0;
+};
+
+}  // namespace greennfv::core

@@ -1,0 +1,94 @@
+#include "core/sla.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace greennfv::core {
+
+std::string to_string(SlaKind kind) {
+  switch (kind) {
+    case SlaKind::kMaxThroughput:    return "MaxThroughput";
+    case SlaKind::kMinEnergy:        return "MinEnergy";
+    case SlaKind::kEnergyEfficiency: return "EnergyEfficiency";
+  }
+  return "?";
+}
+
+Sla::Sla(SlaKind kind, double energy_budget_j, double throughput_floor_gbps,
+         double energy_reference_j)
+    : kind_(kind),
+      energy_budget_j_(energy_budget_j),
+      throughput_floor_gbps_(throughput_floor_gbps),
+      energy_reference_j_(energy_reference_j) {}
+
+Sla Sla::max_throughput(double energy_budget_j) {
+  GNFV_REQUIRE(energy_budget_j > 0.0, "MaxThroughput SLA: bad budget");
+  return Sla(SlaKind::kMaxThroughput, energy_budget_j, 0.0,
+             energy_budget_j);
+}
+
+Sla Sla::min_energy(double throughput_floor_gbps,
+                    double energy_reference_j) {
+  GNFV_REQUIRE(throughput_floor_gbps > 0.0, "MinEnergy SLA: bad floor");
+  GNFV_REQUIRE(energy_reference_j > 0.0, "MinEnergy SLA: bad reference");
+  return Sla(SlaKind::kMinEnergy, 0.0, throughput_floor_gbps,
+             energy_reference_j);
+}
+
+Sla Sla::energy_efficiency() {
+  return Sla(SlaKind::kEnergyEfficiency, 0.0, 0.0, 1.0);
+}
+
+std::string Sla::name() const { return to_string(kind_); }
+
+bool Sla::satisfied(double throughput_gbps, double energy_j) const {
+  switch (kind_) {
+    case SlaKind::kMaxThroughput:
+      return energy_j <= energy_budget_j_;
+    case SlaKind::kMinEnergy:
+      return throughput_gbps >= throughput_floor_gbps_;
+    case SlaKind::kEnergyEfficiency:
+      return true;
+  }
+  return true;
+}
+
+double Sla::efficiency(double throughput_gbps, double energy_j) {
+  // λ = T/E (Eq. 3). Reported as Gbps per KJ so typical values are O(1-5),
+  // matching the paper's Fig. 8c axis.
+  return energy_j > 1e-9 ? throughput_gbps / (energy_j / 1000.0) : 0.0;
+}
+
+double Sla::reward(double throughput_gbps, double energy_j) const {
+  if (!satisfied(throughput_gbps, energy_j)) return 0.0;
+  switch (kind_) {
+    case SlaKind::kMaxThroughput:
+      // Maximize ΣT under the budget (Eq. 1).
+      return throughput_gbps / kThroughputScaleGbps;
+    case SlaKind::kMinEnergy:
+      // "The reward gets better when it reduces energy consumption."
+      return std::max(0.0, 1.0 - energy_j / energy_reference_j_);
+    case SlaKind::kEnergyEfficiency:
+      return efficiency(throughput_gbps, energy_j);
+  }
+  return 0.0;
+}
+
+double Sla::shaped_reward(double throughput_gbps, double energy_j) const {
+  if (satisfied(throughput_gbps, energy_j))
+    return reward(throughput_gbps, energy_j);
+  switch (kind_) {
+    case SlaKind::kMaxThroughput:
+      return -std::min(1.0, (energy_j - energy_budget_j_) /
+                                energy_budget_j_);
+    case SlaKind::kMinEnergy:
+      return -std::min(1.0, (throughput_floor_gbps_ - throughput_gbps) /
+                                throughput_floor_gbps_);
+    case SlaKind::kEnergyEfficiency:
+      return reward(throughput_gbps, energy_j);
+  }
+  return 0.0;
+}
+
+}  // namespace greennfv::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+
+/// \file sla.hpp
+/// The three service-level agreements of §4.1 and their reward signals
+/// (§4.3.1 "Reward Signal"):
+///
+///   * Maximum Throughput (Eq. 1): argmax ΣT s.t. E <= E_SLA.
+///   * Minimum Energy    (Eq. 2): argmin ΣE s.t. T >= T_SLA.
+///   * Energy Efficiency (Eq. 3): argmax λ = T/E (unconstrained).
+///
+/// The paper gates rewards on constraint satisfaction ("The reward function
+/// used in this SLA issues rewards only when the agent can meet the energy
+/// SLA"), which we implement literally; a shaped variant is provided for
+/// the ablation bench.
+
+namespace greennfv::core {
+
+enum class SlaKind { kMaxThroughput, kMinEnergy, kEnergyEfficiency };
+
+[[nodiscard]] std::string to_string(SlaKind kind);
+
+class Sla {
+ public:
+  /// Maximum-Throughput SLA with an energy budget (joules per measurement
+  /// window; the paper uses 2000 J).
+  [[nodiscard]] static Sla max_throughput(double energy_budget_j);
+
+  /// Minimum-Energy SLA with a throughput floor (the paper uses 7.5 Gbps).
+  [[nodiscard]] static Sla min_energy(double throughput_floor_gbps,
+                                      double energy_reference_j);
+
+  /// Energy-Efficiency SLA (unconstrained).
+  [[nodiscard]] static Sla energy_efficiency();
+
+  [[nodiscard]] SlaKind kind() const { return kind_; }
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] double energy_budget_j() const { return energy_budget_j_; }
+  [[nodiscard]] double throughput_floor_gbps() const {
+    return throughput_floor_gbps_;
+  }
+
+  /// True when a (throughput, energy) measurement honours the constraint.
+  [[nodiscard]] bool satisfied(double throughput_gbps,
+                               double energy_j) const;
+
+  /// Reward for one measurement window. Gated: zero when the constraint is
+  /// violated (paper's choice). Scaled to O(1) for network conditioning.
+  [[nodiscard]] double reward(double throughput_gbps, double energy_j) const;
+
+  /// Shaped variant: instead of a hard zero, violations earn a negative
+  /// penalty proportional to the violation depth (ablation).
+  [[nodiscard]] double shaped_reward(double throughput_gbps,
+                                     double energy_j) const;
+
+  /// Energy efficiency λ = T/E as the paper defines it (Eq. 3), in
+  /// Gbit per kilojoule-second terms (throughput Gbps / energy KJ).
+  [[nodiscard]] static double efficiency(double throughput_gbps,
+                                         double energy_j);
+
+ private:
+  Sla(SlaKind kind, double energy_budget_j, double throughput_floor_gbps,
+      double energy_reference_j);
+
+  SlaKind kind_;
+  double energy_budget_j_;
+  double throughput_floor_gbps_;
+  /// Normalization scale for the MinEnergy reward (a "worst case" energy).
+  double energy_reference_j_;
+  /// Normalization scale for throughput rewards.
+  static constexpr double kThroughputScaleGbps = 10.0;
+};
+
+}  // namespace greennfv::core

@@ -1,0 +1,52 @@
+#include "hwmodel/cache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace greennfv::hwmodel {
+
+CacheBehaviour CacheModel::evaluate(const CacheDemand& demand,
+                                    std::uint64_t allocated_bytes) const {
+  CacheBehaviour out;
+  out.working_set_bytes = demand.state_bytes + demand.packet_window_bytes;
+
+  // Guard: a CLOS always owns at least one way in hardware.
+  const std::uint64_t allocation =
+      std::max<std::uint64_t>(allocated_bytes, spec_.bytes_per_way());
+
+  const double ws = static_cast<double>(out.working_set_bytes);
+  const double alloc = static_cast<double>(allocation);
+  // Pressure = how far the working set overshoots the allocation.
+  const double pressure = std::max(0.0, ws / alloc - 1.0);
+  const double growth = math_util::saturating(pressure, 1.0);
+  // Conflict misses from unmanaged sharing raise the floor; CAT's whole
+  // value proposition is removing this term.
+  const double floor =
+      std::min(spec_.miss_ceiling,
+               spec_.miss_floor +
+                   (demand.shared_unpartitioned ? spec_.contention_miss
+                                                : 0.0));
+  out.miss_ratio = floor + (spec_.miss_ceiling - floor) * growth;
+
+  // DDIO: inbound DMA lands in the dedicated ways. Once the descriptor
+  // ring outgrows them the overflow is written to DRAM and the first
+  // packet read misses (the Tootoonchian/ResQ "leaky DMA" effect).
+  const double ddio_capacity = static_cast<double>(spec_.ddio_bytes());
+  const double dma = static_cast<double>(demand.dma_buffer_bytes);
+  out.ddio_hit = dma <= ddio_capacity || dma <= 0.0
+                     ? 1.0
+                     : math_util::clamp(ddio_capacity / dma, 0.0, 1.0);
+  return out;
+}
+
+std::uint64_t CacheModel::contended_share(double demand_share) const {
+  const double share = math_util::clamp(demand_share, 0.0, 1.0);
+  const double effective = static_cast<double>(spec_.allocatable_llc_bytes()) *
+                           share * (1.0 - kContentionWaste);
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(effective),
+                                 spec_.bytes_per_way());
+}
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hwmodel/node_spec.hpp"
+
+/// \file cache.hpp
+/// LLC behaviour model: converts a service chain's working set and its CAT
+/// allocation into an LLC miss ratio, and models DDIO hit probability for
+/// inbound DMA. Calibrated against the paper's micro-benchmarks (Fig. 1:
+/// LLC partitioning; Fig. 3b: batch-driven miss growth).
+
+namespace greennfv::hwmodel {
+
+/// Inputs describing one chain's cache pressure.
+struct CacheDemand {
+  /// Static state touched per packet across the chain's NFs (rule tables,
+  /// FIBs, DPI automata...).
+  std::uint64_t state_bytes = 0;
+  /// In-flight packet data: batch_size * pkt_bytes * footprint factor.
+  std::uint64_t packet_window_bytes = 0;
+  /// NIC DMA buffer size — competes for DDIO ways.
+  std::uint64_t dma_buffer_bytes = 0;
+  /// True when the LLC is unpartitioned and co-resident workloads conflict
+  /// (adds NodeSpec::contention_miss to the floor).
+  bool shared_unpartitioned = false;
+};
+
+/// Outputs of the cache model for one chain evaluation.
+struct CacheBehaviour {
+  /// Probability that one of the chain's memory references misses LLC.
+  double miss_ratio = 0.0;
+  /// Probability that the first NF's packet read hits DDIO-placed lines
+  /// (1.0 = NIC wrote everything into LLC, 0.0 = all packet reads go to DRAM).
+  double ddio_hit = 1.0;
+  /// Working set the chain attempted to keep resident.
+  std::uint64_t working_set_bytes = 0;
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const NodeSpec& spec) : spec_(spec) {}
+
+  /// Evaluates the miss behaviour of a chain that owns `allocated_bytes`
+  /// of LLC (via CAT) and presents the given demand.
+  ///
+  /// The miss ratio follows a smooth capacity curve: at WS <= allocation it
+  /// sits at the compulsory floor; past the allocation it climbs along
+  /// pressure/(pressure+1) toward the ceiling — the standard analytic stand-in
+  /// for an LRU stack-distance profile.
+  [[nodiscard]] CacheBehaviour evaluate(const CacheDemand& demand,
+                                        std::uint64_t allocated_bytes) const;
+
+  /// Effective LLC bytes a chain sees **without** CAT partitioning, when
+  /// `demand_share` (its fraction of total demand) competes against
+  /// co-resident chains. Contention wastes a fraction of capacity on
+  /// cross-chain evictions.
+  [[nodiscard]] std::uint64_t contended_share(double demand_share) const;
+
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+
+  /// Fraction of LLC capacity lost to cross-workload conflict misses when
+  /// the cache is unpartitioned (measured values on Xeon-class parts land
+  /// around 20-30%; the paper's motivation for CAT).
+  static constexpr double kContentionWaste = 0.25;
+
+ private:
+  NodeSpec spec_;
+};
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,83 @@
+#include "hwmodel/calibration.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace greennfv::hwmodel {
+
+PowerSample PowerMeter::measure(double utilization, double freq_ghz) {
+  PowerSample sample;
+  sample.utilization = utilization;
+  sample.watts = model_.power_w(utilization, freq_ghz) +
+                 rng_.normal(0.0, noise_w_);
+  return sample;
+}
+
+std::vector<PowerSample> PowerMeter::calibration_sweep(int count) {
+  GNFV_REQUIRE(count >= 2, "calibration sweep needs >= 2 points");
+  std::vector<PowerSample> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double u = static_cast<double>(i) / (count - 1);
+    samples.push_back(measure(u, model_.spec().fmax_ghz));
+  }
+  return samples;
+}
+
+namespace {
+
+double sse_for_h(const NodeSpec& spec, double h,
+                 const std::vector<PowerSample>& samples) {
+  const PowerModel model = PowerModel(spec).with_h(h);
+  double sse = 0.0;
+  for (const auto& s : samples) {
+    const double err = model.power_w(s.utilization) - s.watts;
+    sse += err * err;
+  }
+  return sse;
+}
+
+}  // namespace
+
+CalibrationResult fit_fan_h(const NodeSpec& spec,
+                            const std::vector<PowerSample>& samples,
+                            double h_lo, double h_hi, double tolerance) {
+  GNFV_REQUIRE(!samples.empty(), "fit_fan_h: no samples");
+  GNFV_REQUIRE(h_lo < h_hi, "fit_fan_h: inverted bracket");
+
+  // Golden-section search on the (unimodal) SSE.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = h_lo;
+  double b = h_hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = sse_for_h(spec, c, samples);
+  double fd = sse_for_h(spec, d, samples);
+  int evals = 2;
+  while (b - a > tolerance) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = sse_for_h(spec, c, samples);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = sse_for_h(spec, d, samples);
+    }
+    ++evals;
+  }
+
+  CalibrationResult result;
+  result.h = (a + b) / 2.0;
+  result.rmse_w = std::sqrt(sse_for_h(spec, result.h, samples) /
+                            static_cast<double>(samples.size()));
+  result.evaluations = evals + 1;
+  return result;
+}
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwmodel/power_model.hpp"
+
+/// \file calibration.hpp
+/// Fits the Fan-model calibration parameter `h` against power-meter samples,
+/// exactly as the paper does with a Yokogawa WT210 ("We used the Yokogawa
+/// WT210 power meter to measure the actual power to validate the model and
+/// compute h"). In this reproduction the "meter" is a synthetic instrument
+/// whose ground truth h is hidden from the fit; tests verify recovery.
+
+namespace greennfv::hwmodel {
+
+/// One (utilization, measured watts) observation.
+struct PowerSample {
+  double utilization = 0.0;
+  double watts = 0.0;
+};
+
+/// A stand-in for the external wall-power meter: evaluates a ground-truth
+/// Fan model and adds measurement noise.
+class PowerMeter {
+ public:
+  PowerMeter(const NodeSpec& truth_spec, double noise_stddev_w, Rng rng)
+      : model_(truth_spec), noise_w_(noise_stddev_w), rng_(rng) {}
+
+  /// Samples the meter at the given operating point.
+  [[nodiscard]] PowerSample measure(double utilization, double freq_ghz);
+
+  /// Sweeps utilization over [0,1] in `count` steps at fmax, the standard
+  /// calibration procedure.
+  [[nodiscard]] std::vector<PowerSample> calibration_sweep(int count);
+
+ private:
+  PowerModel model_;
+  double noise_w_;
+  Rng rng_;
+};
+
+/// Result of fitting h.
+struct CalibrationResult {
+  double h = 1.0;
+  double rmse_w = 0.0;   ///< root-mean-square error of the fit, in watts
+  int evaluations = 0;   ///< model evaluations spent by the search
+};
+
+/// Least-squares fit of `h` by golden-section search over [h_lo, h_hi]
+/// (the SSE in h is unimodal for this model family).
+[[nodiscard]] CalibrationResult fit_fan_h(
+    const NodeSpec& spec, const std::vector<PowerSample>& samples,
+    double h_lo = 0.2, double h_hi = 3.0, double tolerance = 1e-5);
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,97 @@
+#include "hwmodel/cat.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace greennfv::hwmodel {
+
+CatAllocator::CatAllocator(const NodeSpec& spec)
+    : allocatable_ways_(spec.llc_ways - spec.ddio_ways),
+      ddio_ways_(spec.ddio_ways),
+      bytes_per_way_(spec.bytes_per_way()) {
+  GNFV_REQUIRE(allocatable_ways_ > 0, "CAT: no allocatable ways");
+}
+
+void CatAllocator::set_clos(ClosId clos, int first_way, int way_count) {
+  if (way_count <= 0)
+    throw std::invalid_argument("CAT: CBM must contain at least one way");
+  if (first_way < 0 || first_way + way_count > allocatable_ways_)
+    throw std::invalid_argument("CAT: CBM exceeds allocatable ways");
+  clos_[clos] = Mask{first_way, way_count};
+}
+
+std::vector<int> CatAllocator::partition(const std::vector<double>& fractions) {
+  if (fractions.empty())
+    throw std::invalid_argument("CAT: partition needs at least one fraction");
+  for (const double f : fractions)
+    if (f < 0.0)
+      throw std::invalid_argument("CAT: fractions must be non-negative");
+  const double total = std::accumulate(fractions.begin(), fractions.end(), 0.0);
+  if (total <= 0.0)
+    throw std::invalid_argument("CAT: fractions sum to zero");
+
+  const auto n = static_cast<int>(fractions.size());
+  if (n > allocatable_ways_)
+    throw std::invalid_argument("CAT: more classes than ways");
+
+  // Largest-remainder apportionment with a 1-way floor per class.
+  std::vector<int> ways(static_cast<std::size_t>(n), 1);
+  int remaining = allocatable_ways_ - n;
+  std::vector<double> remainders(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double ideal =
+        fractions[static_cast<std::size_t>(i)] / total * allocatable_ways_;
+    const int extra = std::max(
+        0, std::min(remaining, static_cast<int>(ideal) - 1));
+    ways[static_cast<std::size_t>(i)] += extra;
+    remaining -= extra;
+    remainders[static_cast<std::size_t>(i)] =
+        ideal - static_cast<double>(ways[static_cast<std::size_t>(i)]);
+  }
+  while (remaining > 0) {
+    const auto it = std::max_element(remainders.begin(), remainders.end());
+    const auto idx = static_cast<std::size_t>(it - remainders.begin());
+    ways[idx] += 1;
+    remainders[idx] -= 1.0;
+    --remaining;
+  }
+
+  clos_.clear();
+  int cursor = 0;
+  for (int i = 0; i < n; ++i) {
+    set_clos(i, cursor, ways[static_cast<std::size_t>(i)]);
+    cursor += ways[static_cast<std::size_t>(i)];
+  }
+  return ways;
+}
+
+void CatAllocator::reset() { clos_.clear(); }
+
+bool CatAllocator::has_clos(ClosId clos) const {
+  return clos_.count(clos) != 0;
+}
+
+int CatAllocator::way_count(ClosId clos) const {
+  const auto it = clos_.find(clos);
+  GNFV_REQUIRE(it != clos_.end(), "CAT: unknown CLOS");
+  return it->second.way_count;
+}
+
+std::uint64_t CatAllocator::bytes(ClosId clos) const {
+  return static_cast<std::uint64_t>(way_count(clos)) * bytes_per_way_;
+}
+
+std::uint64_t CatAllocator::cbm(ClosId clos) const {
+  const auto it = clos_.find(clos);
+  GNFV_REQUIRE(it != clos_.end(), "CAT: unknown CLOS");
+  std::uint64_t mask = 0;
+  for (int w = 0; w < it->second.way_count; ++w) {
+    mask |= 1ull << (ddio_ways_ + it->second.first_way + w);
+  }
+  return mask;
+}
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,101 @@
+#include "hwmodel/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace greennfv::hwmodel {
+
+std::string to_string(Governor governor) {
+  switch (governor) {
+    case Governor::kPerformance:  return "performance";
+    case Governor::kPowersave:    return "powersave";
+    case Governor::kUserspace:    return "userspace";
+    case Governor::kOndemand:     return "ondemand";
+    case Governor::kConservative: return "conservative";
+  }
+  return "?";
+}
+
+DvfsController::DvfsController(const NodeSpec& spec)
+    : ladder_(spec.frequency_ladder_ghz()),
+      userspace_target_ghz_(spec.fmin_ghz) {
+  GNFV_REQUIRE(ladder_.size() >= 2, "DVFS ladder needs at least two steps");
+}
+
+int DvfsController::num_pstates() const {
+  return static_cast<int>(ladder_.size());
+}
+
+double DvfsController::frequency_ghz(int index) const {
+  GNFV_REQUIRE(index >= 0 && index < num_pstates(), "P-state out of range");
+  return ladder_[static_cast<std::size_t>(index)];
+}
+
+int DvfsController::pstate_of(double freq_ghz) const {
+  int best = 0;
+  double best_dist = std::abs(ladder_[0] - freq_ghz);
+  for (int i = 1; i < num_pstates(); ++i) {
+    const double dist = std::abs(ladder_[static_cast<std::size_t>(i)] -
+                                 freq_ghz);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double DvfsController::snap(double freq_ghz) const {
+  return frequency_ghz(pstate_of(freq_ghz));
+}
+
+double DvfsController::step_down(double freq_ghz) const {
+  const int idx = pstate_of(freq_ghz);
+  return frequency_ghz(std::max(0, idx - 1));
+}
+
+double DvfsController::step_up(double freq_ghz) const {
+  const int idx = pstate_of(freq_ghz);
+  return frequency_ghz(std::min(max_pstate(), idx + 1));
+}
+
+void DvfsController::set_userspace_frequency(double freq_ghz) {
+  userspace_target_ghz_ = snap(freq_ghz);
+}
+
+double DvfsController::effective_frequency(double load,
+                                           double previous_ghz) const {
+  const double clamped_load = math_util::clamp(load, 0.0, 1.0);
+  switch (governor_) {
+    case Governor::kPerformance:
+      return ladder_.back();
+    case Governor::kPowersave:
+      return ladder_.front();
+    case Governor::kUserspace:
+      return userspace_target_ghz_;
+    case Governor::kOndemand: {
+      // Linux ondemand: jump to a frequency proportional to load, with the
+      // classic up-threshold at 80%.
+      if (clamped_load >= 0.8) return ladder_.back();
+      const double target =
+          ladder_.front() +
+          (ladder_.back() - ladder_.front()) * (clamped_load / 0.8);
+      return snap(target);
+    }
+    case Governor::kConservative: {
+      // Single-step moves toward the load-proportional target.
+      const double target =
+          ladder_.front() +
+          (ladder_.back() - ladder_.front()) * clamped_load;
+      if (target > previous_ghz + 1e-9) return step_up(previous_ghz);
+      if (target < previous_ghz - 1e-9) return step_down(previous_ghz);
+      return snap(previous_ghz);
+    }
+  }
+  return ladder_.back();
+}
+
+}  // namespace greennfv::hwmodel

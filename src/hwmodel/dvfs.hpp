@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/node_spec.hpp"
+
+/// \file dvfs.hpp
+/// Dynamic voltage/frequency scaling model of the cpufrequtils interface the
+/// paper drives: a ladder of P-states plus the standard Linux governors.
+/// GreenNFV itself uses the `userspace` governor (direct frequency writes);
+/// the comparison baselines use `performance` (max) and EE-Pstate drives the
+/// ladder through thresholds.
+
+namespace greennfv::hwmodel {
+
+enum class Governor {
+  kPerformance,  ///< pin to fmax (the paper's baseline setting)
+  kPowersave,    ///< pin to fmin
+  kUserspace,    ///< externally controlled (what GreenNFV uses)
+  kOndemand,     ///< load-proportional selection
+  kConservative  ///< load-proportional with single-step moves
+};
+
+[[nodiscard]] std::string to_string(Governor governor);
+
+class DvfsController {
+ public:
+  explicit DvfsController(const NodeSpec& spec);
+
+  /// Number of P-states on the ladder.
+  [[nodiscard]] int num_pstates() const;
+
+  /// Frequency of P-state `index` (0 = slowest).
+  [[nodiscard]] double frequency_ghz(int index) const;
+
+  /// Index of the highest P-state.
+  [[nodiscard]] int max_pstate() const { return num_pstates() - 1; }
+
+  /// Snaps an arbitrary frequency request to the nearest ladder entry and
+  /// returns the snapped value (cpufrequtils behaviour for userspace).
+  [[nodiscard]] double snap(double freq_ghz) const;
+
+  /// Index of the ladder entry nearest to `freq_ghz`.
+  [[nodiscard]] int pstate_of(double freq_ghz) const;
+
+  /// Next slower available frequency (clamps at fmin) — Algorithm 1's
+  /// "select nearest smaller core_frequency".
+  [[nodiscard]] double step_down(double freq_ghz) const;
+
+  /// Next faster available frequency (clamps at fmax).
+  [[nodiscard]] double step_up(double freq_ghz) const;
+
+  void set_governor(Governor governor) { governor_ = governor; }
+  [[nodiscard]] Governor governor() const { return governor_; }
+
+  /// Sets the userspace target; only honoured under Governor::kUserspace.
+  void set_userspace_frequency(double freq_ghz);
+
+  /// Frequency the governor would run at given the current load in [0,1].
+  /// `previous_ghz` matters for kConservative's single-step behaviour.
+  [[nodiscard]] double effective_frequency(double load,
+                                           double previous_ghz) const;
+
+  [[nodiscard]] const std::vector<double>& ladder() const { return ladder_; }
+
+ private:
+  std::vector<double> ladder_;
+  Governor governor_ = Governor::kPerformance;
+  double userspace_target_ghz_;
+};
+
+}  // namespace greennfv::hwmodel

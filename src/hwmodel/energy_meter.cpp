@@ -1,0 +1,24 @@
+#include "hwmodel/energy_meter.hpp"
+
+#include "common/assert.hpp"
+
+namespace greennfv::hwmodel {
+
+void EnergyMeter::accumulate(double power_w, double duration_s) {
+  GNFV_REQUIRE(power_w >= 0.0, "EnergyMeter: negative power");
+  GNFV_REQUIRE(duration_s >= 0.0, "EnergyMeter: negative duration");
+  total_j_ += power_w * duration_s;
+  total_s_ += duration_s;
+}
+
+double EnergyMeter::lap() {
+  const double joules = total_j_ - lap_mark_j_;
+  lap_mark_j_ = total_j_;
+  return joules;
+}
+
+double EnergyMeter::mean_power_w() const {
+  return total_s_ > 0.0 ? total_j_ / total_s_ : 0.0;
+}
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file energy_meter.hpp
+/// RAPL-style energy accounting over virtual time: integrates power samples
+/// into joules. The simulator calls `accumulate` once per simulation window;
+/// episode energies (the paper's per-episode KJ numbers) come from reading
+/// and resetting the counter.
+
+namespace greennfv::hwmodel {
+
+class EnergyMeter {
+ public:
+  /// Adds `power_w * duration_s` joules.
+  void accumulate(double power_w, double duration_s);
+
+  /// Total joules since construction (monotonic, like MSR_PKG_ENERGY_STATUS).
+  [[nodiscard]] double total_joules() const { return total_j_; }
+
+  /// Joules since the last call to `lap()`; resets the lap window.
+  double lap();
+
+  /// Joules accumulated in the current (unfinished) lap window.
+  [[nodiscard]] double lap_joules() const { return total_j_ - lap_mark_j_; }
+
+  /// Virtual seconds integrated so far.
+  [[nodiscard]] double total_seconds() const { return total_s_; }
+
+  /// Mean power over the whole accumulation (0 if no time elapsed).
+  [[nodiscard]] double mean_power_w() const;
+
+ private:
+  double total_j_ = 0.0;
+  double lap_mark_j_ = 0.0;
+  double total_s_ = 0.0;
+};
+
+}  // namespace greennfv::hwmodel

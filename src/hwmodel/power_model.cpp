@@ -1,0 +1,42 @@
+#include "hwmodel/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace greennfv::hwmodel {
+
+double PowerModel::power_w(double utilization) const {
+  return power_w(utilization, spec_.fmax_ghz);
+}
+
+double PowerModel::frequency_scale(double freq_ghz) const {
+  const double ratio =
+      math_util::clamp(freq_ghz / spec_.fmax_ghz, spec_.fmin_ghz /
+                                                      spec_.fmax_ghz, 1.0);
+  return spec_.static_fraction +
+         (1.0 - spec_.static_fraction) *
+             std::pow(ratio, spec_.freq_power_exponent);
+}
+
+double PowerModel::power_w(double utilization, double freq_ghz) const {
+  const double u = math_util::clamp(utilization, 0.0, 1.0);
+  // Eq. 4: (Pmax - Pidle) * (2u - u^h) + Pidle. For h < 1 the shape term
+  // dips below zero at low utilization — a known extrapolation artifact of
+  // the Fan model — so the result is floored at zero watts (relevant only
+  // while the calibration search explores extreme h values).
+  const double shape = 2.0 * u - std::pow(u, spec_.fan_h);
+  const double dynamic_range =
+      (spec_.p_max_w - spec_.p_idle_w) * frequency_scale(freq_ghz);
+  return std::max(0.0, spec_.p_idle_w + dynamic_range * shape);
+}
+
+PowerModel PowerModel::with_h(double h) const {
+  NodeSpec spec = spec_;
+  spec.fan_h = h;
+  return PowerModel(spec);
+}
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "hwmodel/node_spec.hpp"
+
+/// \file power_model.hpp
+/// The paper's power model (Eq. 4, from Fan, Weber & Barroso, ISCA'07):
+///
+///     P(u) = (Pmax - Pidle) * (2u - u^h) + Pidle
+///
+/// with `u` the CPU utilization and `h` a calibration parameter fitted
+/// against an external power meter. We extend it with a frequency term:
+/// the dynamic range (Pmax - Pidle) shrinks when cores run below fmax,
+/// following  static_fraction + (1 - static_fraction) * (f/fmax)^gamma,
+/// which is how DVFS actually buys energy savings. At f = fmax the model
+/// reduces exactly to Eq. 4.
+
+namespace greennfv::hwmodel {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const NodeSpec& spec) : spec_(spec) {}
+
+  /// Eq. 4 evaluated at utilization `u` in [0,1], full frequency.
+  [[nodiscard]] double power_w(double utilization) const;
+
+  /// Eq. 4 with the dynamic range scaled for frequency `freq_ghz`.
+  [[nodiscard]] double power_w(double utilization, double freq_ghz) const;
+
+  /// Multiplier applied to (Pmax - Pidle) at a given frequency.
+  [[nodiscard]] double frequency_scale(double freq_ghz) const;
+
+  [[nodiscard]] double p_idle_w() const { return spec_.p_idle_w; }
+  [[nodiscard]] double p_max_w() const { return spec_.p_max_w; }
+  [[nodiscard]] double h() const { return spec_.fan_h; }
+
+  /// Returns a copy with a different calibration parameter (used by the
+  /// calibration fit).
+  [[nodiscard]] PowerModel with_h(double h) const;
+
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+
+ private:
+  NodeSpec spec_;
+};
+
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,42 @@
+#include "nfvsim/knobs.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+
+namespace greennfv::nfvsim {
+
+std::string ChainKnobs::to_string() const {
+  return format("cores=%.2f freq=%.1fGHz llc=%.0f%% dma=%.1fMiB batch=%u",
+                cores, freq_ghz, llc_fraction * 100.0,
+                units::bytes_to_mib(dma_bytes), batch);
+}
+
+ChainKnobs ChainKnobs::clamped(const hwmodel::NodeSpec& spec) const {
+  ChainKnobs out = *this;
+  out.cores = math_util::clamp(cores, kMinCores,
+                               std::min(kMaxCores,
+                                        static_cast<double>(spec.total_cores)));
+  out.freq_ghz = math_util::clamp(freq_ghz, spec.fmin_ghz, spec.fmax_ghz);
+  out.llc_fraction =
+      math_util::clamp(llc_fraction, kMinLlcFraction, kMaxLlcFraction);
+  const auto max_dma = units::mib_to_bytes(spec.max_dma_buffer_mib);
+  out.dma_bytes = std::clamp(dma_bytes, kMinDmaBytes, max_dma);
+  out.batch = std::clamp(batch, kMinBatch, kMaxBatch);
+  return out;
+}
+
+ChainKnobs baseline_knobs(const hwmodel::NodeSpec& spec) {
+  ChainKnobs knobs;
+  knobs.cores = 1.0;
+  knobs.freq_ghz = spec.fmax_ghz;  // performance governor
+  knobs.llc_fraction = 0.25;       // ignored: baseline runs without CAT
+  // ixgbe (the paper's X540 NIC) defaults to 512 RX descriptors; at 2 KB
+  // mbufs that is a 1 MiB DMA buffer.
+  knobs.dma_bytes = 1ull * units::kMiB;
+  knobs.batch = 2;                 // ONVM default burst (Algorithm 1, line 4)
+  return knobs;
+}
+
+}  // namespace greennfv::nfvsim

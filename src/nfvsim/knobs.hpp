@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "hwmodel/node_spec.hpp"
+
+/// \file knobs.hpp
+/// The five GreenNFV control knobs for one service chain, in engineering
+/// units, with the legal ranges from the paper's testbed. `clamped()` snaps
+/// a requested configuration into range — the RL action decoder and the
+/// heuristic both go through it so no component can configure impossible
+/// hardware.
+
+namespace greennfv::nfvsim {
+
+struct ChainKnobs {
+  /// CPU share in cores (the paper plots "CPU usage %" up to 400% = 4 cores).
+  double cores = 1.0;
+  /// DVFS target; snapped to the ladder by the controller.
+  double freq_ghz = 2.1;
+  /// Fraction of the allocatable LLC requested via CAT.
+  double llc_fraction = 0.25;
+  /// NIC DMA buffer size in bytes.
+  std::uint64_t dma_bytes = 2ull * units::kMiB;
+  /// Packets per poll batch.
+  std::uint32_t batch = 32;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Returns a copy with every knob clamped to the node's legal range.
+  [[nodiscard]] ChainKnobs clamped(const hwmodel::NodeSpec& spec) const;
+
+  /// Knob ranges (shared by the RL action scaling and the clamp).
+  static constexpr double kMinCores = 0.1;
+  static constexpr double kMaxCores = 4.0;
+  static constexpr double kMinLlcFraction = 0.02;
+  static constexpr double kMaxLlcFraction = 1.0;
+  static constexpr std::uint64_t kMinDmaBytes = 256ull * units::kKiB;
+  static constexpr std::uint32_t kMinBatch = 1;
+  static constexpr std::uint32_t kMaxBatch = 256;
+};
+
+/// The paper's baseline configuration: performance governor (fmax) and
+/// platform defaults everywhere else, no CAT partitioning, pure poll mode.
+[[nodiscard]] ChainKnobs baseline_knobs(const hwmodel::NodeSpec& spec);
+
+}  // namespace greennfv::nfvsim

@@ -1,0 +1,37 @@
+#include "nfvsim/mempool.hpp"
+
+#include "common/assert.hpp"
+
+namespace greennfv::nfvsim {
+
+Mempool::Mempool(std::size_t capacity)
+    : capacity_(capacity), slab_(capacity), freelist_(capacity + 1) {
+  GNFV_REQUIRE(capacity >= 1, "Mempool: capacity must be >= 1");
+  for (auto& pkt : slab_) {
+    const bool ok = freelist_.try_push(&pkt);
+    GNFV_ASSERT(ok, "Mempool: freelist undersized");
+  }
+}
+
+Packet* Mempool::alloc() {
+  Packet* pkt = nullptr;
+  if (!freelist_.try_pop(pkt)) return nullptr;
+  in_use_.fetch_add(1, std::memory_order_relaxed);
+  return pkt;
+}
+
+void Mempool::free(Packet* pkt) {
+  GNFV_REQUIRE(pkt != nullptr, "Mempool::free(nullptr)");
+  GNFV_ASSERT(owns(pkt), "Mempool::free: foreign packet");
+  pkt->flags = 0;
+  pkt->chain_pos = 0;
+  const bool ok = freelist_.try_push(pkt);
+  GNFV_ASSERT(ok, "Mempool: double free or freelist overflow");
+  in_use_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Mempool::owns(const Packet* pkt) const {
+  return pkt >= slab_.data() && pkt < slab_.data() + slab_.size();
+}
+
+}  // namespace greennfv::nfvsim

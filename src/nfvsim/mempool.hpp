@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nfvsim/packet.hpp"
+#include "nfvsim/ring.hpp"
+
+/// \file mempool.hpp
+/// Fixed-capacity packet pool in the style of rte_mempool: all Packet
+/// objects are pre-allocated in one contiguous slab; a lock-free MPMC
+/// freelist hands out pointers. Exhaustion returns nullptr (the NIC drops),
+/// never allocates.
+
+namespace greennfv::nfvsim {
+
+class Mempool {
+ public:
+  explicit Mempool(std::size_t capacity);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// Takes a packet from the pool; nullptr when exhausted.
+  [[nodiscard]] Packet* alloc();
+
+  /// Returns a packet to the pool. Must have come from this pool.
+  void free(Packet* pkt);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Packets currently out in the wild.
+  [[nodiscard]] std::size_t in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+
+  /// True if `pkt` points into this pool's slab (used by debug checks).
+  [[nodiscard]] bool owns(const Packet* pkt) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Packet> slab_;
+  MpmcQueue<Packet*> freelist_;
+  std::atomic<std::size_t> in_use_{0};
+};
+
+}  // namespace greennfv::nfvsim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// \file packet.hpp
+/// The mbuf of this platform. Real header bytes live inline (NFs parse and
+/// mutate them); payload is represented by its length plus a checksum seed
+/// so IDS-style NFs have bytes-proportional work to do without carrying
+/// 1.5 KB per packet through the simulator.
+
+namespace greennfv::nfvsim {
+
+struct alignas(64) Packet {
+  std::uint64_t id = 0;
+  std::uint32_t flow_id = 0;
+  std::uint32_t frame_bytes = 0;   ///< wire size, 64..1518
+  std::int64_t rx_ts_ns = 0;       ///< arrival timestamp (virtual clock)
+  std::uint16_t chain_pos = 0;     ///< index of the next NF in the chain
+  std::uint16_t flags = 0;
+
+  // Synthetic 5-tuple "headers" the NFs actually read and rewrite.
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ip_proto = 17;      ///< 6 = TCP, 17 = UDP
+  std::uint8_t ttl = 64;
+
+  /// Rolling payload digest IDS/tunnel NFs fold per-byte work into.
+  std::uint64_t payload_digest = 0;
+
+  static constexpr std::uint16_t kFlagDropped = 1u << 0;
+  static constexpr std::uint16_t kFlagTunneled = 1u << 1;
+  static constexpr std::uint16_t kFlagNatRewritten = 1u << 2;
+  static constexpr std::uint16_t kFlagAlerted = 1u << 3;
+
+  [[nodiscard]] bool dropped() const { return (flags & kFlagDropped) != 0; }
+  void mark_dropped() { flags |= kFlagDropped; }
+};
+
+static_assert(sizeof(Packet) == 64, "Packet should fill one cache line");
+
+}  // namespace greennfv::nfvsim

@@ -1,0 +1,192 @@
+#include "rl/apex.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace greennfv::rl {
+
+ApexRunner::ApexRunner(DdpgConfig ddpg_config, ApexConfig apex_config,
+                       EnvFactory env_factory, std::uint64_t seed)
+    : ddpg_config_(ddpg_config),
+      apex_config_(apex_config),
+      env_factory_(std::move(env_factory)),
+      seed_(seed),
+      agent_(ddpg_config, seed),
+      replay_(apex_config.per) {
+  GNFV_REQUIRE(apex_config_.num_actors >= 1, "ApeX: need >= 1 actor");
+  GNFV_REQUIRE(apex_config_.episodes_per_actor >= 1,
+               "ApeX: need >= 1 episode");
+  GNFV_REQUIRE(apex_config_.steps_per_episode >= 1, "ApeX: need >= 1 step");
+  GNFV_REQUIRE(static_cast<std::size_t>(ddpg_config_.batch_size) <=
+                   apex_config_.learn_start,
+               "ApeX: learn_start must cover one batch");
+  publish_params();
+}
+
+void ApexRunner::publish_params() {
+  std::lock_guard<std::mutex> lock(param_mutex_);
+  published_params_ = agent_.actor_parameters();
+  param_version_.fetch_add(1, std::memory_order_release);
+}
+
+ApexResult ApexRunner::train(EpisodeCallback on_episode) {
+  ApexResult result;
+  std::atomic<std::int64_t> transitions{0};
+  std::atomic<int> actors_running{apex_config_.num_actors};
+  std::atomic<bool> stop_learner{false};
+
+  // Tail-window reward tracking for the result summary.
+  std::mutex reward_mutex;
+  std::vector<double> episode_rewards;
+  episode_rewards.reserve(static_cast<std::size_t>(
+      apex_config_.num_actors * apex_config_.episodes_per_actor));
+
+  // --- actor threads (NF_CONTROLLER, Algorithm 3 lines 1-11) ---------------
+  std::vector<std::thread> actors;
+  actors.reserve(static_cast<std::size_t>(apex_config_.num_actors));
+  for (int actor_id = 0; actor_id < apex_config_.num_actors; ++actor_id) {
+    actors.emplace_back([&, actor_id] {
+      Rng rng(seed_ ^ (0x9E3779B97F4A7C15ull *
+                       static_cast<std::uint64_t>(actor_id + 1)));
+      auto env = env_factory_(rng.next_u64());
+      GNFV_REQUIRE(env != nullptr, "ApeX: env factory returned null");
+      GNFV_REQUIRE(env->state_dim() == ddpg_config_.state_dim &&
+                       env->action_dim() == ddpg_config_.action_dim,
+                   "ApeX: env dims disagree with DDPG config");
+
+      // Local policy copy, synced from the learner (line 2).
+      DdpgAgent local(ddpg_config_, rng.next_u64());
+      std::int64_t seen_version = -1;
+      GaussianNoise noise(ddpg_config_.action_dim,
+                          apex_config_.noise_sigma,
+                          apex_config_.noise_decay);
+      std::vector<Transition> local_buffer;
+      local_buffer.reserve(
+          static_cast<std::size_t>(apex_config_.local_buffer_flush));
+
+      for (int episode = 0; episode < apex_config_.episodes_per_actor;
+           ++episode) {
+        // Parameter pull (lines 2 and 9).
+        if (episode % apex_config_.param_sync_interval == 0) {
+          const std::int64_t version =
+              param_version_.load(std::memory_order_acquire);
+          if (version != seen_version) {
+            std::lock_guard<std::mutex> lock(param_mutex_);
+            local.set_actor_parameters(published_params_);
+            seen_version = version;
+          }
+        }
+
+        std::vector<double> state = env->reset(rng.next_u64());
+        double reward_sum = 0.0;
+        double last_reward = 0.0;
+        for (int step = 0; step < apex_config_.steps_per_episode; ++step) {
+          const std::vector<double> action =
+              local.act_noisy(state, noise, rng);
+          auto step_result = env->step(action);
+          Transition t;
+          t.state = state;
+          t.action = action;
+          t.reward = step_result.reward;
+          t.next_state = step_result.next_state;
+          t.done = step_result.done ||
+                   step + 1 == apex_config_.steps_per_episode;
+          local_buffer.push_back(std::move(t));
+          reward_sum += step_result.reward;
+          last_reward = step_result.reward;
+          state = std::move(step_result.next_state);
+
+          // Flush to the central replay (line 8).
+          if (static_cast<int>(local_buffer.size()) >=
+              apex_config_.local_buffer_flush) {
+            for (auto& tr : local_buffer) replay_.add(std::move(tr), 0.0);
+            transitions.fetch_add(
+                static_cast<std::int64_t>(local_buffer.size()),
+                std::memory_order_relaxed);
+            local_buffer.clear();
+          }
+          if (step_result.done) break;
+        }
+
+        const double mean_reward =
+            reward_sum / apex_config_.steps_per_episode;
+        {
+          std::lock_guard<std::mutex> lock(reward_mutex);
+          episode_rewards.push_back(mean_reward);
+        }
+        if (on_episode) {
+          std::lock_guard<std::mutex> lock(callback_mutex_);
+          on_episode(EpisodeReport{actor_id, episode, mean_reward,
+                                   last_reward});
+        }
+      }
+      // Final flush.
+      if (!local_buffer.empty()) {
+        for (auto& tr : local_buffer) replay_.add(std::move(tr), 0.0);
+        transitions.fetch_add(
+            static_cast<std::int64_t>(local_buffer.size()),
+            std::memory_order_relaxed);
+      }
+      actors_running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // --- learner thread (CENTRAL_LEARNER, Algorithm 3 lines 12-19) -----------
+  std::thread learner([&] {
+    Rng rng(seed_ ^ 0xBADC0FFEE0DDF00Dull);
+    std::int64_t steps = 0;
+    while (!stop_learner.load(std::memory_order_acquire) &&
+           steps < apex_config_.max_learner_steps) {
+      if (replay_.size() < apex_config_.learn_start) {
+        if (actors_running.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      const TrainStats stats = agent_.train_step(replay_, rng);
+      replay_.update_priorities(stats.indices, stats.td_errors);
+      ++steps;
+      if (steps % 16 == 0) publish_params();
+      if (apex_config_.decay_batch > 0 &&
+          steps % apex_config_.decay_interval == 0) {
+        replay_.decay_oldest(apex_config_.decay_batch);
+      }
+      if (actors_running.load(std::memory_order_acquire) == 0 &&
+          steps >= apex_config_.max_learner_steps) {
+        break;
+      }
+      // Once actors finish, drain a bounded number of extra updates.
+      if (actors_running.load(std::memory_order_acquire) == 0) {
+        static constexpr std::int64_t kDrainSteps = 64;
+        for (std::int64_t d = 0;
+             d < kDrainSteps && steps < apex_config_.max_learner_steps;
+             ++d) {
+          const TrainStats extra = agent_.train_step(replay_, rng);
+          replay_.update_priorities(extra.indices, extra.td_errors);
+          ++steps;
+        }
+        break;
+      }
+    }
+    publish_params();
+    result.learner_steps = steps;
+  });
+
+  for (auto& actor : actors) actor.join();
+  stop_learner.store(false, std::memory_order_release);  // let it drain
+  learner.join();
+
+  result.transitions_collected = transitions.load();
+  {
+    std::lock_guard<std::mutex> lock(reward_mutex);
+    const std::size_t n = episode_rewards.size();
+    const std::size_t tail = std::max<std::size_t>(1, n / 10);
+    double sum = 0.0;
+    for (std::size_t i = n - tail; i < n; ++i) sum += episode_rewards[i];
+    result.final_mean_reward = n > 0 ? sum / static_cast<double>(tail) : 0.0;
+  }
+  return result;
+}
+
+}  // namespace greennfv::rl

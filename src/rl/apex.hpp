@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rl/ddpg.hpp"
+#include "rl/env.hpp"
+#include "rl/per.hpp"
+
+/// \file apex.hpp
+/// The Ape-X distributed learning architecture (Horgan et al., ICLR'18) the
+/// paper layers on DDPG (§4.3.2, Algorithm 3):
+///
+///   * N actor threads (NF_CONTROLLER role) run their own environment with
+///     a local copy of the actor network plus exploration noise, buffer
+///     transitions locally, and periodically flush them into the shared
+///     prioritized replay and pull fresh parameters.
+///   * One learner thread (CENTRAL_LEARNER role) samples prioritized
+///     minibatches, runs DDPG updates, writes back TD-error priorities,
+///     publishes versioned actor parameters, and periodically decays the
+///     oldest experiences out of the buffer.
+///
+/// In the paper actors live on separate servers; here they are threads with
+/// the same data flow (local buffer -> central replay -> parameter sync).
+
+namespace greennfv::rl {
+
+struct ApexConfig {
+  int num_actors = 2;
+  /// Episode budget per actor.
+  int episodes_per_actor = 500;
+  /// Environment steps per episode.
+  int steps_per_episode = 8;
+  /// Actor flushes its local buffer after this many transitions
+  /// (Algorithm 3 line 8: "Periodically: replay_buffer.STORE(local)").
+  int local_buffer_flush = 16;
+  /// Actor pulls parameters every this many episodes (line 9).
+  int param_sync_interval = 1;
+  /// Learner waits until the replay holds this many transitions.
+  std::size_t learn_start = 256;
+  /// Learner updates per second are naturally bounded by CPU; this caps
+  /// total updates to keep runs deterministic in tests.
+  std::int64_t max_learner_steps = 1000000;
+  /// Remove this many oldest samples every `decay_interval` learner steps
+  /// (line 18: "periodically remove the old experiences").
+  std::size_t decay_batch = 0;
+  std::int64_t decay_interval = 10000;
+  /// Exploration noise.
+  double noise_sigma = 0.25;
+  double noise_decay = 0.9995;
+  PerConfig per;
+};
+
+/// Aggregate of one actor's episode (for progress callbacks).
+struct EpisodeReport {
+  int actor_id = 0;
+  int episode = 0;
+  double mean_reward = 0.0;
+  double last_reward = 0.0;
+};
+
+using EpisodeCallback = std::function<void(const EpisodeReport&)>;
+
+/// Result of a full distributed training run.
+struct ApexResult {
+  std::int64_t learner_steps = 0;
+  std::int64_t transitions_collected = 0;
+  double final_mean_reward = 0.0;  ///< mean over the last 10% of episodes
+};
+
+class ApexRunner {
+ public:
+  /// The runner owns the learner-side agent; `env_factory` builds one
+  /// environment per actor.
+  ApexRunner(DdpgConfig ddpg_config, ApexConfig apex_config,
+             EnvFactory env_factory, std::uint64_t seed);
+
+  /// Runs actors + learner to completion. `on_episode` (optional) is
+  /// invoked from actor threads under a mutex — keep it cheap.
+  ApexResult train(EpisodeCallback on_episode = nullptr);
+
+  /// Access to the trained agent after (or before) train().
+  [[nodiscard]] DdpgAgent& agent() { return agent_; }
+  [[nodiscard]] const DdpgAgent& agent() const { return agent_; }
+
+  [[nodiscard]] PrioritizedReplay& replay() { return replay_; }
+
+ private:
+  DdpgConfig ddpg_config_;
+  ApexConfig apex_config_;
+  EnvFactory env_factory_;
+  std::uint64_t seed_;
+
+  DdpgAgent agent_;
+  PrioritizedReplay replay_;
+
+  // Versioned actor-parameter snapshot the actors poll.
+  std::mutex param_mutex_;
+  std::vector<double> published_params_;
+  std::atomic<std::int64_t> param_version_{0};
+
+  std::mutex callback_mutex_;
+
+  void publish_params();
+};
+
+}  // namespace greennfv::rl

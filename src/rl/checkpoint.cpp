@@ -1,0 +1,52 @@
+#include "rl/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace greennfv::rl {
+
+namespace {
+constexpr const char* kMagic = "greennfv-checkpoint-v1";
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out << kMagic << '\n';
+  out << checkpoint.tag << '\n';
+  out << checkpoint.input_dim << ' ' << checkpoint.output_dim << ' '
+      << checkpoint.parameters.size() << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < checkpoint.parameters.size(); ++i) {
+    out << checkpoint.parameters[i]
+        << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  }
+  out << '\n';
+  if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic)
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  Checkpoint checkpoint;
+  std::getline(in, checkpoint.tag);
+  std::size_t count = 0;
+  if (!(in >> checkpoint.input_dim >> checkpoint.output_dim >> count))
+    throw std::runtime_error("checkpoint: malformed header in " + path);
+  checkpoint.parameters.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> checkpoint.parameters[i]))
+      throw std::runtime_error("checkpoint: truncated parameters in " +
+                               path);
+  }
+  return checkpoint;
+}
+
+}  // namespace greennfv::rl

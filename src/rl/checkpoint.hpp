@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file checkpoint.hpp
+/// Policy checkpointing. GreenNFV's economics hinge on "the model needs to
+/// be trained only once before deployment and is run many times" (§5.3) —
+/// which requires persisting trained parameters. The format is a small
+/// self-describing text file (magic, dims, flat parameter list) so
+/// checkpoints are portable and diffable; precision is full round-trip
+/// (%.17g).
+
+namespace greennfv::rl {
+
+/// A named flat parameter vector with its interface dims.
+struct Checkpoint {
+  std::string tag;            ///< e.g. "greennfv-actor"
+  std::size_t input_dim = 0;
+  std::size_t output_dim = 0;
+  std::vector<double> parameters;
+};
+
+/// Writes a checkpoint. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Reads a checkpoint. Throws std::runtime_error on I/O failure or a
+/// malformed/corrupt file (wrong magic, dim mismatch, short parameter
+/// list).
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace greennfv::rl

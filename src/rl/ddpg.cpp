@@ -1,0 +1,200 @@
+#include "rl/ddpg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+#include "rl/checkpoint.hpp"
+
+namespace greennfv::rl {
+
+Mlp DdpgAgent::build_actor(const DdpgConfig& config, Rng& rng) {
+  std::vector<LayerSpec> layers;
+  for (const std::size_t units : config.actor_hidden)
+    layers.push_back({units, Activation::kRelu});
+  layers.push_back({config.action_dim, Activation::kTanh});
+  return Mlp(config.state_dim, layers, rng);
+}
+
+Mlp DdpgAgent::build_critic(const DdpgConfig& config, Rng& rng) {
+  std::vector<LayerSpec> layers;
+  for (const std::size_t units : config.critic_hidden)
+    layers.push_back({units, Activation::kRelu});
+  layers.push_back({1, Activation::kLinear});
+  return Mlp(config.state_dim + config.action_dim, layers, rng);
+}
+
+namespace {
+
+/// Validates before any network is constructed so errors carry DDPG
+/// context rather than an MLP-internal message.
+const DdpgConfig& validated(const DdpgConfig& config) {
+  GNFV_REQUIRE(config.state_dim > 0, "DDPG: zero state dim");
+  GNFV_REQUIRE(config.action_dim > 0, "DDPG: zero action dim");
+  GNFV_REQUIRE(config.gamma > 0.0 && config.gamma <= 1.0,
+               "DDPG: gamma out of (0,1]");
+  GNFV_REQUIRE(config.tau > 0.0 && config.tau <= 1.0,
+               "DDPG: tau out of (0,1]");
+  GNFV_REQUIRE(config.batch_size >= 1, "DDPG: zero batch size");
+  return config;
+}
+
+}  // namespace
+
+DdpgAgent::DdpgAgent(DdpgConfig config, std::uint64_t seed)
+    : config_(validated(config)),
+      init_rng_(seed),
+      actor_(build_actor(config_, init_rng_)),
+      critic_(build_critic(config_, init_rng_)),
+      target_actor_(build_actor(config_, init_rng_)),
+      target_critic_(build_critic(config_, init_rng_)),
+      actor_opt_(actor_, config_.actor_lr),
+      critic_opt_(critic_, config_.critic_lr) {
+  // Targets start as exact copies (Algorithm 2 initialization).
+  target_actor_.copy_from(actor_);
+  target_critic_.copy_from(critic_);
+}
+
+std::vector<double> DdpgAgent::act(std::span<const double> state) const {
+  return actor_.forward(state);
+}
+
+std::vector<double> DdpgAgent::act_noisy(std::span<const double> state,
+                                         NoiseProcess& noise,
+                                         Rng& rng) const {
+  std::vector<double> action = actor_.forward(state);
+  const std::vector<double> n = noise.sample(rng);
+  GNFV_ASSERT(n.size() == action.size(), "noise dimension mismatch");
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    action[i] = math_util::clamp(action[i] + n[i], -1.0, 1.0);
+  }
+  return action;
+}
+
+std::vector<double> DdpgAgent::critic_input(
+    std::span<const double> state, std::span<const double> action) const {
+  std::vector<double> input;
+  input.reserve(state.size() + action.size());
+  input.insert(input.end(), state.begin(), state.end());
+  input.insert(input.end(), action.begin(), action.end());
+  return input;
+}
+
+double DdpgAgent::q_value(std::span<const double> state,
+                          std::span<const double> action) const {
+  return critic_.forward(critic_input(state, action))[0];
+}
+
+TrainStats DdpgAgent::train_step(ReplayInterface& replay, Rng& rng) {
+  GNFV_REQUIRE(replay.size() >= config_.batch_size,
+               "DDPG::train_step: replay underfilled");
+  const Minibatch batch = replay.sample(config_.batch_size, rng);
+  const auto n = batch.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  TrainStats stats;
+  stats.td_errors.reserve(n);
+  stats.indices = batch.indices;
+
+  // --- critic update (Algorithm 2 lines 4-6) -------------------------------
+  Mlp::Gradients critic_grads = critic_.make_gradients();
+  critic_grads.zero();
+  Mlp::Workspace ws;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = batch.transitions[i];
+    // y_i = r_i + γ·Q'(x_{i+1}, μ'(x_{i+1}))  (zero bootstrap at terminal)
+    double y = t.reward;
+    if (!t.done) {
+      const std::vector<double> next_action =
+          target_actor_.forward(t.next_state);
+      const double next_q =
+          target_critic_.forward(critic_input(t.next_state, next_action))[0];
+      y += config_.gamma * next_q;
+    }
+    const std::vector<double> input = critic_input(t.state, t.action);
+    const double q = critic_.forward(input, ws)[0];
+    double td = q - y;
+    stats.critic_loss += td * td;
+    td = math_util::clamp(td, -config_.td_error_clip, config_.td_error_clip);
+    stats.td_errors.push_back(std::fabs(td));
+    // dL/dq for 0.5·w·td² (importance weight from PER).
+    const double dq = td * batch.weights[i] * inv_n;
+    const double grad[1] = {dq};
+    (void)critic_.backward(std::span<const double>(grad, 1), ws,
+                           critic_grads);
+  }
+  stats.critic_loss *= inv_n;
+  critic_opt_.step(critic_, critic_grads);
+
+  // --- actor update (Algorithm 2 lines 7-8, Eq. 6) --------------------------
+  Mlp::Gradients actor_grads = actor_.make_gradients();
+  actor_grads.zero();
+  Mlp::Workspace actor_ws;
+  Mlp::Workspace critic_ws;
+  Mlp::Gradients critic_scratch = critic_.make_gradients();  // discarded
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = batch.transitions[i];
+    const std::vector<double> action = actor_.forward(t.state, actor_ws);
+    const std::vector<double> input = critic_input(t.state, action);
+    const double q = critic_.forward(input, critic_ws)[0];
+    stats.actor_objective += q;
+    // ∇_a Q: backprop 1.0 through the critic, slice the action block.
+    critic_scratch.zero();
+    const double one[1] = {1.0};
+    const std::vector<double> input_grad = critic_.backward(
+        std::span<const double>(one, 1), critic_ws, critic_scratch);
+    // Gradient *ascent* on Q -> descend on -Q.
+    std::vector<double> dq_da(config_.action_dim);
+    for (std::size_t d = 0; d < config_.action_dim; ++d)
+      dq_da[d] = -input_grad[config_.state_dim + d] * inv_n;
+    (void)actor_.backward(dq_da, actor_ws, actor_grads);
+  }
+  stats.actor_objective *= inv_n;
+  actor_opt_.step(actor_, actor_grads);
+
+  // --- target soft updates (Algorithm 2 lines 9-10) -------------------------
+  target_critic_.soft_update_from(critic_, config_.tau);
+  target_actor_.soft_update_from(actor_, config_.tau);
+
+  ++train_steps_;
+  return stats;
+}
+
+std::vector<double> DdpgAgent::actor_parameters() const {
+  return actor_.parameters();
+}
+
+void DdpgAgent::set_actor_parameters(std::span<const double> params) {
+  actor_.set_parameters(params);
+}
+
+void DdpgAgent::scale_learning_rates(double factor) {
+  GNFV_REQUIRE(factor > 0.0, "scale_learning_rates: factor must be > 0");
+  actor_opt_.set_learning_rate(actor_opt_.learning_rate() * factor);
+  critic_opt_.set_learning_rate(critic_opt_.learning_rate() * factor);
+}
+
+void DdpgAgent::save_actor(const std::string& path) const {
+  Checkpoint checkpoint;
+  checkpoint.tag = "greennfv-actor";
+  checkpoint.input_dim = config_.state_dim;
+  checkpoint.output_dim = config_.action_dim;
+  checkpoint.parameters = actor_.parameters();
+  save_checkpoint(path, checkpoint);
+}
+
+void DdpgAgent::load_actor(const std::string& path) {
+  const Checkpoint checkpoint = load_checkpoint(path);
+  GNFV_REQUIRE(checkpoint.input_dim == config_.state_dim &&
+                   checkpoint.output_dim == config_.action_dim,
+               "load_actor: checkpoint dims do not match this agent");
+  GNFV_REQUIRE(checkpoint.parameters.size() == actor_.num_parameters(),
+               "load_actor: parameter count mismatch");
+  actor_.set_parameters(checkpoint.parameters);
+  // Deployment-time restores also reset the target copy so continued
+  // training starts from the restored policy.
+  target_actor_.copy_from(actor_);
+}
+
+}  // namespace greennfv::rl

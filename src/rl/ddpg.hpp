@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rl/mlp.hpp"
+#include "rl/noise.hpp"
+#include "rl/replay.hpp"
+
+/// \file ddpg.hpp
+/// Deep Deterministic Policy Gradient (Lillicrap et al., ICLR'16) — the
+/// paper's Algorithm 2. Actor μ_θ maps states to continuous actions in
+/// [-1,1]^d (tanh head); critic Q_θ scores (state, action) pairs. Target
+/// copies of both are soft-updated with rate τ. The critic minimizes the
+/// TD error against y = r + γ·Q'(x', μ'(x')); the actor ascends
+/// ∇_a Q(x, a)|a=μ(x) chained through its own Jacobian (Eq. 6).
+
+namespace greennfv::rl {
+
+struct DdpgConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  std::vector<std::size_t> actor_hidden = {64, 64};
+  std::vector<std::size_t> critic_hidden = {64, 64};
+  double actor_lr = 1e-4;
+  double critic_lr = 1e-3;
+  double gamma = 0.99;   ///< discount factor
+  double tau = 5e-3;     ///< target soft-update rate (Algorithm 2, l.9-10)
+  std::size_t batch_size = 64;
+  /// Clip each sample's critic gradient contribution ("clipping rewards"
+  /// stabilizer from the DQN lineage, applied to TD errors here).
+  double td_error_clip = 10.0;
+};
+
+/// Diagnostics from one train step; `td_errors` feed PER priorities.
+struct TrainStats {
+  double critic_loss = 0.0;
+  double actor_objective = 0.0;  ///< mean Q(x, μ(x)) before the update
+  std::vector<double> td_errors;
+  std::vector<std::uint64_t> indices;
+};
+
+class DdpgAgent {
+ public:
+  DdpgAgent(DdpgConfig config, std::uint64_t seed);
+
+  /// Deterministic policy μ(x) in [-1,1]^action_dim.
+  [[nodiscard]] std::vector<double> act(std::span<const double> state) const;
+
+  /// Behaviour policy: μ(x) + noise, clamped to [-1,1].
+  [[nodiscard]] std::vector<double> act_noisy(std::span<const double> state,
+                                              NoiseProcess& noise, Rng& rng)
+      const;
+
+  /// Critic value Q(x, a).
+  [[nodiscard]] double q_value(std::span<const double> state,
+                               std::span<const double> action) const;
+
+  /// One minibatch update from `replay` (critic + actor + target sync).
+  /// Returns stats incl. per-sample TD errors, which the caller pushes
+  /// back into prioritized replay.
+  TrainStats train_step(ReplayInterface& replay, Rng& rng);
+
+  [[nodiscard]] const DdpgConfig& config() const { return config_; }
+  [[nodiscard]] const Mlp& actor() const { return actor_; }
+  [[nodiscard]] const Mlp& critic() const { return critic_; }
+
+  /// Parameter transfer for Ape-X actor sync.
+  [[nodiscard]] std::vector<double> actor_parameters() const;
+  void set_actor_parameters(std::span<const double> params);
+
+  /// Persists the deterministic policy to disk / restores it. The restore
+  /// validates network dimensions against this agent's configuration.
+  void save_actor(const std::string& path) const;
+  void load_actor(const std::string& path);
+
+  [[nodiscard]] std::int64_t train_steps() const { return train_steps_; }
+
+  /// Multiplies both optimizers' learning rates (annealing for late-stage
+  /// fine-tuning; DDPG is prone to late-training policy drift otherwise).
+  void scale_learning_rates(double factor);
+
+ private:
+  DdpgConfig config_;
+  Rng init_rng_;
+  Mlp actor_;
+  Mlp critic_;
+  Mlp target_actor_;
+  Mlp target_critic_;
+  AdamOptimizer actor_opt_;
+  AdamOptimizer critic_opt_;
+  std::int64_t train_steps_ = 0;
+
+  [[nodiscard]] static Mlp build_actor(const DdpgConfig& config, Rng& rng);
+  [[nodiscard]] static Mlp build_critic(const DdpgConfig& config, Rng& rng);
+  [[nodiscard]] std::vector<double> critic_input(
+      std::span<const double> state, std::span<const double> action) const;
+};
+
+}  // namespace greennfv::rl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+/// \file env.hpp
+/// The environment contract between the RL algorithms and whatever they
+/// control. GreenNFV's NFV environment (core/environment.hpp) implements
+/// it; tests use toy environments. Actions are normalized to [-1,1]^d —
+/// decoding to engineering units is the environment's job.
+
+namespace greennfv::rl {
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  [[nodiscard]] virtual std::size_t action_dim() const = 0;
+
+  /// Starts a new episode; returns the initial state.
+  [[nodiscard]] virtual std::vector<double> reset(std::uint64_t seed) = 0;
+
+  struct StepResult {
+    std::vector<double> next_state;
+    double reward = 0.0;
+    bool done = false;
+  };
+
+  /// Applies an action in [-1,1]^action_dim.
+  [[nodiscard]] virtual StepResult step(std::span<const double> action) = 0;
+};
+
+/// Factory producing independent environment instances for Ape-X actors.
+using EnvFactory =
+    std::function<std::unique_ptr<Environment>(std::uint64_t seed)>;
+
+}  // namespace greennfv::rl

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/tensor.hpp"
+
+/// \file mlp.hpp
+/// Fully-connected network with manual backprop and an Adam optimizer —
+/// the function approximators behind DDPG's actor and critic (the paper's
+/// learner is TensorFlow; this is the from-scratch C++ equivalent).
+///
+/// Design notes:
+///   * Forward passes for *inference* are const and allocation-free given a
+///     caller-provided Workspace, so Ape-X actors can act concurrently on
+///     shared parameter snapshots.
+///   * Gradients are accumulated into an external Gradients struct, so a
+///     minibatch is N backward passes + one optimizer step.
+
+namespace greennfv::rl {
+
+enum class Activation { kLinear, kRelu, kTanh, kSigmoid };
+
+[[nodiscard]] std::string to_string(Activation act);
+
+struct LayerSpec {
+  std::size_t units = 0;
+  Activation activation = Activation::kRelu;
+};
+
+class Mlp {
+ public:
+  /// Per-layer weight gradients mirroring the network's shape.
+  struct Gradients {
+    std::vector<Matrix> dw;
+    std::vector<std::vector<double>> db;
+    void zero();
+    /// grads += other (used to merge per-sample gradients).
+    void add(const Gradients& other);
+    /// grads *= s (minibatch averaging).
+    void scale(double s);
+  };
+
+  /// Per-layer activations captured during a forward pass for backprop.
+  struct Workspace {
+    std::vector<std::vector<double>> pre;   ///< pre-activation z = Wx+b
+    std::vector<std::vector<double>> post;  ///< post-activation a = f(z)
+    std::vector<double> input;
+  };
+
+  /// Builds the network. Hidden layers get Xavier init; the output layer
+  /// gets small-uniform init (DDPG convention, |w| <= 3e-3).
+  Mlp(std::size_t input_dim, const std::vector<LayerSpec>& layers, Rng& rng);
+
+  [[nodiscard]] std::size_t input_dim() const { return input_dim_; }
+  [[nodiscard]] std::size_t output_dim() const;
+  [[nodiscard]] std::size_t num_layers() const { return weights_.size(); }
+  [[nodiscard]] std::size_t num_parameters() const;
+
+  /// Inference forward pass (allocates a scratch workspace internally).
+  [[nodiscard]] std::vector<double> forward(
+      std::span<const double> input) const;
+
+  /// Training forward pass; fills `ws` for use by backward().
+  std::vector<double> forward(std::span<const double> input,
+                              Workspace& ws) const;
+
+  /// Backpropagates dL/d(output) through the pass recorded in `ws`,
+  /// accumulating parameter gradients into `grads` and returning
+  /// dL/d(input) — needed by DDPG's actor update, which chains the critic's
+  /// input gradient into the actor.
+  std::vector<double> backward(std::span<const double> output_grad,
+                               const Workspace& ws, Gradients& grads) const;
+
+  [[nodiscard]] Gradients make_gradients() const;
+
+  /// Flat parameter vector (weights then biases, layer by layer).
+  [[nodiscard]] std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> params);
+
+  /// θ ← τ·θ_src + (1-τ)·θ  (the DDPG target-network soft update,
+  /// Algorithm 2 lines 9-10).
+  void soft_update_from(const Mlp& src, double tau);
+
+  /// θ ← θ_src (hard sync; Ape-X actors pulling learner parameters).
+  void copy_from(const Mlp& src);
+
+  /// In-place SGD-free Adam step (optimizer state lives in AdamOptimizer).
+  friend class AdamOptimizer;
+
+ private:
+  std::size_t input_dim_;
+  std::vector<Matrix> weights_;
+  std::vector<std::vector<double>> biases_;
+  std::vector<Activation> activations_;
+
+  static void apply_activation(Activation act, std::span<double> v);
+  static double activation_grad(Activation act, double pre, double post);
+};
+
+/// Adam (Kingma & Ba) with per-parameter first/second moments.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(const Mlp& model, double lr, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8);
+
+  /// Applies one update of `grads` (assumed already minibatch-averaged,
+  /// gradient-descent direction) to `model`.
+  void step(Mlp& model, const Mlp::Gradients& grads);
+
+  [[nodiscard]] double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+  [[nodiscard]] std::int64_t steps_taken() const { return t_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::int64_t t_ = 0;
+  std::vector<Matrix> m_w_, v_w_;
+  std::vector<std::vector<double>> m_b_, v_b_;
+};
+
+}  // namespace greennfv::rl

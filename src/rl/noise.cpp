@@ -1,0 +1,47 @@
+#include "rl/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace greennfv::rl {
+
+OuNoise::OuNoise(std::size_t dim, double theta, double sigma, double dt,
+                 double mu)
+    : dim_(dim), theta_(theta), sigma_(sigma), dt_(dt), mu_(mu),
+      state_(dim, mu) {
+  GNFV_REQUIRE(dim >= 1, "OuNoise: zero dimension");
+  GNFV_REQUIRE(theta >= 0.0 && sigma >= 0.0 && dt > 0.0,
+               "OuNoise: bad parameters");
+}
+
+std::vector<double> OuNoise::sample(Rng& rng) {
+  const double sqrt_dt = std::sqrt(dt_);
+  for (double& x : state_) {
+    x += theta_ * (mu_ - x) * dt_ + sigma_ * sqrt_dt * rng.normal();
+  }
+  return state_;
+}
+
+void OuNoise::reset() { state_.assign(dim_, mu_); }
+
+GaussianNoise::GaussianNoise(std::size_t dim, double sigma, double decay,
+                             double sigma_min)
+    : dim_(dim), sigma0_(sigma), sigma_(sigma), decay_(decay),
+      sigma_min_(sigma_min) {
+  GNFV_REQUIRE(dim >= 1, "GaussianNoise: zero dimension");
+  GNFV_REQUIRE(sigma >= 0.0 && decay > 0.0 && decay <= 1.0,
+               "GaussianNoise: bad parameters");
+}
+
+std::vector<double> GaussianNoise::sample(Rng& rng) {
+  std::vector<double> noise(dim_);
+  for (double& x : noise) x = rng.normal(0.0, sigma_);
+  sigma_ = std::max(sigma_min_, sigma_ * decay_);
+  return noise;
+}
+
+void GaussianNoise::reset() { sigma_ = sigma0_; }
+
+}  // namespace greennfv::rl

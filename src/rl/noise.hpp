@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+/// \file noise.hpp
+/// Exploration noise for DDPG's behaviour policy (Algorithm 2 line 1:
+/// a_t = μ(x) + N_t). Ornstein-Uhlenbeck is the classic temporally
+/// correlated choice from the DDPG paper; uncorrelated Gaussian with decay
+/// is the simpler modern alternative. Both are provided and ablatable.
+
+namespace greennfv::rl {
+
+class NoiseProcess {
+ public:
+  virtual ~NoiseProcess() = default;
+  /// Next noise vector (one component per action dimension).
+  [[nodiscard]] virtual std::vector<double> sample(Rng& rng) = 0;
+  virtual void reset() = 0;
+};
+
+/// Ornstein-Uhlenbeck: dx = theta*(mu - x)*dt + sigma*sqrt(dt)*N(0,1).
+class OuNoise final : public NoiseProcess {
+ public:
+  OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
+          double dt = 1.0, double mu = 0.0);
+
+  [[nodiscard]] std::vector<double> sample(Rng& rng) override;
+  void reset() override;
+
+ private:
+  std::size_t dim_;
+  double theta_;
+  double sigma_;
+  double dt_;
+  double mu_;
+  std::vector<double> state_;
+};
+
+/// Independent Gaussian noise with multiplicative decay per sample.
+class GaussianNoise final : public NoiseProcess {
+ public:
+  GaussianNoise(std::size_t dim, double sigma = 0.2, double decay = 1.0,
+                double sigma_min = 0.01);
+
+  [[nodiscard]] std::vector<double> sample(Rng& rng) override;
+  void reset() override;
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  std::size_t dim_;
+  double sigma0_;
+  double sigma_;
+  double decay_;
+  double sigma_min_;
+};
+
+}  // namespace greennfv::rl

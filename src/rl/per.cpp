@@ -1,0 +1,161 @@
+#include "rl/per.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace greennfv::rl {
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity) {
+  GNFV_REQUIRE(capacity >= 1, "SumTree: capacity must be >= 1");
+  base_ = 1;
+  while (base_ < capacity) base_ <<= 1;
+  nodes_.assign(2 * base_, 0.0);
+}
+
+void SumTree::set(std::size_t index, double priority) {
+  GNFV_REQUIRE(index < capacity_, "SumTree::set: index out of range");
+  GNFV_REQUIRE(priority >= 0.0, "SumTree::set: negative priority");
+  std::size_t node = base_ + index;
+  const double delta = priority - nodes_[node];
+  while (node >= 1) {
+    nodes_[node] += delta;
+    node >>= 1;
+  }
+}
+
+double SumTree::get(std::size_t index) const {
+  GNFV_REQUIRE(index < capacity_, "SumTree::get: index out of range");
+  return nodes_[base_ + index];
+}
+
+double SumTree::total() const { return nodes_[1]; }
+
+std::size_t SumTree::find_prefix(double mass) const {
+  GNFV_REQUIRE(total() > 0.0, "SumTree::find_prefix: empty tree");
+  mass = std::clamp(mass, 0.0, total() * (1.0 - 1e-12));
+  std::size_t node = 1;
+  while (node < base_) {
+    const std::size_t left = 2 * node;
+    if (mass < nodes_[left]) {
+      node = left;
+    } else {
+      mass -= nodes_[left];
+      node = left + 1;
+    }
+  }
+  const std::size_t leaf = node - base_;
+  // Numerical slack may land on a zero-priority leaf past the end; clamp.
+  return std::min(leaf, capacity_ - 1);
+}
+
+PrioritizedReplay::PrioritizedReplay(PerConfig config)
+    : config_(config),
+      tree_(config.capacity),
+      max_seen_priority_(config.max_priority) {
+  GNFV_REQUIRE(config.alpha >= 0.0, "PER: alpha must be >= 0");
+  GNFV_REQUIRE(config.epsilon > 0.0, "PER: epsilon must be > 0");
+  storage_.reserve(config.capacity);
+}
+
+void PrioritizedReplay::add(Transition t, double priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // New experiences default to the max seen priority so everything is
+  // sampled at least once (Schaul et al. §3.3).
+  const double p = priority > 0.0 ? priority : max_seen_priority_;
+  const double leaf = std::pow(p + config_.epsilon, config_.alpha);
+  if (storage_.size() < config_.capacity) {
+    storage_.push_back(std::move(t));
+    tree_.set(storage_.size() - 1, leaf);
+  } else {
+    storage_[next_] = std::move(t);
+    tree_.set(next_, leaf);
+    full_ = true;
+  }
+  next_ = (next_ + 1) % config_.capacity;
+}
+
+Minibatch PrioritizedReplay::sample(std::size_t n, Rng& rng) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t current = size_locked();
+  GNFV_REQUIRE(current >= n && n > 0, "PER::sample: not enough data");
+  Minibatch batch;
+  batch.transitions.reserve(n);
+  batch.indices.reserve(n);
+  batch.weights.reserve(n);
+
+  const double beta = current_beta();
+  ++sample_steps_;
+
+  const double total = tree_.total();
+  GNFV_REQUIRE(total > 0.0, "PER::sample: all priorities zero");
+  // Stratified sampling: one draw per equal-mass segment.
+  const double segment = total / static_cast<double>(n);
+  double max_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mass =
+        segment * (static_cast<double>(i) + rng.uniform());
+    const std::size_t idx = tree_.find_prefix(mass);
+    const double p = tree_.get(idx) / total;
+    const double weight =
+        std::pow(static_cast<double>(current) * std::max(p, 1e-12), -beta);
+    batch.transitions.push_back(storage_[idx]);
+    batch.indices.push_back(idx);
+    batch.weights.push_back(weight);
+    max_weight = std::max(max_weight, weight);
+  }
+  // Normalize by max weight so IS correction only scales updates down.
+  if (max_weight > 0.0) {
+    for (double& w : batch.weights) w /= max_weight;
+  }
+  return batch;
+}
+
+void PrioritizedReplay::update_priorities(
+    const std::vector<std::uint64_t>& indices,
+    const std::vector<double>& priorities) {
+  GNFV_REQUIRE(indices.size() == priorities.size(),
+               "PER::update_priorities: size mismatch");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double p = std::fabs(priorities[i]);
+    max_seen_priority_ = std::max(max_seen_priority_, p);
+    tree_.set(static_cast<std::size_t>(indices[i]),
+              std::pow(p + config_.epsilon, config_.alpha));
+  }
+}
+
+std::size_t PrioritizedReplay::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_locked();
+}
+
+std::size_t PrioritizedReplay::size_locked() const {
+  return full_ ? config_.capacity : storage_.size();
+}
+
+std::size_t PrioritizedReplay::capacity() const { return config_.capacity; }
+
+void PrioritizedReplay::decay_oldest(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t current = size_locked();
+  if (current == 0) return;
+  n = std::min(n, current);
+  // Oldest entries sit right after the write cursor once the buffer wraps.
+  std::size_t oldest = full_ ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tree_.set(oldest, 0.0);
+    oldest = (oldest + 1) % config_.capacity;
+  }
+}
+
+double PrioritizedReplay::current_beta() const {
+  if (config_.beta_anneal_steps <= 0) return config_.beta_final;
+  const double frac = std::min(
+      1.0, static_cast<double>(sample_steps_) /
+               static_cast<double>(config_.beta_anneal_steps));
+  return config_.beta + (config_.beta_final - config_.beta) * frac;
+}
+
+}  // namespace greennfv::rl

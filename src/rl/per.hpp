@@ -1,0 +1,82 @@
+#pragma once
+
+#include <mutex>
+
+#include "rl/replay.hpp"
+
+/// \file per.hpp
+/// Prioritized experience replay (Schaul et al., ICLR'16), the sampling
+/// scheme Ape-X scales out and the paper's contribution (4) extends to
+/// multiple workers. Proportional prioritization over a sum tree:
+///
+///   P(i) = p_i^alpha / Σ p^alpha,   w_i = (N · P(i))^-beta / max_j w_j
+///
+/// The buffer is mutex-guarded so Ape-X actor threads can add while the
+/// learner samples — at GreenNFV's batch sizes lock contention is
+/// negligible versus network math.
+
+namespace greennfv::rl {
+
+/// Binary-indexed sum tree over leaf priorities with O(log n) update and
+/// prefix-sum sampling.
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity);
+
+  void set(std::size_t index, double priority);
+  [[nodiscard]] double get(std::size_t index) const;
+  [[nodiscard]] double total() const;
+
+  /// Finds the leaf whose cumulative range contains `mass` in [0, total()).
+  [[nodiscard]] std::size_t find_prefix(double mass) const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t base_;                ///< first leaf index in `nodes_`
+  std::vector<double> nodes_;
+};
+
+struct PerConfig {
+  std::size_t capacity = 1 << 17;
+  double alpha = 0.6;               ///< prioritization strength
+  double beta = 0.4;                ///< IS-correction start value
+  double beta_final = 1.0;
+  std::int64_t beta_anneal_steps = 100000;
+  double epsilon = 1e-3;            ///< keeps every priority > 0
+  double max_priority = 1.0;        ///< initial priority for new samples
+};
+
+class PrioritizedReplay final : public ReplayInterface {
+ public:
+  explicit PrioritizedReplay(PerConfig config);
+
+  void add(Transition t, double priority) override;
+  [[nodiscard]] Minibatch sample(std::size_t n, Rng& rng) override;
+  void update_priorities(const std::vector<std::uint64_t>& indices,
+                         const std::vector<double>& priorities) override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::size_t capacity() const override;
+
+  /// Removes the oldest `n` entries by zeroing their priorities (Ape-X's
+  /// "periodically remove old experiences", Algorithm 3 line 18). They stay
+  /// in storage but can no longer be sampled.
+  void decay_oldest(std::size_t n);
+
+  [[nodiscard]] double current_beta() const;
+
+ private:
+  PerConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Transition> storage_;
+  SumTree tree_;
+  std::size_t next_ = 0;
+  bool full_ = false;
+  std::int64_t sample_steps_ = 0;
+  double max_seen_priority_;
+
+  [[nodiscard]] std::size_t size_locked() const;
+};
+
+}  // namespace greennfv::rl

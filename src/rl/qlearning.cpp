@@ -1,0 +1,110 @@
+#include "rl/qlearning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace greennfv::rl {
+
+Discretizer::Discretizer(std::size_t dim, int levels)
+    : dim_(dim), levels_(levels) {
+  GNFV_REQUIRE(dim >= 1, "Discretizer: zero dim");
+  GNFV_REQUIRE(levels >= 2, "Discretizer: need >= 2 levels");
+  num_cells_ = 1;
+  for (std::size_t d = 0; d < dim; ++d) {
+    GNFV_REQUIRE(num_cells_ < (1ull << 58), "Discretizer: cell count overflow");
+    num_cells_ *= static_cast<std::uint64_t>(levels);
+  }
+}
+
+std::uint64_t Discretizer::encode(std::span<const double> point) const {
+  GNFV_REQUIRE(point.size() == dim_, "Discretizer::encode: dim mismatch");
+  std::uint64_t cell = 0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const double unit =
+        math_util::clamp((point[d] + 1.0) / 2.0, 0.0, 1.0 - 1e-12);
+    const auto bin = static_cast<std::uint64_t>(unit * levels_);
+    cell = cell * static_cast<std::uint64_t>(levels_) + bin;
+  }
+  return cell;
+}
+
+std::vector<double> Discretizer::decode(std::uint64_t cell) const {
+  GNFV_REQUIRE(cell < num_cells_, "Discretizer::decode: cell out of range");
+  std::vector<double> point(dim_);
+  for (std::size_t d = dim_; d-- > 0;) {
+    const auto bin = cell % static_cast<std::uint64_t>(levels_);
+    cell /= static_cast<std::uint64_t>(levels_);
+    // Cell center in [-1,1].
+    point[d] = -1.0 + 2.0 * (static_cast<double>(bin) + 0.5) /
+                          static_cast<double>(levels_);
+  }
+  return point;
+}
+
+QLearningAgent::QLearningAgent(QLearningConfig config, std::uint64_t seed)
+    : config_(config),
+      state_disc_(config.state_dim, config.state_levels),
+      action_disc_(config.action_dim, config.action_levels),
+      epsilon_(config.epsilon),
+      rng_(seed) {
+  GNFV_REQUIRE(config.alpha > 0.0 && config.alpha <= 1.0,
+               "QLearning: alpha out of range");
+  GNFV_REQUIRE(action_disc_.num_cells() <= (1ull << 24),
+               "QLearning: action table too large to enumerate");
+}
+
+std::vector<double>& QLearningAgent::q_row(std::uint64_t state_cell) {
+  auto it = table_.find(state_cell);
+  if (it == table_.end()) {
+    it = table_
+             .emplace(state_cell,
+                      std::vector<double>(action_disc_.num_cells(), 0.0))
+             .first;
+  }
+  return it->second;
+}
+
+std::uint64_t QLearningAgent::best_action(
+    const std::vector<double>& row) const {
+  const auto it = std::max_element(row.begin(), row.end());
+  return static_cast<std::uint64_t>(it - row.begin());
+}
+
+std::vector<double> QLearningAgent::act(std::span<const double> state) {
+  const std::uint64_t cell = state_disc_.encode(state);
+  if (rng_.bernoulli(epsilon_)) {
+    return action_disc_.decode(rng_.uniform_u64(action_disc_.num_cells()));
+  }
+  return action_disc_.decode(best_action(q_row(cell)));
+}
+
+std::vector<double> QLearningAgent::act_greedy(
+    std::span<const double> state) const {
+  const std::uint64_t cell = state_disc_.encode(state);
+  const auto it = table_.find(cell);
+  if (it == table_.end()) {
+    // Unvisited state: the table has no opinion; mid-range action.
+    return std::vector<double>(config_.action_dim, 0.0);
+  }
+  return action_disc_.decode(best_action(it->second));
+}
+
+void QLearningAgent::update(std::span<const double> state,
+                            std::span<const double> action, double reward,
+                            std::span<const double> next_state, bool done) {
+  const std::uint64_t s = state_disc_.encode(state);
+  const std::uint64_t a = action_disc_.encode(action);
+  double target = reward;
+  if (!done) {
+    const auto& next_row = q_row(state_disc_.encode(next_state));
+    target += config_.gamma * next_row[best_action(next_row)];
+  }
+  auto& row = q_row(s);
+  row[a] += config_.alpha * (target - row[a]);
+  epsilon_ = std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
+}
+
+}  // namespace greennfv::rl

@@ -1,0 +1,48 @@
+#include "rl/replay.hpp"
+
+#include "common/assert.hpp"
+
+namespace greennfv::rl {
+
+UniformReplay::UniformReplay(std::size_t capacity) : capacity_(capacity) {
+  GNFV_REQUIRE(capacity >= 1, "UniformReplay: capacity must be >= 1");
+  storage_.reserve(capacity);
+}
+
+void UniformReplay::add(Transition t, double priority) {
+  (void)priority;
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[next_] = std::move(t);
+    full_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+Minibatch UniformReplay::sample(std::size_t n, Rng& rng) {
+  GNFV_REQUIRE(size() >= n && n > 0, "UniformReplay::sample: not enough data");
+  Minibatch batch;
+  batch.transitions.reserve(n);
+  batch.indices.reserve(n);
+  batch.weights.assign(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = rng.uniform_u64(size());
+    batch.transitions.push_back(storage_[idx]);
+    batch.indices.push_back(idx);
+  }
+  return batch;
+}
+
+void UniformReplay::update_priorities(
+    const std::vector<std::uint64_t>& indices,
+    const std::vector<double>& priorities) {
+  (void)indices;
+  (void)priorities;
+}
+
+std::size_t UniformReplay::size() const {
+  return full_ ? capacity_ : storage_.size();
+}
+
+}  // namespace greennfv::rl

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+/// \file replay.hpp
+/// Experience replay (Lin '92): transitions and the uniform-sampling ring
+/// buffer. The prioritized variant lives in per.hpp; both implement
+/// ReplayInterface so the DDPG trainer and the ablation benches can swap
+/// them freely.
+
+namespace greennfv::rl {
+
+/// One (x, a, r, x') tuple (Algorithm 2, line 2).
+struct Transition {
+  std::vector<double> state;
+  std::vector<double> action;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+};
+
+/// A sampled minibatch; `indices`/`weights` support prioritized replay
+/// (weights are all 1 for uniform sampling). Transitions are *copies*:
+/// in the Ape-X architecture actor threads keep writing into the buffer
+/// while the learner consumes a batch, so handing out pointers into
+/// storage would race with slot reuse.
+struct Minibatch {
+  std::vector<Transition> transitions;
+  std::vector<std::uint64_t> indices;
+  std::vector<double> weights;
+
+  [[nodiscard]] std::size_t size() const { return transitions.size(); }
+};
+
+class ReplayInterface {
+ public:
+  virtual ~ReplayInterface() = default;
+
+  /// Stores a transition (evicting the oldest when full).
+  virtual void add(Transition t, double priority) = 0;
+
+  /// Samples a minibatch of `n`. Requires size() >= n.
+  [[nodiscard]] virtual Minibatch sample(std::size_t n, Rng& rng) = 0;
+
+  /// Updates priorities after a train step (no-op for uniform replay).
+  virtual void update_priorities(const std::vector<std::uint64_t>& indices,
+                                 const std::vector<double>& priorities) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
+};
+
+/// Plain ring buffer with uniform sampling.
+class UniformReplay final : public ReplayInterface {
+ public:
+  explicit UniformReplay(std::size_t capacity);
+
+  void add(Transition t, double priority) override;
+  [[nodiscard]] Minibatch sample(std::size_t n, Rng& rng) override;
+  void update_priorities(const std::vector<std::uint64_t>& indices,
+                         const std::vector<double>& priorities) override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Transition> storage_;
+  std::size_t next_ = 0;
+  bool full_ = false;
+};
+
+}  // namespace greennfv::rl

@@ -1,0 +1,79 @@
+#include "rl/tensor.hpp"
+
+#include <cmath>
+
+namespace greennfv::rl {
+
+void Matrix::xavier_init(Rng& rng) {
+  GNFV_REQUIRE(rows_ > 0 && cols_ > 0, "xavier_init on empty matrix");
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  for (double& w : data_) w = rng.uniform(-bound, bound);
+}
+
+void Matrix::uniform_init(Rng& rng, double bound) {
+  GNFV_REQUIRE(bound > 0.0, "uniform_init: bound must be positive");
+  for (double& w : data_) w = rng.uniform(-bound, bound);
+}
+
+void matvec(const Matrix& w, std::span<const double> x,
+            std::span<const double> b, std::span<double> y) {
+  GNFV_ASSERT(x.size() == w.cols(), "matvec: x dimension mismatch");
+  GNFV_ASSERT(y.size() == w.rows(), "matvec: y dimension mismatch");
+  GNFV_ASSERT(b.size() == w.rows(), "matvec: b dimension mismatch");
+  const double* wd = w.data();
+  const std::size_t cols = w.cols();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const double* row = wd + r * cols;
+    double acc = b[r];
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void matvec_transpose(const Matrix& w, std::span<const double> y_grad,
+                      std::span<double> x_grad) {
+  GNFV_ASSERT(y_grad.size() == w.rows(), "matvec_T: y dimension mismatch");
+  GNFV_ASSERT(x_grad.size() == w.cols(), "matvec_T: x dimension mismatch");
+  for (double& g : x_grad) g = 0.0;
+  const double* wd = w.data();
+  const std::size_t cols = w.cols();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const double g = y_grad[r];
+    if (g == 0.0) continue;
+    const double* row = wd + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) x_grad[c] += g * row[c];
+  }
+}
+
+void accumulate_outer(Matrix& dw, std::span<const double> y_grad,
+                      std::span<const double> x) {
+  GNFV_ASSERT(y_grad.size() == dw.rows(), "outer: y dimension mismatch");
+  GNFV_ASSERT(x.size() == dw.cols(), "outer: x dimension mismatch");
+  double* dwd = dw.data();
+  const std::size_t cols = dw.cols();
+  for (std::size_t r = 0; r < dw.rows(); ++r) {
+    const double g = y_grad[r];
+    if (g == 0.0) continue;
+    double* row = dwd + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += g * x[c];
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  GNFV_ASSERT(a.size() == b.size(), "dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  GNFV_ASSERT(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(std::span<const double> x) {
+  return std::sqrt(dot(x, x));
+}
+
+}  // namespace greennfv::rl

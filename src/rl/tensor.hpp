@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+/// \file tensor.hpp
+/// Dense row-major matrix and the handful of BLAS-1/2 kernels the MLP
+/// needs. Kept deliberately small: the networks in GreenNFV are a few
+/// hundred units wide, where simple unrolled loops beat any dependency.
+
+namespace greennfv::rl {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    GNFV_ASSERT(r < rows_ && c < cols_, "Matrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    GNFV_ASSERT(r < rows_ && c < cols_, "Matrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+
+  /// Row `r` as a span.
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    GNFV_ASSERT(r < rows_, "Matrix: row out of range");
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// Xavier/Glorot uniform initialization (the standard for tanh nets,
+  /// also what DDPG's reference implementation uses for hidden layers).
+  void xavier_init(Rng& rng);
+
+  /// Uniform init in [-bound, bound] (DDPG initializes its output layers
+  /// at 3e-3 so initial actions/values sit near zero).
+  void uniform_init(Rng& rng, double bound);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = W x + b. Requires y.size()==W.rows(), x.size()==W.cols().
+void matvec(const Matrix& w, std::span<const double> x,
+            std::span<const double> b, std::span<double> y);
+
+/// x_grad = W^T y_grad (backprop through the linear map).
+void matvec_transpose(const Matrix& w, std::span<const double> y_grad,
+                      std::span<double> x_grad);
+
+/// dW += y_grad x^T (outer-product gradient accumulation).
+void accumulate_outer(Matrix& dw, std::span<const double> y_grad,
+                      std::span<const double> x);
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// L2 norm.
+[[nodiscard]] double norm2(std::span<const double> x);
+
+}  // namespace greennfv::rl

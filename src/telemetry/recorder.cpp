@@ -1,0 +1,67 @@
+#include "telemetry/recorder.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+
+namespace greennfv::telemetry {
+
+void Recorder::record(const std::string& name, double t, double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(name)).first;
+  }
+  it->second.push(t, value);
+}
+
+bool Recorder::has(const std::string& name) const {
+  return series_.count(name) != 0;
+}
+
+const TimeSeries& Recorder::series(const std::string& name) const {
+  const auto it = series_.find(name);
+  GNFV_REQUIRE(it != series_.end(), "Recorder: unknown series");
+  return it->second;
+}
+
+std::vector<std::string> Recorder::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, unused] : series_) names.push_back(name);
+  return names;
+}
+
+void Recorder::to_csv(const std::string& path) const {
+  GNFV_REQUIRE(!series_.empty(), "Recorder::to_csv: nothing recorded");
+  // Union of all timestamps.
+  std::set<double> times;
+  for (const auto& [name, ts] : series_)
+    times.insert(ts.times().begin(), ts.times().end());
+
+  std::vector<std::string> header{"t"};
+  for (const auto& [name, unused] : series_) header.push_back(name);
+
+  CsvWriter csv(path, header);
+  for (const double t : times) {
+    std::vector<double> row{t};
+    for (const auto& [name, ts] : series_) row.push_back(ts.interpolate(t));
+    csv.append(row);
+  }
+  csv.flush();
+}
+
+std::string Recorder::summary_table() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, ts] : series_) {
+    if (ts.empty()) continue;
+    rows.push_back({name, format("%zu", ts.size()), format_double(ts.min()),
+                    format_double(ts.mean()), format_double(ts.max()),
+                    format_double(ts.back())});
+  }
+  return render_table({"series", "n", "min", "mean", "max", "last"}, rows);
+}
+
+}  // namespace greennfv::telemetry

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timeseries.hpp"
+
+/// \file recorder.hpp
+/// Experiment recorder: a bag of named time series (throughput, energy,
+/// knob trajectories...) with CSV export. Every training figure in the
+/// paper (Figs 6-8, 10, 11) is a set of these series.
+
+namespace greennfv::telemetry {
+
+class Recorder {
+ public:
+  /// Appends a sample to the named series (creates it on first use).
+  void record(const std::string& series, double t, double value);
+
+  [[nodiscard]] bool has(const std::string& series) const;
+  [[nodiscard]] const TimeSeries& series(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] std::size_t num_series() const { return series_.size(); }
+
+  /// Writes all series to one wide CSV: column 0 is the union of sample
+  /// times, remaining columns hold each series interpolated at those times.
+  void to_csv(const std::string& path) const;
+
+  /// Renders a text summary table (name, count, min, mean, max, last) —
+  /// what the bench binaries print under each figure.
+  [[nodiscard]] std::string summary_table() const;
+
+  void clear() { series_.clear(); }
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace greennfv::telemetry

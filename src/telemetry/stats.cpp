@@ -1,0 +1,95 @@
+#include "telemetry/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace greennfv::telemetry {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  GNFV_REQUIRE(count_ > 0, "RunningStats::mean on empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  GNFV_REQUIRE(count_ > 0, "RunningStats::min on empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  GNFV_REQUIRE(count_ > 0, "RunningStats::max on empty accumulator");
+  return max_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  GNFV_REQUIRE(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha out of (0,1]");
+}
+
+double Ewma::update(double x) {
+  if (!primed_) {
+    value_ = x;
+    primed_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+  return value_;
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  primed_ = false;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  GNFV_REQUIRE(!samples.empty(), "quantile: empty sample set");
+  GNFV_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+}  // namespace greennfv::telemetry

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file stats.hpp
+/// Streaming statistics used by the telemetry recorder and the learner's
+/// diagnostics: Welford running moments, EWMA smoothing, and quantiles.
+
+namespace greennfv::telemetry {
+
+/// Welford's online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  void reset();
+
+  /// Merges another accumulator (parallel reduction — Chan et al.).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// `alpha` is the new-sample weight in (0, 1].
+  explicit Ewma(double alpha);
+
+  double update(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Quantile of a sample set (linear interpolation between order statistics).
+/// `q` in [0,1]. The input is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace greennfv::telemetry

@@ -1,0 +1,137 @@
+#include "traffic/arrival.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace greennfv::traffic {
+
+// --- CBR -----------------------------------------------------------------
+
+CbrArrival::CbrArrival(double rate_pps) : rate_pps_(rate_pps) {
+  GNFV_REQUIRE(rate_pps >= 0.0, "CBR rate must be non-negative");
+}
+
+double CbrArrival::rate_in_window(double dt, Rng& rng) {
+  (void)dt;
+  (void)rng;
+  return rate_pps_;
+}
+
+std::unique_ptr<ArrivalProcess> CbrArrival::clone() const {
+  return std::make_unique<CbrArrival>(*this);
+}
+
+// --- Poisson ---------------------------------------------------------------
+
+PoissonArrival::PoissonArrival(double mean_rate_pps)
+    : rate_pps_(mean_rate_pps) {
+  GNFV_REQUIRE(mean_rate_pps >= 0.0, "Poisson rate must be non-negative");
+}
+
+double PoissonArrival::rate_in_window(double dt, Rng& rng) {
+  GNFV_REQUIRE(dt > 0.0, "window must be positive");
+  const double expected = rate_pps_ * dt;
+  // For large windows the count concentrates; sample exactly either way.
+  const auto count = rng.poisson(expected);
+  return static_cast<double>(count) / dt;
+}
+
+std::unique_ptr<ArrivalProcess> PoissonArrival::clone() const {
+  return std::make_unique<PoissonArrival>(*this);
+}
+
+// --- MMPP ------------------------------------------------------------------
+
+MmppArrival::MmppArrival(double mean_rate_pps, double peak_to_mean,
+                         double dwell_s) : mean_pps_(mean_rate_pps) {
+  GNFV_REQUIRE(mean_rate_pps >= 0.0, "MMPP mean rate must be non-negative");
+  GNFV_REQUIRE(peak_to_mean >= 1.0, "MMPP peak/mean must be >= 1");
+  GNFV_REQUIRE(dwell_s > 0.0, "MMPP dwell must be positive");
+  high_pps_ = peak_to_mean * mean_rate_pps;
+  low_pps_ = std::max(0.0, 2.0 * mean_rate_pps - high_pps_);
+  // Time fraction in the high state that preserves the long-run mean:
+  // f*high + (1-f)*low = mean. Symmetric (f=1/2) when the low state is
+  // positive; asymmetric once it clamps at zero (peak/mean > 2).
+  high_fraction_ =
+      high_pps_ > low_pps_
+          ? (mean_rate_pps - low_pps_) / (high_pps_ - low_pps_)
+          : 0.5;
+  dwell_high_s_ = 2.0 * dwell_s * high_fraction_;
+  dwell_low_s_ = 2.0 * dwell_s * (1.0 - high_fraction_);
+}
+
+double MmppArrival::rate_in_window(double dt, Rng& rng) {
+  GNFV_REQUIRE(dt > 0.0, "window must be positive");
+  if (!initialized_) {
+    in_high_ = rng.bernoulli(high_fraction_);
+    time_to_switch_s_ =
+        rng.exponential(1.0 / (in_high_ ? dwell_high_s_ : dwell_low_s_));
+    initialized_ = true;
+  }
+  // Integrate the phase rate across the window, honouring state switches
+  // that land inside it.
+  double remaining = dt;
+  double accum = 0.0;
+  while (remaining > 0.0) {
+    const double span = std::min(remaining, time_to_switch_s_);
+    accum += (in_high_ ? high_pps_ : low_pps_) * span;
+    remaining -= span;
+    time_to_switch_s_ -= span;
+    if (time_to_switch_s_ <= 0.0) {
+      in_high_ = !in_high_;
+      time_to_switch_s_ =
+          rng.exponential(1.0 / (in_high_ ? dwell_high_s_ : dwell_low_s_));
+    }
+  }
+  return accum / dt;
+}
+
+std::unique_ptr<ArrivalProcess> MmppArrival::clone() const {
+  return std::make_unique<MmppArrival>(*this);
+}
+
+// --- OnOff -----------------------------------------------------------------
+
+OnOffArrival::OnOffArrival(double mean_rate_pps, double peak_to_mean,
+                           double dwell_s)
+    : mean_pps_(mean_rate_pps), dwell_s_(dwell_s) {
+  GNFV_REQUIRE(mean_rate_pps >= 0.0, "OnOff mean rate must be non-negative");
+  GNFV_REQUIRE(peak_to_mean >= 1.0, "OnOff peak/mean must be >= 1");
+  GNFV_REQUIRE(dwell_s > 0.0, "OnOff dwell must be positive");
+  on_pps_ = peak_to_mean * mean_rate_pps;
+  on_fraction_ = 1.0 / peak_to_mean;
+}
+
+double OnOffArrival::rate_in_window(double dt, Rng& rng) {
+  GNFV_REQUIRE(dt > 0.0, "window must be positive");
+  if (!initialized_) {
+    on_ = rng.bernoulli(on_fraction_);
+    initialized_ = true;
+    time_to_switch_s_ = rng.exponential(
+        1.0 / (on_ ? dwell_s_ * on_fraction_
+                   : dwell_s_ * (1.0 - on_fraction_)));
+  }
+  double remaining = dt;
+  double accum = 0.0;
+  while (remaining > 0.0) {
+    const double span = std::min(remaining, time_to_switch_s_);
+    accum += (on_ ? on_pps_ : 0.0) * span;
+    remaining -= span;
+    time_to_switch_s_ -= span;
+    if (time_to_switch_s_ <= 0.0) {
+      on_ = !on_;
+      // Dwell times chosen so the duty cycle matches on_fraction_.
+      time_to_switch_s_ = rng.exponential(
+          1.0 / (on_ ? dwell_s_ * on_fraction_
+                     : dwell_s_ * (1.0 - on_fraction_)));
+    }
+  }
+  return accum / dt;
+}
+
+std::unique_ptr<ArrivalProcess> OnOffArrival::clone() const {
+  return std::make_unique<OnOffArrival>(*this);
+}
+
+}  // namespace greennfv::traffic

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+/// \file arrival.hpp
+/// Packet arrival processes. The paper's traffic generator (MoonGen) drives
+/// line-rate constant streams; real NF chains additionally see bursty flows,
+/// and GreenNFV's whole premise is reacting to "packet arrival rates and
+/// traffic patterns". Four processes cover the space:
+///
+///   * CBR     — constant bit rate (MoonGen line-rate mode)
+///   * Poisson — memoryless arrivals at a mean rate
+///   * MMPP    — 2-state Markov-modulated Poisson (bursty: hi/lo phases)
+///   * OnOff   — MMPP with a silent low state (classic voice/video model)
+///
+/// Each process reports the *average arrival rate over a simulation window*
+/// and advances its internal phase state, which is what the windowed
+/// analytic engine consumes.
+
+namespace greennfv::traffic {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Long-run mean rate in packets/second.
+  [[nodiscard]] virtual double mean_rate_pps() const = 0;
+
+  /// Average rate over the window [t, t+dt); advances internal state.
+  [[nodiscard]] virtual double rate_in_window(double dt, Rng& rng) = 0;
+
+  /// Deep copy (each traffic generator owns independent process state).
+  [[nodiscard]] virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
+};
+
+/// Constant bit rate: exactly `rate_pps` in every window.
+class CbrArrival final : public ArrivalProcess {
+ public:
+  explicit CbrArrival(double rate_pps);
+  [[nodiscard]] double mean_rate_pps() const override { return rate_pps_; }
+  [[nodiscard]] double rate_in_window(double dt, Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double rate_pps_;
+};
+
+/// Poisson arrivals: the window rate is a Poisson count divided by dt.
+class PoissonArrival final : public ArrivalProcess {
+ public:
+  explicit PoissonArrival(double mean_rate_pps);
+  [[nodiscard]] double mean_rate_pps() const override { return rate_pps_; }
+  [[nodiscard]] double rate_in_window(double dt, Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double rate_pps_;
+};
+
+/// Two-state Markov-modulated Poisson process. State dwell times are
+/// exponential; the high state runs at `peak_to_mean` times the mean-state
+/// balance point so the long-run mean equals `mean_rate_pps`.
+class MmppArrival final : public ArrivalProcess {
+ public:
+  MmppArrival(double mean_rate_pps, double peak_to_mean, double dwell_s);
+  [[nodiscard]] double mean_rate_pps() const override { return mean_pps_; }
+  [[nodiscard]] double rate_in_window(double dt, Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+  [[nodiscard]] double high_rate_pps() const { return high_pps_; }
+  [[nodiscard]] double low_rate_pps() const { return low_pps_; }
+
+ private:
+  double mean_pps_;
+  double high_pps_;
+  double low_pps_;
+  /// Mean dwell per state; asymmetric when the low state clamps at zero so
+  /// the long-run mean stays exact.
+  double dwell_high_s_;
+  double dwell_low_s_;
+  double high_fraction_;
+  bool in_high_ = false;
+  double time_to_switch_s_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// On/off source: bursts at `peak_to_mean * mean` for a fraction
+/// 1/peak_to_mean of the time, silent otherwise.
+class OnOffArrival final : public ArrivalProcess {
+ public:
+  OnOffArrival(double mean_rate_pps, double peak_to_mean, double dwell_s);
+  [[nodiscard]] double mean_rate_pps() const override { return mean_pps_; }
+  [[nodiscard]] double rate_in_window(double dt, Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double mean_pps_;
+  double on_pps_;
+  double on_fraction_;
+  double dwell_s_;
+  bool on_ = true;
+  double time_to_switch_s_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace greennfv::traffic

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "traffic/arrival.hpp"
+
+/// \file flow.hpp
+/// Flow descriptors: what MoonGen would be scripted to send. Packet sizes
+/// span the paper's 64-1518 byte range; protocols are UDP (open-loop, keeps
+/// blasting under loss) and TCP (closed-loop, backs off on drops via AIMD).
+
+namespace greennfv::traffic {
+
+enum class Protocol { kUdp, kTcp };
+
+[[nodiscard]] std::string to_string(Protocol proto);
+
+enum class ArrivalKind { kCbr, kPoisson, kMmpp, kOnOff };
+
+[[nodiscard]] std::string to_string(ArrivalKind kind);
+
+struct FlowSpec {
+  int id = 0;
+  Protocol proto = Protocol::kUdp;
+  ArrivalKind arrival = ArrivalKind::kCbr;
+  double mean_rate_pps = 1e6;
+  std::uint32_t pkt_bytes = 1024;
+  /// Burst shape for MMPP/OnOff.
+  double peak_to_mean = 3.0;
+  double dwell_s = 0.5;
+  /// Which service chain the flow traverses.
+  int chain_index = 0;
+
+  [[nodiscard]] double mean_rate_gbps() const {
+    return mean_rate_pps * pkt_bytes * 8.0 / 1e9;
+  }
+};
+
+/// Builds the arrival process for a flow spec.
+[[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrival(
+    const FlowSpec& spec);
+
+/// Validates a flow spec; throws std::invalid_argument with a message
+/// naming the offending field.
+void validate(const FlowSpec& spec);
+
+}  // namespace greennfv::traffic

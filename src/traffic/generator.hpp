@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "traffic/flow.hpp"
+
+/// \file generator.hpp
+/// The MoonGen stand-in: owns a set of flows and produces per-window offered
+/// loads. UDP flows are open-loop; TCP flows run a window-granularity AIMD
+/// loop that backs off on observed drops — feed results back through
+/// `report_feedback` to close the loop.
+
+namespace greennfv::traffic {
+
+/// Offered load for one simulation window.
+struct WindowLoad {
+  /// Per-flow offered rate (indexed like the generator's flow list).
+  std::vector<double> per_flow_pps;
+  double total_pps = 0.0;
+
+  [[nodiscard]] double flow_pps(std::size_t i) const {
+    return per_flow_pps.at(i);
+  }
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(std::vector<FlowSpec> flows, std::uint64_t seed);
+
+  /// Advances virtual time by `dt` and returns the offered load in that
+  /// window.
+  [[nodiscard]] WindowLoad next_window(double dt);
+
+  /// Closes the TCP loop: reports what one flow achieved last window.
+  /// No-op for UDP flows.
+  void report_feedback(std::size_t flow_index, double goodput_pps,
+                       double drop_pps);
+
+  [[nodiscard]] const std::vector<FlowSpec>& flows() const { return flows_; }
+  [[nodiscard]] double time_s() const { return time_s_; }
+
+  /// Aggregate mean offered rate in pps (long-run).
+  [[nodiscard]] double total_mean_pps() const;
+
+  /// Resets time and all per-flow state (TCP windows, MMPP phases).
+  void reset(std::uint64_t seed);
+
+  /// Re-steers a flow onto another chain (SDN flow scheduling; the paper's
+  /// §6 envisions the SDN and NF controllers updating each other). Takes
+  /// effect from the next window.
+  void steer_flow(std::size_t flow_index, int chain_index);
+
+ private:
+  std::vector<FlowSpec> flows_;
+  std::vector<std::unique_ptr<ArrivalProcess>> arrivals_;
+  /// Per-flow AIMD multiplier in (0, 1]; 1 for UDP.
+  std::vector<double> tcp_window_;
+  Rng rng_;
+  double time_s_ = 0.0;
+
+  static constexpr double kAimdDecrease = 0.7;
+  static constexpr double kAimdIncreaseStep = 0.08;
+};
+
+/// The evaluation workload of §5: `n` flows with mixed packet sizes and
+/// arrival patterns, spread round-robin over `num_chains` chains, scaled so
+/// the aggregate offered load is `total_gbps`.
+[[nodiscard]] std::vector<FlowSpec> make_eval_flows(int n, int num_chains,
+                                                    double total_gbps,
+                                                    std::uint64_t seed);
+
+/// A single line-rate CBR flow of the given frame size (the micro-benchmark
+/// input: "line rate traffic with a large packet size (1518 Bytes)").
+[[nodiscard]] FlowSpec line_rate_flow(std::uint32_t pkt_bytes,
+                                      double line_rate_gbps = 10.0,
+                                      int chain_index = 0);
+
+}  // namespace greennfv::traffic

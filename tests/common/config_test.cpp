@@ -1,0 +1,53 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv {
+namespace {
+
+TEST(Config, ParsesArgs) {
+  const char* argv[] = {"prog", "episodes=100", "seed=7", "verbose"};
+  const Config c = Config::from_args(4, argv);
+  EXPECT_EQ(c.get_int("episodes", 0), 100);
+  EXPECT_EQ(c.get_int("seed", 0), 7);
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, ParsesString) {
+  const Config c = Config::from_string("a=1.5, b=x\tc=true\nd=0");
+  EXPECT_DOUBLE_EQ(c.get_double("a", 0.0), 1.5);
+  EXPECT_EQ(c.get_string("b", ""), "x");
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, FallbacksApply) {
+  const Config c = Config::from_string("");
+  EXPECT_EQ(c.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(c.get_string("s", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("b", true));
+}
+
+TEST(Config, LaterKeysOverride) {
+  const Config c = Config::from_string("k=1 k=2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+TEST(Config, ThrowsOnMalformedNumbers) {
+  const Config c = Config::from_string("n=abc x=1.2.3 b=maybe");
+  EXPECT_THROW((void)c.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, WhitespaceTrimmed) {
+  // Spaces separate tokens, so values must hug their '='; surrounding
+  // whitespace and tabs around whole tokens are stripped.
+  const Config c = Config::from_string(" \t key=value \n");
+  EXPECT_EQ(c.get_string("key", ""), "value");
+}
+
+}  // namespace
+}  // namespace greennfv

@@ -1,0 +1,68 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::math_util {
+namespace {
+
+TEST(MathUtil, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, LerpEndpoints) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(MathUtil, RemapClampsOutside) {
+  EXPECT_DOUBLE_EQ(remap(15.0, 0.0, 10.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(remap(-5.0, 0.0, 10.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(remap(5.0, 0.0, 10.0, -1.0, 1.0), 0.0);
+}
+
+TEST(MathUtil, SigmoidSymmetry) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(3.0) + sigmoid(-3.0), 1.0, 1e-12);
+}
+
+TEST(MathUtil, SoftplusLimits) {
+  EXPECT_NEAR(softplus(-40.0), 0.0, 1e-12);
+  EXPECT_NEAR(softplus(40.0), 40.0, 1e-9);
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+}
+
+class SaturatingCurve : public ::testing::TestWithParam<double> {};
+
+TEST_P(SaturatingCurve, MonotoneAndBounded) {
+  const double k = GetParam();
+  double prev = -1.0;
+  for (double x = 0.0; x <= 100.0; x += 0.5) {
+    const double y = saturating(x, k);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1.0);
+    EXPECT_GE(y, prev);  // monotone non-decreasing
+    prev = y;
+  }
+  // Half-saturation property: f(k) = 0.5.
+  EXPECT_NEAR(saturating(k, k), 0.5, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfPoints, SaturatingCurve,
+                         ::testing::Values(0.1, 1.0, 4.0, 25.0));
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+}
+
+TEST(MathUtil, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(11.0, 10.0), 0.1);
+  EXPECT_GT(rel_diff(1.0, 0.0), 1e9);  // guarded by eps
+}
+
+}  // namespace
+}  // namespace greennfv::math_util

@@ -1,0 +1,69 @@
+#include "common/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv {
+namespace {
+
+TimeSeries ramp(int n) {
+  TimeSeries ts("ramp");
+  for (int i = 0; i < n; ++i) ts.push(i, 2.0 * i);
+  return ts;
+}
+
+TEST(TimeSeries, BasicStats) {
+  const TimeSeries ts = ramp(5);  // values 0,2,4,6,8
+  EXPECT_EQ(ts.size(), 5u);
+  EXPECT_DOUBLE_EQ(ts.front(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.back(), 8.0);
+  EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 8.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 4.0);
+}
+
+TEST(TimeSeries, TailMean) {
+  const TimeSeries ts = ramp(10);
+  EXPECT_DOUBLE_EQ(ts.tail_mean(2), (16.0 + 18.0) / 2.0);
+  EXPECT_DOUBLE_EQ(ts.tail_mean(100), ts.mean());
+}
+
+TEST(TimeSeries, InterpolateInside) {
+  TimeSeries ts("t");
+  ts.push(0.0, 10.0);
+  ts.push(10.0, 30.0);
+  EXPECT_DOUBLE_EQ(ts.interpolate(5.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.interpolate(-1.0), 10.0);  // clamped
+  EXPECT_DOUBLE_EQ(ts.interpolate(99.0), 30.0);  // clamped
+}
+
+TEST(TimeSeries, DownsampleShrinksAndPreservesMean) {
+  const TimeSeries ts = ramp(1000);
+  const TimeSeries small = ts.downsample(10);
+  EXPECT_EQ(small.size(), 10u);
+  EXPECT_NEAR(small.mean(), ts.mean(), 1e-9);
+  EXPECT_EQ(small.name(), "ramp");
+}
+
+TEST(TimeSeries, DownsampleNoOpWhenSmall) {
+  const TimeSeries ts = ramp(5);
+  const TimeSeries same = ts.downsample(10);
+  EXPECT_EQ(same.size(), 5u);
+}
+
+class DownsampleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DownsampleSizes, ExactBucketCount) {
+  const TimeSeries ts = ramp(997);  // prime length stresses bucketing
+  const auto k = GetParam();
+  const TimeSeries d = ts.downsample(k);
+  EXPECT_EQ(d.size(), std::min<std::size_t>(k, 997));
+  // Bucketed means must stay within the original range.
+  EXPECT_GE(d.min(), ts.min());
+  EXPECT_LE(d.max(), ts.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DownsampleSizes,
+                         ::testing::Values(1, 2, 3, 10, 100, 996, 997, 2000));
+
+}  // namespace
+}  // namespace greennfv

@@ -1,0 +1,120 @@
+#include "core/ee_pstate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::core {
+namespace {
+
+hwmodel::NodeSpec spec() { return hwmodel::NodeSpec{}; }
+
+TEST(DesPredictor, TracksConstantSeries) {
+  DesPredictor des;
+  for (int i = 0; i < 20; ++i) (void)des.update(100.0);
+  EXPECT_NEAR(des.forecast(), 100.0, 1e-6);
+}
+
+TEST(DesPredictor, ExtrapolatesLinearTrend) {
+  DesPredictor des(0.5, 0.5);
+  double forecast = 0.0;
+  for (int i = 0; i < 60; ++i) forecast = des.update(10.0 * i);
+  // Next value would be 600; a trend-following forecast must overshoot the
+  // last observation (590).
+  EXPECT_GT(forecast, 590.0);
+  EXPECT_NEAR(forecast, 600.0, 15.0);
+}
+
+TEST(DesPredictor, ResetClears) {
+  DesPredictor des;
+  (void)des.update(50.0);
+  EXPECT_TRUE(des.primed());
+  des.reset();
+  EXPECT_FALSE(des.primed());
+  EXPECT_DOUBLE_EQ(des.forecast(), 0.0);
+}
+
+TEST(EePstate, PstateBandsMonotone) {
+  EePstateScheduler sched(spec(), EePstateConfig{});
+  int prev = -1;
+  for (double load = 0.0; load <= 1.0; load += 0.05) {
+    const int p = sched.pstate_for_load(load);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_EQ(sched.pstate_for_load(0.0), 0);
+  EXPECT_EQ(sched.pstate_for_load(1.0), 9);  // top of the 10-step ladder
+}
+
+class EePstateThresholds : public ::testing::TestWithParam<double> {};
+
+TEST_P(EePstateThresholds, BandBoundariesRespected) {
+  EePstateScheduler sched(spec(), EePstateConfig{});
+  const double threshold = GetParam();
+  // Just below a threshold must select a lower or equal P-state than just
+  // above it.
+  EXPECT_LE(sched.pstate_for_load(threshold - 0.01),
+            sched.pstate_for_load(threshold + 0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, EePstateThresholds,
+                         ::testing::Values(0.25, 0.5, 0.75));
+
+TEST(EePstate, HighLoadSelectsHighFrequency) {
+  EePstateScheduler sched(spec(), EePstateConfig{});
+  std::vector<ChainObservation> obs(1);
+  std::vector<nfvsim::ChainKnobs> current(1);
+  // Prime the peak with a high-rate window.
+  obs[0].arrival_pps = 10e6;
+  auto knobs = sched.decide(obs, current);
+  // Sustained high load -> forecast near peak -> top band.
+  knobs = sched.decide(obs, knobs);
+  EXPECT_NEAR(knobs[0].freq_ghz, spec().fmax_ghz, 0.11);
+}
+
+TEST(EePstate, LoadDropLowersFrequency) {
+  EePstateScheduler sched(spec(), EePstateConfig{});
+  std::vector<ChainObservation> obs(1);
+  std::vector<nfvsim::ChainKnobs> current(1);
+  obs[0].arrival_pps = 10e6;
+  (void)sched.decide(obs, current);
+  (void)sched.decide(obs, current);
+  // Collapse the load; after a few windows the DES forecast follows.
+  obs[0].arrival_pps = 0.2e6;
+  nfvsim::ChainKnobs last;
+  for (int i = 0; i < 6; ++i) last = sched.decide(obs, current)[0];
+  EXPECT_LT(last.freq_ghz, spec().fmax_ghz - 0.2);
+}
+
+TEST(EePstate, LeavesOtherKnobsAtDefaults) {
+  EePstateScheduler sched(spec(), EePstateConfig{});
+  std::vector<ChainObservation> obs(1);
+  obs[0].arrival_pps = 1e6;
+  const auto knobs = sched.decide(obs, std::vector<nfvsim::ChainKnobs>(1));
+  const auto defaults = nfvsim::baseline_knobs(spec());
+  EXPECT_EQ(knobs[0].batch, 3u);  // stock small burst, never adapted
+  EXPECT_EQ(knobs[0].dma_bytes, defaults.dma_bytes);
+  EXPECT_NEAR(knobs[0].cores, 3.0, 1e-9);
+  EXPECT_FALSE(sched.wants_cat());  // no CAT management
+}
+
+TEST(EePstate, ResetForgetsPredictors) {
+  EePstateScheduler sched(spec(), EePstateConfig{});
+  std::vector<ChainObservation> obs(1);
+  obs[0].arrival_pps = 10e6;
+  (void)sched.decide(obs, std::vector<nfvsim::ChainKnobs>(1));
+  sched.reset();
+  obs[0].arrival_pps = 0.1e6;
+  // Fresh predictor: peak re-learns from the small value -> full load
+  // fraction -> high frequency again.
+  const auto knobs =
+      sched.decide(obs, std::vector<nfvsim::ChainKnobs>(1));
+  EXPECT_NEAR(knobs[0].freq_ghz, spec().fmax_ghz, 0.11);
+}
+
+TEST(EePstate, RejectsUnsortedThresholds) {
+  EePstateConfig config;
+  config.thresholds = {0.5, 0.25};
+  EXPECT_DEATH(EePstateScheduler(spec(), config), "ascend");
+}
+
+}  // namespace
+}  // namespace greennfv::core

@@ -1,0 +1,109 @@
+#include "core/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::core {
+namespace {
+
+hwmodel::NodeSpec spec() { return hwmodel::NodeSpec{}; }
+
+std::vector<ChainObservation> obs_with_rates(std::vector<double> pps) {
+  std::vector<ChainObservation> obs(pps.size());
+  for (std::size_t i = 0; i < pps.size(); ++i) {
+    obs[i].arrival_pps = pps[i];
+    obs[i].throughput_gbps = 2.0;
+    obs[i].energy_j = 1000.0;
+  }
+  return obs;
+}
+
+TEST(Heuristic, InitialAllocationFollowsAlgorithm1) {
+  HeuristicScheduler heuristic(spec(), HeuristicConfig{});
+  const auto obs = obs_with_rates({9e6, 1e6});
+  const std::vector<nfvsim::ChainKnobs> current(2);
+  const auto knobs = heuristic.decide(obs, current);
+  ASSERT_EQ(knobs.size(), 2u);
+  // Lines 1-2: cores allocated evenly, one per NF (3-NF standard chains).
+  EXPECT_NEAR(knobs[0].cores, 3.0, 1e-9);
+  // Line 3: median frequency of the 1.2-2.1 ladder.
+  EXPECT_NEAR(knobs[0].freq_ghz, 1.7, 0.11);
+  // Line 4: batch = 2.
+  EXPECT_EQ(knobs[0].batch, 2u);
+  // Line 5: LLC proportional to flow rate (90/10).
+  EXPECT_NEAR(knobs[0].llc_fraction / (knobs[0].llc_fraction +
+                                       knobs[1].llc_fraction),
+              0.9, 0.02);
+}
+
+TEST(Heuristic, LowEfficiencyStepsFrequencyDown) {
+  HeuristicConfig config;
+  config.threshold1 = 10.0;  // efficiency always "too low"
+  config.threshold2 = 100.0;
+  HeuristicScheduler heuristic(spec(), config);
+  const auto obs = obs_with_rates({1e6});
+  std::vector<nfvsim::ChainKnobs> current(1);
+  auto knobs = heuristic.decide(obs, current);  // initial
+  const double f0 = knobs[0].freq_ghz;
+  knobs = heuristic.decide(obs, knobs);
+  EXPECT_LT(knobs[0].freq_ghz, f0);  // line 10
+  EXPECT_EQ(knobs[0].batch, 3u);     // line 14: batch += 1
+}
+
+TEST(Heuristic, HighEfficiencyStepsFrequencyUp) {
+  HeuristicConfig config;
+  config.threshold1 = 0.001;  // efficiency always "good"
+  config.threshold2 = 0.001;
+  HeuristicScheduler heuristic(spec(), config);
+  const auto obs = obs_with_rates({1e6});
+  std::vector<nfvsim::ChainKnobs> current(1);
+  auto knobs = heuristic.decide(obs, current);
+  const double f0 = knobs[0].freq_ghz;
+  const auto b0 = knobs[0].batch;
+  knobs = heuristic.decide(obs, knobs);
+  EXPECT_GT(knobs[0].freq_ghz, f0);      // line 12
+  EXPECT_EQ(knobs[0].batch, b0 - 1u);    // line 16
+}
+
+TEST(Heuristic, FrequencyClampsAtLadderEnds) {
+  HeuristicConfig config;
+  config.threshold1 = 1e9;  // always step down
+  HeuristicScheduler heuristic(spec(), config);
+  const auto obs = obs_with_rates({1e6});
+  std::vector<nfvsim::ChainKnobs> knobs(1);
+  knobs = heuristic.decide(obs, knobs);
+  for (int i = 0; i < 30; ++i) knobs = heuristic.decide(obs, knobs);
+  EXPECT_NEAR(knobs[0].freq_ghz, spec().fmin_ghz, 1e-9);
+}
+
+TEST(Heuristic, BatchNeverBelowMinimum) {
+  HeuristicConfig config;
+  config.threshold1 = 0.0;
+  config.threshold2 = 0.0;  // always shrink batch
+  HeuristicScheduler heuristic(spec(), config);
+  const auto obs = obs_with_rates({1e6});
+  std::vector<nfvsim::ChainKnobs> knobs(1);
+  knobs = heuristic.decide(obs, knobs);
+  for (int i = 0; i < 10; ++i) knobs = heuristic.decide(obs, knobs);
+  EXPECT_GE(knobs[0].batch, nfvsim::ChainKnobs::kMinBatch);
+}
+
+TEST(Heuristic, ResetForgetsState) {
+  HeuristicScheduler heuristic(spec(), HeuristicConfig{});
+  const auto obs = obs_with_rates({1e6});
+  std::vector<nfvsim::ChainKnobs> knobs(1);
+  knobs = heuristic.decide(obs, knobs);
+  knobs = heuristic.decide(obs, knobs);
+  heuristic.reset();
+  const auto fresh = heuristic.decide(obs, knobs);
+  EXPECT_EQ(fresh[0].batch, 2u);  // back to the initial allocation
+}
+
+TEST(Heuristic, UsesCatAndHybrid) {
+  HeuristicScheduler heuristic(spec(), HeuristicConfig{});
+  EXPECT_TRUE(heuristic.wants_cat());
+  EXPECT_EQ(heuristic.sched_mode(), nfvsim::SchedMode::kHybrid);
+  EXPECT_EQ(heuristic.name(), "Heuristics");
+}
+
+}  // namespace
+}  // namespace greennfv::core

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/ee_pstate.hpp"
+#include "core/greennfv.hpp"
+#include "core/heuristic.hpp"
+#include "core/rl_schedulers.hpp"
+
+/// Property tests across every Scheduler implementation: whatever
+/// observations arrive, a scheduler must emit legal knob settings (in
+/// range, on the DVFS ladder after controller snapping) for every chain —
+/// the platform contract that lets NfController apply them blindly.
+
+namespace greennfv::core {
+namespace {
+
+hwmodel::NodeSpec spec() { return hwmodel::NodeSpec{}; }
+
+std::vector<ChainObservation> random_obs(Rng& rng, std::size_t chains) {
+  std::vector<ChainObservation> obs(chains);
+  for (auto& o : obs) {
+    o.throughput_gbps = rng.uniform(0.0, 12.0);
+    o.energy_j = rng.uniform(0.0, 4000.0);
+    o.busy_cores = rng.uniform(0.0, 4.0);
+    o.arrival_pps = rng.uniform(0.0, 16e6);
+  }
+  return obs;
+}
+
+void expect_legal(const std::vector<nfvsim::ChainKnobs>& knobs,
+                  std::size_t chains) {
+  ASSERT_EQ(knobs.size(), chains);
+  for (const auto& k : knobs) {
+    EXPECT_GE(k.cores, nfvsim::ChainKnobs::kMinCores);
+    EXPECT_LE(k.cores, nfvsim::ChainKnobs::kMaxCores);
+    EXPECT_GE(k.freq_ghz, spec().fmin_ghz - 1e-9);
+    EXPECT_LE(k.freq_ghz, spec().fmax_ghz + 1e-9);
+    EXPECT_GE(k.llc_fraction, nfvsim::ChainKnobs::kMinLlcFraction - 1e-12);
+    EXPECT_LE(k.llc_fraction, nfvsim::ChainKnobs::kMaxLlcFraction + 1e-12);
+    EXPECT_GE(k.dma_bytes, nfvsim::ChainKnobs::kMinDmaBytes);
+    EXPECT_LE(k.dma_bytes,
+              units::mib_to_bytes(spec().max_dma_buffer_mib));
+    EXPECT_GE(k.batch, nfvsim::ChainKnobs::kMinBatch);
+    EXPECT_LE(k.batch, nfvsim::ChainKnobs::kMaxBatch);
+  }
+}
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, AllSchedulersEmitLegalKnobs) {
+  Rng rng(GetParam());
+  constexpr std::size_t kChains = 3;
+
+  BaselineScheduler baseline{spec()};
+  HeuristicScheduler heuristic{spec(), HeuristicConfig{}};
+  EePstateScheduler ee_pstate{spec(), EePstateConfig{}};
+  // Untrained agents still must emit legal actions.
+  rl::DdpgConfig ddpg_config;
+  ddpg_config.state_dim = 4 * kChains;
+  ddpg_config.action_dim = 5 * kChains;
+  auto agent = std::make_shared<rl::DdpgAgent>(ddpg_config, GetParam());
+  DdpgScheduler ddpg(agent, spec(), kChains, 10.0, "ddpg");
+  rl::QLearningConfig qconfig;
+  qconfig.state_dim = 4;
+  qconfig.action_dim = 5;
+  auto qagent = std::make_shared<rl::QLearningAgent>(qconfig, GetParam());
+  QLearningScheduler qlearning(qagent, spec(), kChains, 10.0);
+
+  std::vector<nfvsim::ChainKnobs> current(
+      kChains, nfvsim::baseline_knobs(spec()));
+  for (int round = 0; round < 20; ++round) {
+    const auto obs = random_obs(rng, kChains);
+    for (Scheduler* s : std::initializer_list<Scheduler*>{
+             &baseline, &heuristic, &ee_pstate, &ddpg, &qlearning}) {
+      const auto knobs = s->decide(obs, current);
+      expect_legal(knobs, kChains);
+    }
+    current = heuristic.decide(obs, current);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(1, 17, 333, 4242));
+
+TEST(SchedulerContract, NamesAreStable) {
+  BaselineScheduler baseline{spec()};
+  HeuristicScheduler heuristic{spec(), HeuristicConfig{}};
+  EePstateScheduler ee_pstate{spec(), EePstateConfig{}};
+  EXPECT_EQ(baseline.name(), "Baseline");
+  EXPECT_EQ(heuristic.name(), "Heuristics");
+  EXPECT_EQ(ee_pstate.name(), "EE-Pstate");
+}
+
+TEST(SchedulerContract, CatAndModePreferences) {
+  BaselineScheduler baseline{spec()};
+  HeuristicScheduler heuristic{spec(), HeuristicConfig{}};
+  EePstateScheduler ee_pstate{spec(), EePstateConfig{}};
+  EXPECT_FALSE(baseline.wants_cat());
+  EXPECT_EQ(baseline.sched_mode(), nfvsim::SchedMode::kPoll);
+  EXPECT_TRUE(heuristic.wants_cat());
+  EXPECT_FALSE(ee_pstate.wants_cat());
+  EXPECT_EQ(ee_pstate.sched_mode(), nfvsim::SchedMode::kHybrid);
+}
+
+TEST(QLearningTiedCodec, ExpandReplicates) {
+  const std::vector<double> tied = {0.1, -0.2, 0.3, -0.4, 0.5};
+  const auto full = QLearningScheduler::expand_action(tied, 3);
+  ASSERT_EQ(full.size(), 15u);
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t k = 0; k < 5; ++k)
+      EXPECT_DOUBLE_EQ(full[5 * c + k], tied[k]);
+}
+
+TEST(QLearningTiedCodec, AggregateAverages) {
+  std::vector<ChainObservation> obs(2);
+  obs[0] = {2.0, 1000.0, 1.0, 1e6};
+  obs[1] = {6.0, 3000.0, 3.0, 3e6};
+  const StateCodec codec(spec(), 2, 10.0);
+  const auto agg = QLearningScheduler::aggregate_state(obs, codec);
+  ASSERT_EQ(agg.size(), 4u);
+  // Mean observation {4, 2000, 2, 2e6} encoded through a 1-chain codec.
+  const StateCodec single(spec(), 1, 1.0);
+  const auto expected = single.encode({ChainObservation{4.0, 2000.0, 2.0,
+                                                        2e6}});
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(agg[i], expected[i]);
+}
+
+}  // namespace
+}  // namespace greennfv::core

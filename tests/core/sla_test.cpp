@@ -1,0 +1,81 @@
+#include "core/sla.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::core {
+namespace {
+
+TEST(Sla, MaxThroughputGatesOnEnergy) {
+  const Sla sla = Sla::max_throughput(2000.0);
+  EXPECT_TRUE(sla.satisfied(5.0, 1999.0));
+  EXPECT_TRUE(sla.satisfied(0.0, 2000.0));
+  EXPECT_FALSE(sla.satisfied(10.0, 2000.1));
+  // Reward zero on violation ("issues rewards only when the agent can meet
+  // the energy SLA").
+  EXPECT_DOUBLE_EQ(sla.reward(10.0, 3000.0), 0.0);
+  // Reward scales with throughput when satisfied.
+  EXPECT_GT(sla.reward(8.0, 1500.0), sla.reward(4.0, 1500.0));
+}
+
+TEST(Sla, MinEnergyGatesOnThroughput) {
+  const Sla sla = Sla::min_energy(7.5, 3600.0);
+  EXPECT_TRUE(sla.satisfied(7.5, 99999.0));
+  EXPECT_FALSE(sla.satisfied(7.4, 100.0));
+  EXPECT_DOUBLE_EQ(sla.reward(5.0, 100.0), 0.0);
+  // "the reward gets better when it reduces energy consumption"
+  EXPECT_GT(sla.reward(8.0, 1000.0), sla.reward(8.0, 2000.0));
+}
+
+TEST(Sla, EnergyEfficiencyUnconstrained) {
+  const Sla sla = Sla::energy_efficiency();
+  EXPECT_TRUE(sla.satisfied(0.0, 1e9));
+  // λ = T / (E/1000).
+  EXPECT_DOUBLE_EQ(sla.reward(8.0, 2000.0), 4.0);
+  EXPECT_GT(sla.reward(8.0, 1000.0), sla.reward(8.0, 2000.0));
+  EXPECT_GT(sla.reward(9.0, 2000.0), sla.reward(8.0, 2000.0));
+}
+
+TEST(Sla, EfficiencyDefinition) {
+  EXPECT_DOUBLE_EQ(Sla::efficiency(10.0, 2000.0), 5.0);
+  EXPECT_DOUBLE_EQ(Sla::efficiency(10.0, 0.0), 0.0);  // guarded
+}
+
+class ShapedRewards : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShapedRewards, ViolationDepthPenalized) {
+  const double violation_factor = GetParam();
+  const Sla maxt = Sla::max_throughput(2000.0);
+  const double over = 2000.0 * (1.0 + violation_factor);
+  EXPECT_LT(maxt.shaped_reward(5.0, over), 0.0);
+  // Deeper violations are worse (down to the -1 clamp).
+  if (violation_factor < 0.9) {
+    EXPECT_LT(maxt.shaped_reward(5.0, 2000.0 * (1.0 + violation_factor +
+                                                0.05)),
+              maxt.shaped_reward(5.0, over) + 1e-12);
+  }
+  const Sla mine = Sla::min_energy(7.5, 3600.0);
+  EXPECT_LT(mine.shaped_reward(7.5 * (1.0 - violation_factor), 100.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ShapedRewards,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.95));
+
+TEST(Sla, ShapedEqualsGatedWhenSatisfied) {
+  const Sla sla = Sla::max_throughput(2000.0);
+  EXPECT_DOUBLE_EQ(sla.reward(6.0, 1500.0), sla.shaped_reward(6.0, 1500.0));
+}
+
+TEST(Sla, Names) {
+  EXPECT_EQ(Sla::max_throughput(1.0).name(), "MaxThroughput");
+  EXPECT_EQ(Sla::min_energy(1.0, 1.0).name(), "MinEnergy");
+  EXPECT_EQ(Sla::energy_efficiency().name(), "EnergyEfficiency");
+}
+
+TEST(Sla, RejectsBadParameters) {
+  EXPECT_DEATH((void)Sla::max_throughput(0.0), "bad budget");
+  EXPECT_DEATH((void)Sla::min_energy(-1.0, 100.0), "bad floor");
+  EXPECT_DEATH((void)Sla::min_energy(1.0, 0.0), "bad reference");
+}
+
+}  // namespace
+}  // namespace greennfv::core

@@ -1,0 +1,112 @@
+#include "core/spaces.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace greennfv::core {
+namespace {
+
+hwmodel::NodeSpec spec() { return hwmodel::NodeSpec{}; }
+
+TEST(StateCodec, Dimensions) {
+  const StateCodec codec(spec(), 3, 10.0);
+  EXPECT_EQ(codec.state_dim(), 12u);
+  EXPECT_EQ(codec.num_chains(), 3u);
+}
+
+TEST(StateCodec, EncodesWithinUnitBox) {
+  const StateCodec codec(spec(), 2, 10.0);
+  std::vector<ChainObservation> obs(2);
+  obs[0] = {5.0, 1500.0, 2.0, 3e6};
+  obs[1] = {0.0, 0.0, 0.0, 0.0};
+  const auto state = codec.encode(obs);
+  ASSERT_EQ(state.size(), 8u);
+  for (const double s : state) {
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // Zero observation encodes to the lower corner.
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(state[i], -1.0);
+}
+
+TEST(StateCodec, MonotoneInThroughput) {
+  const StateCodec codec(spec(), 1, 10.0);
+  std::vector<ChainObservation> low(1);
+  low[0].throughput_gbps = 2.0;
+  std::vector<ChainObservation> high(1);
+  high[0].throughput_gbps = 8.0;
+  EXPECT_LT(codec.encode(low)[0], codec.encode(high)[0]);
+}
+
+TEST(StateCodec, ClampsOutOfRange) {
+  const StateCodec codec(spec(), 1, 10.0);
+  std::vector<ChainObservation> wild(1);
+  wild[0] = {100.0, 1e9, 50.0, 1e12};
+  for (const double s : codec.encode(wild)) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(ActionCodec, Dimensions) {
+  const ActionCodec codec(spec(), 3);
+  EXPECT_EQ(codec.action_dim(), 15u);
+}
+
+TEST(ActionCodec, ExtremeActionsHitKnobLimits) {
+  const ActionCodec codec(spec(), 1);
+  const auto low = codec.decode(std::vector<double>(5, -1.0));
+  EXPECT_NEAR(low[0].cores, nfvsim::ChainKnobs::kMinCores, 1e-9);
+  EXPECT_NEAR(low[0].freq_ghz, spec().fmin_ghz, 1e-9);
+  EXPECT_EQ(low[0].batch, nfvsim::ChainKnobs::kMinBatch);
+  const auto high = codec.decode(std::vector<double>(5, 1.0));
+  EXPECT_NEAR(high[0].cores, nfvsim::ChainKnobs::kMaxCores, 1e-9);
+  EXPECT_NEAR(high[0].freq_ghz, spec().fmax_ghz, 1e-9);
+  EXPECT_EQ(high[0].batch, nfvsim::ChainKnobs::kMaxBatch);
+  EXPECT_NEAR(units::bytes_to_mib(high[0].dma_bytes),
+              spec().max_dma_buffer_mib, 0.01);
+}
+
+TEST(ActionCodec, MidpointIsMidRange) {
+  const ActionCodec codec(spec(), 1);
+  const auto mid = codec.decode(std::vector<double>(5, 0.0));
+  EXPECT_NEAR(mid[0].cores,
+              (nfvsim::ChainKnobs::kMinCores +
+               nfvsim::ChainKnobs::kMaxCores) / 2.0,
+              1e-9);
+  EXPECT_NEAR(mid[0].freq_ghz, (spec().fmin_ghz + spec().fmax_ghz) / 2.0,
+              1e-9);
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIsStable) {
+  const ActionCodec codec(spec(), 2);
+  Rng rng(GetParam());
+  std::vector<double> action(codec.action_dim());
+  for (double& a : action) a = rng.uniform(-1.0, 1.0);
+  const auto knobs = codec.decode(action);
+  const auto re_encoded = codec.encode(knobs);
+  const auto knobs2 = codec.decode(re_encoded);
+  // decode(encode(decode(a))) == decode(a) up to batch rounding and DVFS
+  // clamping.
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(knobs2[c].cores, knobs[c].cores, 1e-6);
+    EXPECT_NEAR(knobs2[c].freq_ghz, knobs[c].freq_ghz, 1e-6);
+    EXPECT_NEAR(knobs2[c].llc_fraction, knobs[c].llc_fraction, 1e-6);
+    EXPECT_NEAR(static_cast<double>(knobs2[c].dma_bytes),
+                static_cast<double>(knobs[c].dma_bytes), 1024.0);
+    EXPECT_NEAR(knobs2[c].batch, knobs[c].batch, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ActionCodec, RejectsWrongDimension) {
+  const ActionCodec codec(spec(), 2);
+  EXPECT_DEATH((void)codec.decode(std::vector<double>(3, 0.0)),
+               "dimension mismatch");
+}
+
+}  // namespace
+}  // namespace greennfv::core

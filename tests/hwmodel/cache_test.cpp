@@ -1,0 +1,108 @@
+#include "hwmodel/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace greennfv::hwmodel {
+namespace {
+
+NodeSpec spec() { return NodeSpec{}; }
+
+CacheDemand demand(std::uint64_t state_mib, std::uint64_t window_kib = 256,
+                   std::uint64_t dma_mib = 1) {
+  CacheDemand d;
+  d.state_bytes = state_mib * units::kMiB;
+  d.packet_window_bytes = window_kib * units::kKiB;
+  d.dma_buffer_bytes = dma_mib * units::kMiB;
+  return d;
+}
+
+TEST(Cache, FitsAllocationHitsFloor) {
+  const CacheModel cache(spec());
+  const auto b = cache.evaluate(demand(2), 8 * units::kMiB);
+  EXPECT_NEAR(b.miss_ratio, spec().miss_floor, 1e-9);
+}
+
+TEST(Cache, MissGrowsWithWorkingSet) {
+  const CacheModel cache(spec());
+  double prev = 0.0;
+  for (std::uint64_t mib = 1; mib <= 64; mib *= 2) {
+    const auto b = cache.evaluate(demand(mib), 4 * units::kMiB);
+    EXPECT_GE(b.miss_ratio, prev - 1e-12);
+    prev = b.miss_ratio;
+  }
+  EXPECT_GT(prev, 0.5);  // way past capacity -> high miss
+  EXPECT_LE(prev, spec().miss_ceiling);
+}
+
+TEST(Cache, MissShrinksWithAllocation) {
+  const CacheModel cache(spec());
+  double prev = 1.0;
+  for (std::uint64_t mib = 1; mib <= 16; mib *= 2) {
+    const auto b = cache.evaluate(demand(8), mib * units::kMiB);
+    EXPECT_LE(b.miss_ratio, prev + 1e-12);
+    prev = b.miss_ratio;
+  }
+}
+
+TEST(Cache, ContentionRaisesFloor) {
+  const CacheModel cache(spec());
+  CacheDemand d = demand(2);
+  const auto isolated = cache.evaluate(d, 8 * units::kMiB);
+  d.shared_unpartitioned = true;
+  const auto contended = cache.evaluate(d, 8 * units::kMiB);
+  EXPECT_NEAR(contended.miss_ratio - isolated.miss_ratio,
+              spec().contention_miss, 1e-9);
+}
+
+TEST(Cache, DdioHitFullWithinCapacity) {
+  const CacheModel cache(spec());
+  // DDIO capacity = 2 ways = 2 MiB.
+  const auto b = cache.evaluate(demand(1, 64, 2), 8 * units::kMiB);
+  EXPECT_DOUBLE_EQ(b.ddio_hit, 1.0);
+}
+
+class DdioOverflow : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdioOverflow, HitDecaysWithBufferSize) {
+  const CacheModel cache(spec());
+  const std::uint64_t dma_mib = GetParam();
+  const auto b = cache.evaluate(demand(1, 64, dma_mib), 8 * units::kMiB);
+  const double expected =
+      std::min(1.0, static_cast<double>(spec().ddio_bytes()) /
+                        static_cast<double>(dma_mib * units::kMiB));
+  EXPECT_NEAR(b.ddio_hit, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DdioOverflow,
+                         ::testing::Values(1, 2, 4, 8, 16, 40));
+
+TEST(Cache, MinimumOneWayGuard) {
+  const CacheModel cache(spec());
+  // Zero-byte allocation is treated as one way.
+  const auto tiny = cache.evaluate(demand(1), 0);
+  const auto one_way = cache.evaluate(demand(1), spec().bytes_per_way());
+  EXPECT_DOUBLE_EQ(tiny.miss_ratio, one_way.miss_ratio);
+}
+
+TEST(Cache, ContendedShareScalesWithDemand) {
+  const CacheModel cache(spec());
+  const auto half = cache.contended_share(0.5);
+  const auto tenth = cache.contended_share(0.1);
+  EXPECT_GT(half, tenth);
+  EXPECT_LE(half, spec().allocatable_llc_bytes());
+  EXPECT_GE(tenth, spec().bytes_per_way());
+  // Contention wastes capacity: half the demand gets less than half the
+  // allocatable bytes.
+  EXPECT_LT(half, spec().allocatable_llc_bytes() / 2 + 1);
+}
+
+TEST(Cache, WorkingSetReported) {
+  const CacheModel cache(spec());
+  const auto b = cache.evaluate(demand(3, 512), 4 * units::kMiB);
+  EXPECT_EQ(b.working_set_bytes, 3 * units::kMiB + 512 * units::kKiB);
+}
+
+}  // namespace
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,214 @@
+#include "hwmodel/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace greennfv::hwmodel {
+namespace {
+
+NodeSpec spec() { return NodeSpec{}; }
+
+std::vector<NfCostProfile> light_chain() {
+  return {nf_catalog::firewall(), nf_catalog::nat(), nf_catalog::router()};
+}
+
+std::vector<NfCostProfile> ids_chain() {
+  return {nf_catalog::firewall(), nf_catalog::router(), nf_catalog::ids()};
+}
+
+ChainWorkload load(double mpps, std::uint32_t pkt = 512) {
+  ChainWorkload w;
+  w.offered_pps = mpps * 1e6;
+  w.pkt_bytes = pkt;
+  return w;
+}
+
+ChainResources resources() {
+  ChainResources r;
+  r.cores = 2.0;
+  r.freq_ghz = 2.1;
+  r.llc_bytes = 8 * units::kMiB;
+  r.dma_bytes = 4 * units::kMiB;
+  r.batch = 32;
+  return r;
+}
+
+TEST(CostModel, BatchingAmortizesPerCallCost) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.batch = 1;
+  const auto small = model.evaluate_chain(light_chain(), load(0.1), r);
+  r.batch = 64;
+  const auto big = model.evaluate_chain(light_chain(), load(0.1), r);
+  EXPECT_LT(big.cycles_per_pkt, small.cycles_per_pkt);
+  // With per_call=2000 and 4 hops, batch 1 -> +8000 cycles vs ~+125.
+  EXPECT_GT(small.cycles_per_pkt - big.cycles_per_pkt, 5000.0);
+}
+
+TEST(CostModel, OversizedBatchThrashesCache) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.llc_bytes = 2 * units::kMiB;
+  r.batch = 8;
+  const auto modest = model.evaluate_chain(ids_chain(), load(0.1, 1518), r);
+  r.batch = 256;
+  const auto huge = model.evaluate_chain(ids_chain(), load(0.1, 1518), r);
+  // 256 * 1518B * footprint 2 ≈ 0.78 MiB of packet window on top of ~3.4MiB
+  // state in a 2 MiB slice: misses must rise.
+  EXPECT_GT(huge.miss_ratio, modest.miss_ratio);
+}
+
+TEST(CostModel, MissPenaltyGrowsWithFrequency) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.llc_bytes = units::kMiB;  // starved: high miss ratio
+  r.freq_ghz = 1.2;
+  const auto slow = model.evaluate_chain(ids_chain(), load(0.1), r);
+  r.freq_ghz = 2.1;
+  const auto fast = model.evaluate_chain(ids_chain(), load(0.1), r);
+  // Same miss *ratio*, more cycles per miss at higher frequency.
+  EXPECT_NEAR(slow.miss_ratio, fast.miss_ratio, 1e-12);
+  EXPECT_GT(fast.cycles_per_pkt, slow.cycles_per_pkt);
+  // ...but wall-clock service still improves with frequency.
+  EXPECT_GT(fast.service_pps, slow.service_pps);
+}
+
+TEST(CostModel, ServiceScalesWithCores) {
+  const CostModel model(spec());
+  // CPU-bound regime: heavy chain, small frames (high line-rate ceiling),
+  // generous DMA buffer so the NIC path is not the limiter.
+  ChainResources r = resources();
+  r.dma_bytes = 32 * units::kMiB;
+  ChainWorkload w = load(0.1, 128);
+  r.cores = 1.0;
+  const auto one = model.evaluate_chain(ids_chain(), w, r);
+  r.cores = 4.0;
+  const auto four = model.evaluate_chain(ids_chain(), w, r);
+  EXPECT_NEAR(four.service_pps / one.service_pps, 4.0, 0.2);
+}
+
+TEST(CostModel, UnderloadDeliversOffered) {
+  const CostModel model(spec());
+  const auto eval =
+      model.evaluate_chain(light_chain(), load(0.05), resources());
+  EXPECT_NEAR(eval.goodput_pps, 0.05e6, 1.0);
+  EXPECT_NEAR(eval.drop_pps, 0.0, 1e-6);
+}
+
+TEST(CostModel, OverloadCollapsesGoodput) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.cores = 0.5;
+  const auto eval = model.evaluate_chain(ids_chain(), load(5.0, 256), r);
+  EXPECT_LT(eval.goodput_pps, eval.service_pps);
+  EXPECT_GT(eval.drop_pps, 0.0);
+  // Livelock floor bounds the collapse.
+  EXPECT_GE(eval.goodput_pps,
+            eval.service_pps * spec().livelock_floor - 1.0);
+}
+
+class DmaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DmaSweep, ThroughputRisesWithBuffer) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.cores = 4.0;
+  r.dma_bytes = GetParam() * units::kMiB;
+  const auto eval =
+      model.evaluate_chain(light_chain(), load(3.0, 256), r);
+  r.dma_bytes = (GetParam() + 8) * units::kMiB;
+  const auto bigger =
+      model.evaluate_chain(light_chain(), load(3.0, 256), r);
+  EXPECT_GE(bigger.service_pps + 1.0, eval.service_pps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, DmaSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(CostModel, TinyDmaStarvesInput) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.cores = 4.0;
+  r.dma_bytes = 300 * units::kKiB;
+  const auto starved =
+      model.evaluate_chain(light_chain(), load(3.0, 1024), r);
+  r.dma_bytes = 32 * units::kMiB;
+  const auto fed = model.evaluate_chain(light_chain(), load(3.0, 1024), r);
+  EXPECT_LT(starved.service_pps, fed.service_pps * 0.7);
+}
+
+TEST(CostModel, LargeDmaSpillsDdio) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.dma_bytes = 40 * units::kMiB;  // way past the 2 MiB DDIO capacity
+  const auto eval = model.evaluate_chain(light_chain(), load(0.1), r);
+  EXPECT_LT(eval.ddio_hit, 0.1);
+  r.dma_bytes = units::kMiB;
+  const auto tight = model.evaluate_chain(light_chain(), load(0.1), r);
+  EXPECT_DOUBLE_EQ(tight.ddio_hit, 1.0);
+  EXPECT_GT(eval.misses_per_pkt, tight.misses_per_pkt);
+}
+
+TEST(CostModel, PayloadCostScalesWithPacketSize) {
+  const CostModel model(spec());
+  const auto small =
+      model.evaluate_chain(ids_chain(), load(0.1, 64), resources());
+  const auto large =
+      model.evaluate_chain(ids_chain(), load(0.1, 1518), resources());
+  // IDS at 2 cycles/byte: ~2900 extra cycles for the larger frame.
+  EXPECT_GT(large.cycles_per_pkt, small.cycles_per_pkt + 2000.0);
+}
+
+TEST(CostModel, PollModeBurnsFullDuty) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  r.poll_mode = true;
+  const auto poll = model.evaluate_chain(light_chain(), load(0.01), r);
+  r.poll_mode = false;
+  const auto hybrid = model.evaluate_chain(light_chain(), load(0.01), r);
+  EXPECT_NEAR(poll.busy_cores, r.cores, 1e-9);
+  EXPECT_LT(hybrid.busy_cores, 0.5 * r.cores);
+  EXPECT_GE(hybrid.busy_cores, r.cores * spec().min_poll_duty - 1e-9);
+}
+
+TEST(CostModel, SharedLlcFlagRaisesMisses) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  const auto isolated = model.evaluate_chain(ids_chain(), load(0.5), r);
+  r.shared_llc = true;
+  const auto shared = model.evaluate_chain(ids_chain(), load(0.5), r);
+  EXPECT_GT(shared.miss_ratio, isolated.miss_ratio);
+  EXPECT_LT(shared.service_pps, isolated.service_pps);
+}
+
+TEST(CostModel, RejectsInvalidInputs) {
+  const CostModel model(spec());
+  ChainResources r = resources();
+  EXPECT_DEATH((void)model.evaluate_chain({}, load(0.1), r), "empty chain");
+  r.cores = 0.0;
+  EXPECT_DEATH((void)model.evaluate_chain(light_chain(), load(0.1), r),
+               "zero cores");
+  r = resources();
+  r.batch = 0;
+  EXPECT_DEATH((void)model.evaluate_chain(light_chain(), load(0.1), r),
+               "batch");
+}
+
+TEST(NfCatalog, ByNameRoundTrip) {
+  for (const auto& name : nf_catalog::names()) {
+    EXPECT_EQ(nf_catalog::by_name(name).name, name);
+  }
+  EXPECT_THROW(nf_catalog::by_name("bogus"), std::invalid_argument);
+}
+
+TEST(NfCatalog, RelativeWeights) {
+  // EPC is the heavyweight; flow_monitor the lightest.
+  EXPECT_GT(nf_catalog::epc().base_cycles, nf_catalog::ids().base_cycles);
+  EXPECT_LT(nf_catalog::flow_monitor().base_cycles,
+            nf_catalog::firewall().base_cycles);
+  EXPECT_GT(nf_catalog::ids().cycles_per_byte, 1.0);
+}
+
+}  // namespace
+}  // namespace greennfv::hwmodel

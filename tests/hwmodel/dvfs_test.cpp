@@ -1,0 +1,87 @@
+#include "hwmodel/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::hwmodel {
+namespace {
+
+NodeSpec spec() { return NodeSpec{}; }
+
+TEST(Dvfs, LadderMatchesPaperRange) {
+  const DvfsController dvfs(spec());
+  EXPECT_EQ(dvfs.num_pstates(), 10);  // 1.2 .. 2.1 step 0.1
+  EXPECT_DOUBLE_EQ(dvfs.frequency_ghz(0), 1.2);
+  EXPECT_NEAR(dvfs.frequency_ghz(dvfs.max_pstate()), 2.1, 1e-9);
+}
+
+TEST(Dvfs, SnapFindsNearest) {
+  const DvfsController dvfs(spec());
+  EXPECT_NEAR(dvfs.snap(1.234), 1.2, 1e-9);
+  EXPECT_NEAR(dvfs.snap(1.26), 1.3, 1e-9);
+  EXPECT_NEAR(dvfs.snap(0.5), 1.2, 1e-9);   // below range
+  EXPECT_NEAR(dvfs.snap(9.9), 2.1, 1e-9);   // above range
+}
+
+TEST(Dvfs, StepUpDownClampAtEnds) {
+  const DvfsController dvfs(spec());
+  EXPECT_NEAR(dvfs.step_down(1.2), 1.2, 1e-9);
+  EXPECT_NEAR(dvfs.step_up(2.1), 2.1, 1e-9);
+  EXPECT_NEAR(dvfs.step_up(1.2), 1.3, 1e-9);
+  EXPECT_NEAR(dvfs.step_down(2.1), 2.0, 1e-9);
+}
+
+TEST(Dvfs, PerformanceGovernorPinsMax) {
+  DvfsController dvfs(spec());
+  dvfs.set_governor(Governor::kPerformance);
+  EXPECT_NEAR(dvfs.effective_frequency(0.0, 1.5), 2.1, 1e-9);
+  EXPECT_NEAR(dvfs.effective_frequency(1.0, 1.5), 2.1, 1e-9);
+}
+
+TEST(Dvfs, PowersaveGovernorPinsMin) {
+  DvfsController dvfs(spec());
+  dvfs.set_governor(Governor::kPowersave);
+  EXPECT_NEAR(dvfs.effective_frequency(1.0, 2.0), 1.2, 1e-9);
+}
+
+TEST(Dvfs, UserspaceHonoursTarget) {
+  DvfsController dvfs(spec());
+  dvfs.set_governor(Governor::kUserspace);
+  dvfs.set_userspace_frequency(1.73);
+  EXPECT_NEAR(dvfs.effective_frequency(0.9, 2.0), 1.7, 1e-9);
+}
+
+class OndemandLoads : public ::testing::TestWithParam<double> {};
+
+TEST_P(OndemandLoads, MonotoneInLoad) {
+  DvfsController dvfs(spec());
+  dvfs.set_governor(Governor::kOndemand);
+  const double load = GetParam();
+  const double f = dvfs.effective_frequency(load, 1.2);
+  const double f_higher = dvfs.effective_frequency(
+      std::min(1.0, load + 0.2), 1.2);
+  EXPECT_GE(f_higher + 1e-12, f);
+  EXPECT_GE(f, 1.2);
+  EXPECT_LE(f, 2.1);
+  if (load >= 0.8) EXPECT_NEAR(f, 2.1, 1e-9);  // up-threshold jump
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, OndemandLoads,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.79, 0.8,
+                                           1.0));
+
+TEST(Dvfs, ConservativeMovesOneStep) {
+  DvfsController dvfs(spec());
+  dvfs.set_governor(Governor::kConservative);
+  // High load from 1.5: exactly one step up.
+  EXPECT_NEAR(dvfs.effective_frequency(1.0, 1.5), 1.6, 1e-9);
+  // Zero load from 1.5: exactly one step down.
+  EXPECT_NEAR(dvfs.effective_frequency(0.0, 1.5), 1.4, 1e-9);
+}
+
+TEST(Dvfs, GovernorNames) {
+  EXPECT_EQ(to_string(Governor::kPerformance), "performance");
+  EXPECT_EQ(to_string(Governor::kUserspace), "userspace");
+}
+
+}  // namespace
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "hwmodel/cost_model.hpp"
+
+/// Latency-model tests: the sojourn time must expose the batching/queueing
+/// trade-offs that delay-aware SFC work optimizes.
+
+namespace greennfv::hwmodel {
+namespace {
+
+ChainEvaluation measure(double mpps, std::uint32_t batch, double cores,
+                        double freq = 2.1) {
+  const CostModel model(NodeSpec{});
+  ChainResources res;
+  res.cores = cores;
+  res.freq_ghz = freq;
+  res.llc_bytes = 8 * units::kMiB;
+  res.dma_bytes = 8 * units::kMiB;
+  res.batch = batch;
+  ChainWorkload load;
+  load.offered_pps = mpps * 1e6;
+  load.pkt_bytes = 512;
+  const std::vector<NfCostProfile> nfs = {nf_catalog::firewall(),
+                                          nf_catalog::router(),
+                                          nf_catalog::ids()};
+  return model.evaluate_chain(nfs, load, res);
+}
+
+TEST(Latency, PositiveAndFinite) {
+  const auto eval = measure(0.5, 32, 2.0);
+  EXPECT_GT(eval.mean_latency_us, 0.0);
+  EXPECT_LT(eval.mean_latency_us, 1e6);  // under a second
+}
+
+TEST(Latency, GrowsWithBatchAtLowLoad) {
+  // At light load, batch assembly dominates: bigger batches wait longer.
+  const auto small = measure(0.1, 4, 2.0);
+  const auto large = measure(0.1, 256, 2.0);
+  EXPECT_GT(large.mean_latency_us, small.mean_latency_us);
+}
+
+TEST(Latency, AssemblyWaitBoundedByPollInterval) {
+  // Even a huge batch on a trickle of traffic can only wait a few poll
+  // intervals before the hybrid scheduler fires.
+  const auto eval = measure(0.001, 256, 2.0);
+  EXPECT_LT(eval.mean_latency_us, 4.0 * 100.0 + 1000.0);
+}
+
+class LoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweep, QueueingGrowsTowardSaturation) {
+  // batch = 1 isolates the queueing term (no assembly wait): more load
+  // below saturation means strictly more sojourn time.
+  const double mpps = GetParam();
+  const auto low = measure(mpps, 1, 2.0);
+  const auto higher = measure(mpps * 1.5, 1, 2.0);
+  if (higher.capacity_utilization < 1.0) {
+    EXPECT_GE(higher.mean_latency_us, low.mean_latency_us - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweep,
+                         ::testing::Values(0.2, 0.4, 0.8, 1.2));
+
+TEST(Latency, UShapedInLoadWithBatching) {
+  // With a real batch the total is U-shaped: assembly wait dominates at a
+  // trickle, queueing near saturation, with a minimum in between.
+  const auto trickle = measure(0.05, 64, 2.0);
+  const auto mid = measure(1.0, 64, 2.0);
+  const auto near_sat = measure(2.2, 64, 2.0);
+  EXPECT_GT(trickle.mean_latency_us, mid.mean_latency_us);
+  EXPECT_GT(near_sat.mean_latency_us, mid.mean_latency_us);
+}
+
+TEST(Latency, FasterClockLowersServiceDelay) {
+  // Same work at a higher frequency finishes sooner (despite the per-miss
+  // cycle inflation, wall-clock service time shrinks).
+  const auto slow = measure(0.1, 4, 2.0, 1.2);
+  const auto fast = measure(0.1, 4, 2.0, 2.1);
+  EXPECT_LT(fast.mean_latency_us, slow.mean_latency_us);
+}
+
+TEST(Latency, OverloadIsBoundedByRingBacklog) {
+  // Deep overload: queueing saturates at the descriptor-ring backlog
+  // rather than diverging.
+  const auto overloaded = measure(20.0, 32, 0.5);
+  const double ring_pkts = 8.0 * 1024.0 * 1024.0 / 2048.0;
+  const double bound_us =
+      ring_pkts / overloaded.service_pps * 1e6 + 2000.0;
+  EXPECT_LT(overloaded.mean_latency_us, bound_us);
+}
+
+}  // namespace
+}  // namespace greennfv::hwmodel

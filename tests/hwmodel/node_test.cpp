@@ -1,0 +1,172 @@
+#include "hwmodel/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace greennfv::hwmodel {
+namespace {
+
+ChainDeployment chain(double mpps, std::uint32_t pkt, double cores = 2.0,
+                      double llc = 0.5) {
+  ChainDeployment dep;
+  dep.nfs = {nf_catalog::firewall(), nf_catalog::nat(),
+             nf_catalog::router()};
+  dep.workload.offered_pps = mpps * 1e6;
+  dep.workload.pkt_bytes = pkt;
+  dep.cores = cores;
+  dep.llc_fraction = llc;
+  dep.batch = 64;
+  dep.dma_bytes = 2 * units::kMiB;
+  return dep;
+}
+
+/// Cache-hungry variant (7 MiB of NF state): the Fig.-1-style chain whose
+/// behaviour actually depends on its LLC slice.
+ChainDeployment heavy_chain(double mpps, std::uint32_t pkt, double cores,
+                            double llc) {
+  ChainDeployment dep = chain(mpps, pkt, cores, llc);
+  dep.nfs = {nf_catalog::ids(), nf_catalog::epc(), nf_catalog::router()};
+  dep.dma_bytes = 16 * units::kMiB;
+  return dep;
+}
+
+TEST(NodeModel, SingleChainBasics) {
+  const NodeModel node;
+  const auto eval = node.evaluate({chain(0.5, 512)});
+  ASSERT_EQ(eval.chains.size(), 1u);
+  EXPECT_GT(eval.total_goodput_gbps, 0.0);
+  EXPECT_GT(eval.power_w, node.spec().p_idle_w);
+  EXPECT_LE(eval.power_w, node.spec().p_max_w + 1e-9);
+  EXPECT_GE(eval.utilization, 0.0);
+  EXPECT_LE(eval.utilization, 1.0);
+}
+
+TEST(NodeModel, AggregateLineRateCapHolds) {
+  const NodeModel node;
+  // Three chains each offered ~6 Gbps of large frames: 18 Gbps offered
+  // against a 10 Gbps NIC.
+  const auto eval = node.evaluate({chain(0.5, 1518, 4.0, 0.33),
+                                   chain(0.5, 1518, 4.0, 0.33),
+                                   chain(0.5, 1518, 4.0, 0.33)});
+  double wire = 0.0;
+  for (const auto& c : eval.chains) wire += c.eval.wire_gbps;
+  EXPECT_LE(wire, node.spec().line_rate_gbps + 1e-6);
+  EXPECT_GT(eval.total_drop_pps, 0.0);
+}
+
+TEST(NodeModel, CatBeatsContentionWhenStarved) {
+  const NodeModel node;
+  // A hot cache-hungry chain plus two neighbours; CPU-bound regime.
+  std::vector<ChainDeployment> chains = {
+      heavy_chain(2.0, 256, 4.0, 0.8),
+      chain(0.2, 1024, 1.0, 0.1),
+      chain(0.2, 1024, 1.0, 0.1),
+  };
+  const auto with_cat = node.evaluate(chains, /*use_cat=*/true);
+  const auto without = node.evaluate(chains, /*use_cat=*/false);
+  EXPECT_LT(with_cat.chains[0].eval.miss_ratio,
+            without.chains[0].eval.miss_ratio);
+  EXPECT_LT(with_cat.chains[0].eval.cycles_per_pkt,
+            without.chains[0].eval.cycles_per_pkt);
+  EXPECT_GE(with_cat.chains[0].eval.service_pps,
+            without.chains[0].eval.service_pps);
+}
+
+TEST(NodeModel, EnergyAttributionSumsToNodePower) {
+  const NodeModel node;
+  const auto eval = node.evaluate({chain(0.5, 512), chain(0.1, 1024)});
+  double attributed = 0.0;
+  for (const auto& c : eval.chains) attributed += c.power_w;
+  // Per-chain power carries each chain's idle-core share (the manager's
+  // share stays unattributed), so the sum is positive but below the node
+  // total.
+  EXPECT_LE(attributed, eval.power_w + 1e-6);
+  EXPECT_GT(attributed, 0.0);
+  // Both chains delivered packets, so both attributions are meaningful.
+  for (const auto& c : eval.chains) EXPECT_GT(c.power_w, 0.0);
+}
+
+TEST(NodeModel, EnergyPerMpktFiniteWhenDelivering) {
+  const NodeModel node;
+  const auto eval = node.evaluate({chain(1.0, 512)});
+  EXPECT_GT(eval.chains[0].energy_per_mpkt_j, 0.0);
+  EXPECT_LT(eval.chains[0].energy_per_mpkt_j, 1e5);
+}
+
+TEST(NodeModel, PollModeCostsMoreThanHybridAtLowLoad) {
+  const NodeModel node;
+  auto idle_chain = chain(0.01, 512, 3.0);
+  idle_chain.poll_mode = true;
+  const auto poll = node.evaluate({idle_chain});
+  idle_chain.poll_mode = false;
+  const auto hybrid = node.evaluate({idle_chain});
+  EXPECT_GT(poll.power_w, hybrid.power_w + 10.0);
+  // Throughput identical: same knobs, same load.
+  EXPECT_NEAR(poll.total_goodput_gbps, hybrid.total_goodput_gbps, 1e-9);
+}
+
+TEST(NodeModel, FrequencyLowersPowerAtFixedWork) {
+  const NodeModel node;
+  auto fast = chain(0.2, 512, 2.0);
+  fast.freq_ghz = 2.1;
+  fast.poll_mode = true;
+  auto slow = fast;
+  slow.freq_ghz = 1.2;
+  const auto p_fast = node.evaluate({fast});
+  const auto p_slow = node.evaluate({slow});
+  EXPECT_LT(p_slow.power_w, p_fast.power_w);
+}
+
+TEST(NodeModel, EnergyForWindowScalesLinearly) {
+  const NodeModel node;
+  const auto eval = node.evaluate({chain(0.5, 512)});
+  EXPECT_NEAR(eval.energy_j(10.0), eval.power_w * 10.0, 1e-9);
+  EXPECT_NEAR(eval.energy_j(0.0), 0.0, 1e-12);
+}
+
+TEST(NodeModel, ManagerCoresAlwaysAccounted) {
+  const NodeModel node;
+  const auto eval = node.evaluate({chain(0.01, 512, 0.5)});
+  // Allocated = chain cores + controller cores.
+  EXPECT_NEAR(eval.allocated_cores, 0.5 + node.spec().controller_cores,
+              1e-9);
+}
+
+TEST(NodeModel, RequiresAtLeastOneChain) {
+  const NodeModel node;
+  EXPECT_DEATH((void)node.evaluate({}), "no chains");
+}
+
+class LlcPartitionSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LlcPartitionSweep, HotChainPrefersBiggerSlice) {
+  const NodeModel node;
+  const auto [hot_fraction, cold_fraction] = GetParam();
+  // C1-style hot cache-hungry chain and C2-style cold chain (Fig. 1).
+  std::vector<ChainDeployment> chains = {
+      heavy_chain(5.0, 64, 6.0, hot_fraction),
+      chain(1.0, 128, 1.0, cold_fraction),
+  };
+  const auto eval = node.evaluate(chains);
+  // Against the paper's Fig. 1: the (90,10) split should dominate the
+  // (20,80) split for the hot chain.
+  if (hot_fraction >= 0.9) {
+    const auto starved = node.evaluate(
+        {heavy_chain(5.0, 64, 6.0, 0.2), chain(1.0, 128, 1.0, 0.8)});
+    EXPECT_GT(eval.chains[0].eval.goodput_pps,
+              starved.chains[0].eval.goodput_pps);
+    EXPECT_LT(eval.chains[0].eval.miss_ratio,
+              starved.chains[0].eval.miss_ratio);
+  }
+  EXPECT_GT(eval.total_goodput_gbps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperFig1, LlcPartitionSweep,
+    ::testing::Values(std::make_pair(0.9, 0.1), std::make_pair(0.7, 0.3),
+                      std::make_pair(0.4, 0.6), std::make_pair(0.2, 0.8)));
+
+}  // namespace
+}  // namespace greennfv::hwmodel

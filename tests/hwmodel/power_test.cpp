@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwmodel/calibration.hpp"
+#include "hwmodel/energy_meter.hpp"
+#include "hwmodel/power_model.hpp"
+
+namespace greennfv::hwmodel {
+namespace {
+
+NodeSpec spec() { return NodeSpec{}; }
+
+TEST(PowerModel, Eq4Endpoints) {
+  const PowerModel model(spec());
+  // u=0 -> Pidle; u=1 at fmax -> Pmax (2u - u^h = 1 at u=1).
+  EXPECT_NEAR(model.power_w(0.0), spec().p_idle_w, 1e-9);
+  EXPECT_NEAR(model.power_w(1.0), spec().p_max_w, 1e-9);
+}
+
+class PowerUtilization : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerUtilization, MonotoneAndBounded) {
+  const PowerModel model(spec());
+  const double u = GetParam();
+  const double p = model.power_w(u);
+  EXPECT_GE(p, spec().p_idle_w - 1e-9);
+  EXPECT_LE(p, spec().p_max_w + 1e-9);
+  if (u < 1.0) {
+    EXPECT_LE(p, model.power_w(std::min(1.0, u + 0.05)) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PowerUtilization,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+TEST(PowerModel, FrequencyReducesDynamicRange) {
+  const PowerModel model(spec());
+  const double at_max = model.power_w(0.8, spec().fmax_ghz);
+  const double at_min = model.power_w(0.8, spec().fmin_ghz);
+  EXPECT_LT(at_min, at_max);
+  // Idle power unaffected by frequency.
+  EXPECT_NEAR(model.power_w(0.0, spec().fmin_ghz), spec().p_idle_w, 1e-9);
+}
+
+TEST(PowerModel, FrequencyScaleEndpoints) {
+  const PowerModel model(spec());
+  EXPECT_NEAR(model.frequency_scale(spec().fmax_ghz), 1.0, 1e-9);
+  const double low = model.frequency_scale(spec().fmin_ghz);
+  EXPECT_GT(low, spec().static_fraction - 1e-9);
+  EXPECT_LT(low, 1.0);
+}
+
+TEST(PowerModel, ClampsUtilization) {
+  const PowerModel model(spec());
+  EXPECT_NEAR(model.power_w(1.5), model.power_w(1.0), 1e-9);
+  EXPECT_NEAR(model.power_w(-0.5), model.power_w(0.0), 1e-9);
+}
+
+TEST(Calibration, RecoversHFromCleanSamples) {
+  NodeSpec truth = spec();
+  truth.fan_h = 1.73;
+  PowerMeter meter(truth, /*noise=*/0.0, Rng(5));
+  const auto samples = meter.calibration_sweep(64);
+  const auto fit = fit_fan_h(spec(), samples);
+  EXPECT_NEAR(fit.h, 1.73, 1e-3);
+  EXPECT_LT(fit.rmse_w, 0.1);
+}
+
+class CalibrationNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationNoise, RecoversHWithinNoiseBudget) {
+  NodeSpec truth = spec();
+  truth.fan_h = 1.4;
+  PowerMeter meter(truth, GetParam(), Rng(6));
+  const auto samples = meter.calibration_sweep(256);
+  const auto fit = fit_fan_h(spec(), samples);
+  EXPECT_NEAR(fit.h, 1.4, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, CalibrationNoise,
+                         ::testing::Values(0.5, 2.0, 5.0));
+
+TEST(Calibration, HandlesExtremeTrueH) {
+  for (const double true_h : {0.5, 2.5}) {
+    NodeSpec truth = spec();
+    truth.fan_h = true_h;
+    PowerMeter meter(truth, 0.0, Rng(7));
+    const auto fit = fit_fan_h(spec(), meter.calibration_sweep(64));
+    EXPECT_NEAR(fit.h, true_h, 5e-3);
+  }
+}
+
+TEST(EnergyMeter, IntegratesAndLaps) {
+  EnergyMeter meter;
+  meter.accumulate(100.0, 2.0);  // 200 J
+  meter.accumulate(50.0, 1.0);   // +50 J
+  EXPECT_NEAR(meter.total_joules(), 250.0, 1e-12);
+  EXPECT_NEAR(meter.total_seconds(), 3.0, 1e-12);
+  EXPECT_NEAR(meter.mean_power_w(), 250.0 / 3.0, 1e-9);
+  EXPECT_NEAR(meter.lap(), 250.0, 1e-12);
+  meter.accumulate(10.0, 1.0);
+  EXPECT_NEAR(meter.lap_joules(), 10.0, 1e-12);
+  EXPECT_NEAR(meter.lap(), 10.0, 1e-12);
+  EXPECT_NEAR(meter.total_joules(), 260.0, 1e-12);
+}
+
+TEST(EnergyMeter, RejectsNegativeInputs) {
+  EnergyMeter meter;
+  EXPECT_DEATH(meter.accumulate(-1.0, 1.0), "negative power");
+  EXPECT_DEATH(meter.accumulate(1.0, -1.0), "negative duration");
+}
+
+}  // namespace
+}  // namespace greennfv::hwmodel

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/ee_pstate.hpp"
+#include "core/greennfv.hpp"
+#include "core/heuristic.hpp"
+#include "core/nf_controller.hpp"
+
+/// End-to-end sanity of the paper's comparison: with modest training
+/// budgets (keep CI time low) the qualitative ordering must already hold —
+/// learned/adaptive schedulers beat the untuned baseline on efficiency, and
+/// constraint-gated policies respect their SLAs most of the time.
+
+namespace greennfv::core {
+namespace {
+
+EnvConfig eval_config(Sla sla) {
+  EnvConfig config;
+  config.num_chains = 3;
+  config.num_flows = 5;
+  config.total_offered_gbps = 12.0;
+  config.window_s = 5.0;
+  config.sub_windows = 5;
+  config.steps_per_episode = 4;
+  config.sla = sla;
+  return config;
+}
+
+TEST(ModelComparison, AdaptiveSchedulersBeatBaselineEfficiency) {
+  const EnvConfig config = eval_config(Sla::energy_efficiency());
+  BaselineScheduler baseline{config.spec};
+  HeuristicScheduler heuristic{config.spec, HeuristicConfig{}};
+
+  const EvalResult base = evaluate_scheduler(config, baseline, 8, 42);
+  // Algorithm 1 converges slowly ("Such decision-making is slow and takes
+  // a long time to converge", §5.1): give it a long warmup, then measure.
+  const EvalResult heur = evaluate_scheduler(config, heuristic, 8, 42,
+                                             /*warmup=*/40);
+  EXPECT_GT(heur.mean_efficiency, base.mean_efficiency);
+}
+
+TEST(ModelComparison, TrainedEePolicyBeatsBaseline) {
+  TrainerConfig trainer_config;
+  trainer_config.env = eval_config(Sla::energy_efficiency());
+  trainer_config.episodes = 60;
+  trainer_config.seed = 7;
+  trainer_config.ddpg.batch_size = 32;
+  trainer_config.noise_sigma = 0.5;
+  trainer_config.noise_decay = 0.995;
+  GreenNfvTrainer trainer(trainer_config);
+  (void)trainer.train();
+  auto green = trainer.make_scheduler("GreenNFV(EE)");
+
+  BaselineScheduler baseline{trainer_config.env.spec};
+  const EvalResult base =
+      evaluate_scheduler(trainer_config.env, baseline, 6, 99);
+  const EvalResult learned =
+      evaluate_scheduler(trainer_config.env, *green, 6, 99);
+  EXPECT_GT(learned.mean_efficiency, base.mean_efficiency)
+      << "learned " << learned.mean_efficiency << " vs baseline "
+      << base.mean_efficiency;
+}
+
+TEST(ModelComparison, MaxThroughputPolicyRespectsEnergyBudget) {
+  const double budget = 1500.0;  // joules per 5 s window
+  TrainerConfig trainer_config;
+  trainer_config.env = eval_config(Sla::max_throughput(budget));
+  trainer_config.episodes = 60;
+  trainer_config.seed = 11;
+  trainer_config.ddpg.batch_size = 32;
+  trainer_config.noise_sigma = 0.5;
+  trainer_config.noise_decay = 0.995;
+  GreenNfvTrainer trainer(trainer_config);
+  (void)trainer.train();
+  auto green = trainer.make_scheduler("GreenNFV(MaxT)");
+
+  const EvalResult result =
+      evaluate_scheduler(trainer_config.env, *green, 8, 123);
+  // Greedy policy after training should mostly live inside the budget.
+  EXPECT_GE(result.sla_satisfaction, 0.5);
+  EXPECT_LE(result.mean_energy_j, budget * 1.3);
+}
+
+TEST(ModelComparison, ApexTrainingProducesUsablePolicy) {
+  TrainerConfig trainer_config;
+  trainer_config.env = eval_config(Sla::energy_efficiency());
+  trainer_config.env.steps_per_episode = 3;
+  trainer_config.episodes = 24;
+  trainer_config.use_apex = true;
+  trainer_config.apex.num_actors = 2;
+  trainer_config.apex.learn_start = 32;
+  trainer_config.ddpg.batch_size = 16;
+  trainer_config.seed = 13;
+  GreenNfvTrainer trainer(trainer_config);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.train_steps, 0);
+  EXPECT_GT(result.tail_gbps, 0.0);
+  auto sched = trainer.make_scheduler("GreenNFV");
+  const EvalResult eval =
+      evaluate_scheduler(trainer_config.env, *sched, 4, 17);
+  EXPECT_GT(eval.mean_gbps, 0.0);
+}
+
+TEST(ModelComparison, EePstateTracksLoadBetterThanStaticBaselineOnEnergy) {
+  const EnvConfig config = eval_config(Sla::energy_efficiency());
+  BaselineScheduler baseline{config.spec};
+  EePstateScheduler ee{config.spec, EePstateConfig{}};
+  const EvalResult base = evaluate_scheduler(config, baseline, 8, 21);
+  const EvalResult eep = evaluate_scheduler(config, ee, 8, 21,
+                                            /*warmup=*/4);
+  // EE-Pstate scales P-states (+ sleeps idle cores): must burn less energy
+  // than the pure-polling performance-governor baseline.
+  EXPECT_LT(eep.mean_energy_j, base.mean_energy_j);
+}
+
+}  // namespace
+}  // namespace greennfv::core

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/recorder.hpp"
+#include "telemetry/stats.hpp"
+
+namespace greennfv::telemetry {
+namespace {
+
+TEST(RunningStats, MomentsAndExtremes) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Ewma, SmoothsTowardSignal) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.primed());
+  EXPECT_DOUBLE_EQ(ewma.update(10.0), 10.0);  // primes to first sample
+  EXPECT_DOUBLE_EQ(ewma.update(20.0), 15.0);
+  EXPECT_DOUBLE_EQ(ewma.update(20.0), 17.5);
+  ewma.reset();
+  EXPECT_FALSE(ewma.primed());
+}
+
+TEST(Quantile, OrderStatistics) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(Recorder, RecordAndSummarize) {
+  Recorder recorder;
+  recorder.record("gbps", 0.0, 2.0);
+  recorder.record("gbps", 1.0, 4.0);
+  recorder.record("watts", 0.0, 200.0);
+  EXPECT_EQ(recorder.num_series(), 2u);
+  EXPECT_TRUE(recorder.has("gbps"));
+  EXPECT_FALSE(recorder.has("nope"));
+  EXPECT_EQ(recorder.series("gbps").size(), 2u);
+  const auto names = recorder.series_names();
+  EXPECT_EQ(names.size(), 2u);
+  const std::string summary = recorder.summary_table();
+  EXPECT_NE(summary.find("gbps"), std::string::npos);
+  EXPECT_NE(summary.find("watts"), std::string::npos);
+}
+
+TEST(Recorder, CsvExportInterpolates) {
+  Recorder recorder;
+  recorder.record("a", 0.0, 0.0);
+  recorder.record("a", 2.0, 2.0);
+  recorder.record("b", 1.0, 10.0);
+  const std::string path = "/tmp/gnfv_recorder_test.csv";
+  recorder.to_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,a,b");
+  // Three union timestamps -> three rows.
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, ClearEmpties) {
+  Recorder recorder;
+  recorder.record("x", 0.0, 1.0);
+  recorder.clear();
+  EXPECT_EQ(recorder.num_series(), 0u);
+}
+
+}  // namespace
+}  // namespace greennfv::telemetry

@@ -1,0 +1,91 @@
+#include "nfvsim/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace greennfv::nfvsim {
+namespace {
+
+TEST(Mempool, AllocUntilExhaustion) {
+  Mempool pool(4);
+  std::vector<Packet*> taken;
+  for (int i = 0; i < 4; ++i) {
+    Packet* pkt = pool.alloc();
+    ASSERT_NE(pkt, nullptr);
+    taken.push_back(pkt);
+  }
+  EXPECT_EQ(pool.in_use(), 4u);
+  EXPECT_EQ(pool.alloc(), nullptr);  // exhausted, no allocation fallback
+  for (Packet* pkt : taken) pool.free(pkt);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_NE(pool.alloc(), nullptr);  // usable again
+}
+
+TEST(Mempool, FreeResetsFlags) {
+  Mempool pool(2);
+  Packet* pkt = pool.alloc();
+  ASSERT_NE(pkt, nullptr);
+  pkt->mark_dropped();
+  pkt->chain_pos = 3;
+  pool.free(pkt);
+  Packet* again = pool.alloc();
+  // Same slab slot eventually comes back clean.
+  EXPECT_FALSE(again->dropped());
+  EXPECT_EQ(again->chain_pos, 0);
+  pool.free(again);
+}
+
+TEST(Mempool, OwnsDetectsForeignPointers) {
+  Mempool pool(2);
+  Packet outside;
+  EXPECT_FALSE(pool.owns(&outside));
+  Packet* inside = pool.alloc();
+  EXPECT_TRUE(pool.owns(inside));
+  pool.free(inside);
+}
+
+TEST(Mempool, ConcurrentAllocFreeConserves) {
+  Mempool pool(512);
+  constexpr int kIterations = 20000;
+  auto worker = [&] {
+    std::vector<Packet*> mine;
+    for (int i = 0; i < kIterations; ++i) {
+      if (Packet* pkt = pool.alloc()) mine.push_back(pkt);
+      if (mine.size() > 16) {
+        pool.free(mine.back());
+        mine.pop_back();
+      }
+    }
+    for (Packet* pkt : mine) pool.free(pkt);
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  EXPECT_EQ(pool.in_use(), 0u);
+  // Full capacity available again.
+  std::vector<Packet*> all;
+  for (std::size_t i = 0; i < pool.capacity(); ++i) {
+    Packet* pkt = pool.alloc();
+    ASSERT_NE(pkt, nullptr);
+    all.push_back(pkt);
+  }
+  EXPECT_EQ(pool.alloc(), nullptr);
+  for (Packet* pkt : all) pool.free(pkt);
+}
+
+TEST(Packet, FitsOneCacheLine) {
+  EXPECT_EQ(sizeof(Packet), 64u);
+}
+
+TEST(Packet, DropFlagRoundTrip) {
+  Packet pkt;
+  EXPECT_FALSE(pkt.dropped());
+  pkt.mark_dropped();
+  EXPECT_TRUE(pkt.dropped());
+}
+
+}  // namespace
+}  // namespace greennfv::nfvsim

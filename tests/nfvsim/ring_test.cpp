@@ -1,0 +1,165 @@
+#include "nfvsim/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace greennfv::nfvsim {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO order
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsToPow2) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, BulkTransfer) {
+  SpscRing<int> ring(16);
+  std::vector<int> in(10);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(ring.try_push_bulk(in), 10u);
+  EXPECT_EQ(ring.size(), 10u);
+  std::vector<int> extra(10, -1);
+  EXPECT_EQ(ring.try_push_bulk(extra), 6u);  // only 6 slots left
+  std::vector<int> out(20, -1);
+  EXPECT_EQ(ring.try_pop_bulk(out), 16u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrderAndCount) {
+  SpscRing<std::uint64_t> ring(256);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kCount) {
+    std::uint64_t v = 0;
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);  // strict FIFO
+      sum += v;
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BulkStressConservesItems) {
+  SpscRing<std::uint64_t> ring(128);
+  constexpr std::uint64_t kCount = 100000;
+  std::thread producer([&] {
+    std::vector<std::uint64_t> burst(32);
+    std::uint64_t next = 0;
+    while (next < kCount) {
+      const std::size_t n =
+          std::min<std::uint64_t>(32, kCount - next);
+      for (std::size_t i = 0; i < n; ++i) burst[i] = next + i;
+      const std::size_t pushed = ring.try_push_bulk(
+          std::span<const std::uint64_t>(burst.data(), n));
+      next += pushed;
+    }
+  });
+  std::uint64_t received = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> out(32);
+  while (received < kCount) {
+    const std::size_t n =
+        ring.try_pop_bulk(std::span<std::uint64_t>(out.data(), 32));
+    for (std::size_t i = 0; i < n; ++i) sum += out[i];
+    received += n;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(MpmcQueue, PushPopSingleThread) {
+  MpmcQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(4));  // full
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+class MpmcStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpmcStress, ConservesItemsAcrossThreads) {
+  const int threads_per_side = GetParam();
+  MpmcQueue<std::uint64_t> queue(1024);
+  constexpr std::uint64_t kPerProducer = 50000;
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+  const std::uint64_t total =
+      kPerProducer * static_cast<std::uint64_t>(threads_per_side);
+
+  std::vector<std::thread> workers;
+  for (int p = 0; p < threads_per_side; ++p) {
+    workers.emplace_back([&, p] {
+      const std::uint64_t base = static_cast<std::uint64_t>(p) * kPerProducer;
+      for (std::uint64_t i = 0; i < kPerProducer;) {
+        if (queue.try_push(base + i)) ++i;
+      }
+    });
+  }
+  for (int c = 0; c < threads_per_side; ++c) {
+    workers.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (consumed_count.load(std::memory_order_relaxed) < total) {
+        if (queue.try_pop(v)) {
+          consumed_sum.fetch_add(v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), total * (total - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MpmcStress, ::testing::Values(1, 2));
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace greennfv::nfvsim

@@ -1,0 +1,194 @@
+#include "rl/ddpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rl/per.hpp"
+#include "tests/rl/toy_env.hpp"
+
+namespace greennfv::rl {
+namespace {
+
+DdpgConfig toy_config() {
+  DdpgConfig config;
+  config.state_dim = 2;
+  config.action_dim = 2;
+  config.actor_hidden = {32, 32};
+  config.critic_hidden = {32, 32};
+  config.actor_lr = 1e-3;
+  config.critic_lr = 2e-3;
+  config.gamma = 0.5;
+  config.batch_size = 32;
+  return config;
+}
+
+TEST(Ddpg, ActionsBoundedByTanh) {
+  DdpgAgent agent(toy_config(), 1);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> state = {rng.uniform(-1, 1),
+                                       rng.uniform(-1, 1)};
+    const auto action = agent.act(state);
+    ASSERT_EQ(action.size(), 2u);
+    for (const double a : action) {
+      EXPECT_GE(a, -1.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(Ddpg, NoisyActionsStayClamped) {
+  DdpgAgent agent(toy_config(), 3);
+  GaussianNoise noise(2, /*sigma=*/5.0);  // extreme noise
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto action =
+        agent.act_noisy(std::vector<double>{0.0, 0.0}, noise, rng);
+    for (const double a : action) {
+      EXPECT_GE(a, -1.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(Ddpg, DeterministicForSeed) {
+  DdpgAgent a(toy_config(), 42);
+  DdpgAgent b(toy_config(), 42);
+  const std::vector<double> state = {0.3, -0.3};
+  const auto act_a = a.act(state);
+  const auto act_b = b.act(state);
+  EXPECT_DOUBLE_EQ(act_a[0], act_b[0]);
+  EXPECT_DOUBLE_EQ(act_a[1], act_b[1]);
+}
+
+TEST(Ddpg, LearnsTargetReachingPolicy) {
+  // The headline algorithm test: after training on the toy bandit the
+  // policy must map state≈target to action≈target.
+  DdpgConfig config = toy_config();
+  DdpgAgent agent(config, 7);
+  testenv::TargetEnv env(2, 8, 7);
+  UniformReplay replay(4096);
+  GaussianNoise noise(2, 0.4, 0.999, 0.05);
+  Rng rng(8);
+
+  double early_reward = 0.0;
+  double late_reward = 0.0;
+  const int episodes = 220;
+  for (int episode = 0; episode < episodes; ++episode) {
+    auto state = env.reset(1000 + static_cast<std::uint64_t>(episode));
+    bool done = false;
+    double episode_reward = 0.0;
+    int steps = 0;
+    while (!done) {
+      const auto action = agent.act_noisy(state, noise, rng);
+      auto sr = env.step(action);
+      Transition t;
+      t.state = state;
+      t.action = action;
+      t.reward = sr.reward;
+      t.next_state = sr.next_state;
+      t.done = sr.done;
+      replay.add(std::move(t), 0.0);
+      episode_reward += sr.reward;
+      state = std::move(sr.next_state);
+      done = sr.done;
+      ++steps;
+      if (replay.size() >= config.batch_size * 2) {
+        (void)agent.train_step(replay, rng);
+      }
+    }
+    const double mean = episode_reward / steps;
+    if (episode < 20) early_reward += mean / 20.0;
+    if (episode >= episodes - 20) late_reward += mean / 20.0;
+  }
+  EXPECT_GT(late_reward, early_reward);
+  EXPECT_GT(late_reward, 0.9);  // near-optimal (max 1.0)
+
+  // Spot-check the learned mapping.
+  const std::vector<double> probe = {0.25, -0.4};
+  const auto action = agent.act(probe);
+  EXPECT_NEAR(action[0], probe[0], 0.15);
+  EXPECT_NEAR(action[1], probe[1], 0.15);
+}
+
+TEST(Ddpg, TrainStepReportsTdErrors) {
+  DdpgConfig config = toy_config();
+  DdpgAgent agent(config, 9);
+  UniformReplay replay(256);
+  Rng rng(10);
+  testenv::TargetEnv env(2, 4, 11);
+  auto state = env.reset(12);
+  for (int i = 0; i < 100; ++i) {
+    const auto action = agent.act(state);
+    auto sr = env.step(action);
+    Transition t;
+    t.state = state;
+    t.action = action;
+    t.reward = sr.reward;
+    t.next_state = sr.next_state;
+    t.done = sr.done;
+    replay.add(std::move(t), 0.0);
+    state = sr.done ? env.reset(13 + static_cast<std::uint64_t>(i))
+                    : std::move(sr.next_state);
+  }
+  const TrainStats stats = agent.train_step(replay, rng);
+  EXPECT_EQ(stats.td_errors.size(), config.batch_size);
+  EXPECT_EQ(stats.indices.size(), config.batch_size);
+  EXPECT_GT(stats.critic_loss, 0.0);
+  for (const double td : stats.td_errors) {
+    EXPECT_GE(td, 0.0);
+    EXPECT_LE(td, config.td_error_clip);
+  }
+  EXPECT_EQ(agent.train_steps(), 1);
+}
+
+TEST(Ddpg, WorksWithPrioritizedReplay) {
+  DdpgConfig config = toy_config();
+  DdpgAgent agent(config, 14);
+  PerConfig per_config;
+  per_config.capacity = 512;
+  PrioritizedReplay replay(per_config);
+  Rng rng(15);
+  testenv::TargetEnv env(2, 4, 16);
+  auto state = env.reset(17);
+  for (int i = 0; i < 100; ++i) {
+    const auto action = agent.act(state);
+    auto sr = env.step(action);
+    Transition t;
+    t.state = state;
+    t.action = action;
+    t.reward = sr.reward;
+    t.next_state = sr.next_state;
+    t.done = sr.done;
+    replay.add(std::move(t), 0.0);
+    state = sr.done ? env.reset(18 + static_cast<std::uint64_t>(i))
+                    : std::move(sr.next_state);
+  }
+  for (int step = 0; step < 10; ++step) {
+    const TrainStats stats = agent.train_step(replay, rng);
+    replay.update_priorities(stats.indices, stats.td_errors);
+  }
+  EXPECT_EQ(agent.train_steps(), 10);
+}
+
+TEST(Ddpg, ActorParameterTransfer) {
+  DdpgAgent a(toy_config(), 19);
+  DdpgAgent b(toy_config(), 20);
+  const std::vector<double> state = {0.1, 0.2};
+  b.set_actor_parameters(a.actor_parameters());
+  const auto act_a = a.act(state);
+  const auto act_b = b.act(state);
+  EXPECT_DOUBLE_EQ(act_a[0], act_b[0]);
+  EXPECT_DOUBLE_EQ(act_a[1], act_b[1]);
+}
+
+TEST(Ddpg, RejectsBadConfig) {
+  DdpgConfig config = toy_config();
+  config.state_dim = 0;
+  EXPECT_DEATH(DdpgAgent(config, 1), "state dim");
+  config = toy_config();
+  config.gamma = 1.5;
+  EXPECT_DEATH(DdpgAgent(config, 1), "gamma");
+}
+
+}  // namespace
+}  // namespace greennfv::rl

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rl/per.hpp"
+
+/// Concurrency tests on the prioritized replay buffer — the shared state of
+/// the Ape-X architecture (actor threads add, the learner samples and
+/// rewrites priorities simultaneously).
+
+namespace greennfv::rl {
+namespace {
+
+Transition make_transition(double tag) {
+  Transition t;
+  t.state = {tag, tag};
+  t.action = {0.0};
+  t.reward = tag;
+  t.next_state = {tag, tag};
+  return t;
+}
+
+TEST(PerConcurrent, ParallelAddersAndSampler) {
+  PerConfig config;
+  config.capacity = 1 << 12;
+  PrioritizedReplay replay(config);
+  constexpr int kAdds = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread adder_a([&] {
+    for (int i = 0; i < kAdds; ++i)
+      replay.add(make_transition(i), 0.0);
+  });
+  std::thread adder_b([&] {
+    for (int i = 0; i < kAdds; ++i)
+      replay.add(make_transition(kAdds + i), 0.0);
+  });
+  std::thread sampler([&] {
+    Rng rng(1);
+    std::uint64_t samples = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (replay.size() >= 64) {
+        const Minibatch batch = replay.sample(64, rng);
+        // Every sampled transition must be internally consistent.
+        for (const Transition& t : batch.transitions) {
+          ASSERT_EQ(t.state.size(), 2u);
+          ASSERT_DOUBLE_EQ(t.state[0], t.reward);
+        }
+        replay.update_priorities(
+            batch.indices, std::vector<double>(batch.indices.size(), 0.5));
+        ++samples;
+      }
+    }
+    EXPECT_GT(samples, 0u);
+  });
+
+  adder_a.join();
+  adder_b.join();
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_EQ(replay.size(), config.capacity);  // wrapped
+}
+
+TEST(PerConcurrent, DecayWhileSampling) {
+  PerConfig config;
+  config.capacity = 1024;
+  PrioritizedReplay replay(config);
+  for (int i = 0; i < 1024; ++i) replay.add(make_transition(i), 1.0);
+
+  std::thread decayer([&] {
+    for (int i = 0; i < 200; ++i) replay.decay_oldest(4);
+  });
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Minibatch batch = replay.sample(32, rng);
+    ASSERT_EQ(batch.size(), 32u);
+  }
+  decayer.join();
+}
+
+}  // namespace
+}  // namespace greennfv::rl

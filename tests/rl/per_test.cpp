@@ -1,0 +1,166 @@
+#include "rl/per.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace greennfv::rl {
+namespace {
+
+Transition make_transition(double tag) {
+  Transition t;
+  t.state = {tag};
+  t.action = {0.0};
+  t.reward = tag;
+  t.next_state = {tag};
+  return t;
+}
+
+TEST(SumTree, TotalTracksUpdates) {
+  SumTree tree(8);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  tree.set(0, 1.0);
+  tree.set(3, 2.0);
+  tree.set(7, 0.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.5);
+  tree.set(3, 0.0);  // overwrite
+  EXPECT_DOUBLE_EQ(tree.total(), 1.5);
+  EXPECT_DOUBLE_EQ(tree.get(0), 1.0);
+  EXPECT_DOUBLE_EQ(tree.get(3), 0.0);
+}
+
+TEST(SumTree, PrefixFindsCorrectLeaf) {
+  SumTree tree(4);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 3.0);
+  tree.set(3, 4.0);
+  // Cumulative: [0,1) -> 0, [1,3) -> 1, [3,6) -> 2, [6,10) -> 3.
+  EXPECT_EQ(tree.find_prefix(0.5), 0u);
+  EXPECT_EQ(tree.find_prefix(1.5), 1u);
+  EXPECT_EQ(tree.find_prefix(4.0), 2u);
+  EXPECT_EQ(tree.find_prefix(9.99), 3u);
+}
+
+class SumTreeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SumTreeSizes, PrefixSamplingMatchesWeights) {
+  const std::size_t n = GetParam();
+  SumTree tree(n);
+  Rng rng(5);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = rng.uniform(0.0, 2.0);
+    tree.set(i, weights[i]);
+    total += weights[i];
+  }
+  EXPECT_NEAR(tree.total(), total, 1e-9);
+  // Empirical sampling frequencies should follow the weights.
+  std::map<std::size_t, int> counts;
+  const int draws = 50000;
+  for (int d = 0; d < draws; ++d) {
+    counts[tree.find_prefix(rng.uniform(0.0, total))] += 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = weights[i] / total;
+    const double got = static_cast<double>(counts[i]) / draws;
+    EXPECT_NEAR(got, expected, 0.02) << "leaf " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SumTreeSizes, ::testing::Values(3, 8, 17));
+
+TEST(Per, HighPriorityIsSampledMoreOften) {
+  PerConfig config;
+  config.capacity = 64;
+  config.alpha = 1.0;
+  PrioritizedReplay replay(config);
+  for (int i = 0; i < 20; ++i) replay.add(make_transition(i), 0.1);
+  // Give entry 7 a huge priority.
+  replay.update_priorities({7}, {100.0});
+  Rng rng(6);
+  int hits = 0;
+  const int draws = 400;
+  for (int d = 0; d < draws; ++d) {
+    const Minibatch batch = replay.sample(4, rng);
+    for (const auto idx : batch.indices)
+      if (idx == 7) ++hits;
+  }
+  // Expected share is ~100/(100+19*0.1) ≈ 90%+ of draws include it.
+  EXPECT_GT(hits, draws / 2);
+}
+
+TEST(Per, ImportanceWeightsNormalized) {
+  PerConfig config;
+  config.capacity = 32;
+  PrioritizedReplay replay(config);
+  for (int i = 0; i < 16; ++i) replay.add(make_transition(i), 0.0);
+  replay.update_priorities({3}, {50.0});
+  Rng rng(7);
+  const Minibatch batch = replay.sample(8, rng);
+  for (const double w : batch.weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-9);  // max-normalized
+  }
+}
+
+TEST(Per, BetaAnnealsTowardOne) {
+  PerConfig config;
+  config.capacity = 16;
+  config.beta = 0.4;
+  config.beta_final = 1.0;
+  config.beta_anneal_steps = 10;
+  PrioritizedReplay replay(config);
+  for (int i = 0; i < 8; ++i) replay.add(make_transition(i), 0.0);
+  EXPECT_NEAR(replay.current_beta(), 0.4, 1e-9);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) (void)replay.sample(2, rng);
+  EXPECT_NEAR(replay.current_beta(), 1.0, 1e-9);
+}
+
+TEST(Per, CapacityEvictionKeepsSizeBounded) {
+  PerConfig config;
+  config.capacity = 8;
+  PrioritizedReplay replay(config);
+  for (int i = 0; i < 50; ++i) replay.add(make_transition(i), 0.0);
+  EXPECT_EQ(replay.size(), 8u);
+}
+
+TEST(Per, DecayOldestRemovesFromSampling) {
+  PerConfig config;
+  config.capacity = 8;
+  config.alpha = 1.0;
+  config.epsilon = 1e-9;  // keep decayed priorities ~0
+  PrioritizedReplay replay(config);
+  for (int i = 0; i < 8; ++i) replay.add(make_transition(i), 1.0);
+  replay.decay_oldest(4);  // entries 0-3 become unsampleable
+  Rng rng(9);
+  for (int d = 0; d < 100; ++d) {
+    const Minibatch batch = replay.sample(4, rng);
+    for (const auto& t : batch.transitions) {
+      EXPECT_GE(t.reward, 4.0);  // only the newer half remains
+    }
+  }
+}
+
+TEST(Per, NewSamplesGetMaxPriority) {
+  PerConfig config;
+  config.capacity = 16;
+  config.alpha = 1.0;
+  PrioritizedReplay replay(config);
+  replay.add(make_transition(0), 0.0);
+  replay.update_priorities({0}, {10.0});
+  // A fresh add must inherit max priority (10), so it competes immediately.
+  replay.add(make_transition(1), 0.0);
+  Rng rng(10);
+  int newcomer = 0;
+  for (int d = 0; d < 200; ++d) {
+    const Minibatch batch = replay.sample(1, rng);
+    if (batch.transitions[0].reward == 1.0) ++newcomer;
+  }
+  EXPECT_GT(newcomer, 50);  // roughly half the draws
+}
+
+}  // namespace
+}  // namespace greennfv::rl

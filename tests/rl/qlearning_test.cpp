@@ -1,0 +1,113 @@
+#include "rl/qlearning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/rl/toy_env.hpp"
+
+namespace greennfv::rl {
+namespace {
+
+class DiscretizerLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscretizerLevels, EncodeDecodeStaysInCell) {
+  const int levels = GetParam();
+  Discretizer disc(3, levels);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> point = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                 rng.uniform(-1, 1)};
+    const auto cell = disc.encode(point);
+    EXPECT_LT(cell, disc.num_cells());
+    const auto center = disc.decode(cell);
+    // Re-encoding the center must give the same cell (idempotence).
+    EXPECT_EQ(disc.encode(center), cell);
+    // The center must be within half a cell width of the point.
+    const double half_width = 1.0 / levels;
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_LE(std::fabs(center[d] - point[d]), half_width + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DiscretizerLevels,
+                         ::testing::Values(2, 3, 4, 7));
+
+TEST(Discretizer, CellCount) {
+  EXPECT_EQ(Discretizer(5, 3).num_cells(), 243u);  // the paper's O(k^5)
+  EXPECT_EQ(Discretizer(2, 4).num_cells(), 16u);
+}
+
+TEST(Discretizer, BoundaryValues) {
+  Discretizer disc(1, 4);
+  EXPECT_EQ(disc.encode(std::vector<double>{-1.0}), 0u);
+  EXPECT_EQ(disc.encode(std::vector<double>{1.0}), 3u);  // clamped inside
+  EXPECT_EQ(disc.encode(std::vector<double>{-0.51}), 0u);
+  EXPECT_EQ(disc.encode(std::vector<double>{-0.49}), 1u);
+}
+
+QLearningConfig toy_config() {
+  QLearningConfig config;
+  config.state_dim = 1;
+  config.action_dim = 1;
+  config.state_levels = 4;
+  config.action_levels = 5;
+  config.alpha = 0.3;
+  config.gamma = 0.0;  // pure bandit
+  config.epsilon = 1.0;
+  config.epsilon_min = 0.05;
+  config.epsilon_decay = 0.995;
+  return config;
+}
+
+TEST(QLearning, LearnsContextualBandit) {
+  // Reward = 1 - (a - s)^2: best discrete action tracks the state.
+  QLearningAgent agent(toy_config(), 2);
+  Rng rng(3);
+  for (int step = 0; step < 8000; ++step) {
+    const std::vector<double> state = {rng.uniform(-1, 1)};
+    const auto action = agent.act(state);
+    const double diff = action[0] - state[0];
+    const double reward = 1.0 - diff * diff;
+    agent.update(state, action, reward, state, true);
+  }
+  // Greedy policy should now choose the cell nearest the state.
+  for (const double s : {-0.9, -0.3, 0.3, 0.9}) {
+    const auto action = agent.act_greedy(std::vector<double>{s});
+    EXPECT_NEAR(action[0], s, 0.45) << "state " << s;
+  }
+}
+
+TEST(QLearning, EpsilonDecays) {
+  QLearningAgent agent(toy_config(), 4);
+  const double initial = agent.epsilon();
+  for (int i = 0; i < 200; ++i) {
+    agent.update(std::vector<double>{0.0}, std::vector<double>{0.0}, 0.0,
+                 std::vector<double>{0.0}, true);
+  }
+  EXPECT_LT(agent.epsilon(), initial);
+  EXPECT_GE(agent.epsilon(), 0.05);
+}
+
+TEST(QLearning, GreedyOnUnseenStateIsNeutral) {
+  QLearningAgent agent(toy_config(), 5);
+  const auto action = agent.act_greedy(std::vector<double>{0.77});
+  EXPECT_DOUBLE_EQ(action[0], 0.0);  // mid-range fallback
+}
+
+TEST(QLearning, TableGrowsLazily) {
+  QLearningAgent agent(toy_config(), 6);
+  EXPECT_EQ(agent.table_entries(), 0u);
+  (void)agent.act(std::vector<double>{0.5});
+  EXPECT_LE(agent.table_entries(), 1u);
+  EXPECT_EQ(agent.num_actions(), 5u);
+}
+
+TEST(QLearning, RejectsHugeActionSpace) {
+  QLearningConfig config = toy_config();
+  config.action_dim = 15;  // 5^15 actions — the paper's blow-up
+  config.action_levels = 5;
+  EXPECT_DEATH(QLearningAgent(config, 1), "too large");
+}
+
+}  // namespace
+}  // namespace greennfv::rl

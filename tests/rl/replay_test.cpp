@@ -1,0 +1,67 @@
+#include "rl/replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::rl {
+namespace {
+
+Transition make_transition(double reward) {
+  Transition t;
+  t.state = {reward};
+  t.action = {0.0};
+  t.reward = reward;
+  t.next_state = {reward + 1.0};
+  return t;
+}
+
+TEST(UniformReplay, FillsThenEvictsOldest) {
+  UniformReplay replay(4);
+  for (int i = 0; i < 4; ++i) replay.add(make_transition(i), 0.0);
+  EXPECT_EQ(replay.size(), 4u);
+  replay.add(make_transition(99), 0.0);  // evicts reward=0
+  EXPECT_EQ(replay.size(), 4u);
+  Rng rng(1);
+  bool saw_new = false;
+  bool saw_old = false;
+  for (int i = 0; i < 200; ++i) {
+    const Minibatch batch = replay.sample(1, rng);
+    if (batch.transitions[0].reward == 99.0) saw_new = true;
+    if (batch.transitions[0].reward == 0.0) saw_old = true;
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_FALSE(saw_old);
+}
+
+TEST(UniformReplay, SampleShapesAndUnitWeights) {
+  UniformReplay replay(16);
+  for (int i = 0; i < 10; ++i) replay.add(make_transition(i), 0.0);
+  Rng rng(2);
+  const Minibatch batch = replay.sample(5, rng);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(batch.indices.size(), 5u);
+  for (const double w : batch.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+  for (const auto idx : batch.indices) EXPECT_LT(idx, 10u);
+}
+
+TEST(UniformReplay, SampleRequiresEnoughData) {
+  UniformReplay replay(8);
+  replay.add(make_transition(1), 0.0);
+  Rng rng(3);
+  EXPECT_DEATH((void)replay.sample(2, rng), "not enough data");
+}
+
+TEST(UniformReplay, UpdatePrioritiesIsNoOp) {
+  UniformReplay replay(8);
+  replay.add(make_transition(1), 0.0);
+  replay.update_priorities({0}, {42.0});  // must not crash or change size
+  EXPECT_EQ(replay.size(), 1u);
+}
+
+TEST(UniformReplay, CapacityReported) {
+  UniformReplay replay(32);
+  EXPECT_EQ(replay.capacity(), 32u);
+  EXPECT_EQ(replay.size(), 0u);
+}
+
+}  // namespace
+}  // namespace greennfv::rl

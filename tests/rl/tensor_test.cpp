@@ -1,0 +1,102 @@
+#include "rl/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace greennfv::rl {
+namespace {
+
+TEST(Matrix, IndexingRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 2) = 3.0;
+  m(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3.0);
+  EXPECT_DOUBLE_EQ(m.data()[4], 5.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Matrix, RowSpan) {
+  Matrix m(2, 2);
+  m(1, 0) = 7.0;
+  m(1, 1) = 8.0;
+  const auto row = m.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 7.0);
+  EXPECT_DOUBLE_EQ(row[1], 8.0);
+}
+
+TEST(Matrix, XavierBounds) {
+  Rng rng(1);
+  Matrix m(64, 64);
+  m.xavier_init(rng);
+  const double bound = std::sqrt(6.0 / 128.0);
+  for (const double w : m.flat()) {
+    EXPECT_GE(w, -bound);
+    EXPECT_LE(w, bound);
+  }
+  // Not all zero.
+  EXPECT_GT(norm2(m.flat()), 0.1);
+}
+
+TEST(Matrix, UniformInitBounds) {
+  Rng rng(2);
+  Matrix m(10, 10);
+  m.uniform_init(rng, 3e-3);
+  for (const double w : m.flat()) EXPECT_LE(std::fabs(w), 3e-3);
+}
+
+TEST(Kernels, MatvecKnownValues) {
+  Matrix w(2, 3);
+  // [1 2 3; 4 5 6] * [1;1;1] + [10;20] = [16;35]
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, w.data());
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> b = {10, 20};
+  std::vector<double> y(2);
+  matvec(w, x, b, y);
+  EXPECT_DOUBLE_EQ(y[0], 16.0);
+  EXPECT_DOUBLE_EQ(y[1], 35.0);
+}
+
+TEST(Kernels, MatvecTransposeKnownValues) {
+  Matrix w(2, 3);
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, w.data());
+  const std::vector<double> g = {1, 2};  // y-grad
+  std::vector<double> xg(3);
+  matvec_transpose(w, g, xg);
+  // W^T g = [1+8, 2+10, 3+12]
+  EXPECT_DOUBLE_EQ(xg[0], 9.0);
+  EXPECT_DOUBLE_EQ(xg[1], 12.0);
+  EXPECT_DOUBLE_EQ(xg[2], 15.0);
+}
+
+TEST(Kernels, OuterAccumulation) {
+  Matrix dw(2, 2);
+  const std::vector<double> g = {1, 2};
+  const std::vector<double> x = {3, 4};
+  accumulate_outer(dw, g, x);
+  accumulate_outer(dw, g, x);  // accumulates, not overwrites
+  EXPECT_DOUBLE_EQ(dw(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(dw(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(dw(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(dw(1, 1), 16.0);
+}
+
+TEST(Kernels, DotAxpyNorm) {
+  const std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace greennfv::rl

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "rl/env.hpp"
+
+/// \file toy_env.hpp
+/// Tiny continuous-control environments for testing the RL stack without
+/// the NFV simulator in the loop.
+
+namespace greennfv::rl::testenv {
+
+/// Contextual target-reaching bandit: the state encodes a target point in
+/// [-0.5, 0.5]^d; reward = 1 - ||action - target||^2 / d. The optimal
+/// policy is action = target, achievable exactly by a tanh actor.
+class TargetEnv final : public Environment {
+ public:
+  TargetEnv(std::size_t dim, int steps_per_episode, std::uint64_t seed)
+      : dim_(dim), steps_(steps_per_episode), rng_(seed) {}
+
+  [[nodiscard]] std::size_t state_dim() const override { return dim_; }
+  [[nodiscard]] std::size_t action_dim() const override { return dim_; }
+
+  [[nodiscard]] std::vector<double> reset(std::uint64_t seed) override {
+    rng_ = Rng(seed);
+    step_count_ = 0;
+    target_ = draw_target();
+    return target_;
+  }
+
+  [[nodiscard]] StepResult step(std::span<const double> action) override {
+    double err = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const double d = action[i] - target_[i];
+      err += d * d;
+    }
+    StepResult result;
+    result.reward = 1.0 - err / static_cast<double>(dim_);
+    target_ = draw_target();
+    result.next_state = target_;
+    result.done = ++step_count_ >= steps_;
+    return result;
+  }
+
+ private:
+  std::size_t dim_;
+  int steps_;
+  int step_count_ = 0;
+  Rng rng_;
+  std::vector<double> target_;
+
+  std::vector<double> draw_target() {
+    std::vector<double> t(dim_);
+    for (double& v : t) v = rng_.uniform(-0.5, 0.5);
+    return t;
+  }
+};
+
+}  // namespace greennfv::rl::testenv

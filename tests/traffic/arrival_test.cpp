@@ -1,0 +1,110 @@
+#include "traffic/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greennfv::traffic {
+namespace {
+
+TEST(Cbr, ExactRateEveryWindow) {
+  CbrArrival cbr(1e6);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(cbr.rate_in_window(0.1, rng), 1e6);
+  EXPECT_DOUBLE_EQ(cbr.mean_rate_pps(), 1e6);
+}
+
+TEST(Poisson, WindowMeanConverges) {
+  PoissonArrival poisson(5e5);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += poisson.rate_in_window(0.01, rng);
+  EXPECT_NEAR(sum / n, 5e5, 0.05 * 5e5);
+}
+
+TEST(Poisson, VariesBetweenWindows) {
+  PoissonArrival poisson(1e4);
+  Rng rng(3);
+  const double first = poisson.rate_in_window(0.001, rng);
+  bool varied = false;
+  for (int i = 0; i < 50 && !varied; ++i)
+    varied = poisson.rate_in_window(0.001, rng) != first;
+  EXPECT_TRUE(varied);
+}
+
+class MmppShapes
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MmppShapes, LongRunMeanMatches) {
+  const auto [peak_to_mean, dwell] = GetParam();
+  MmppArrival mmpp(1e6, peak_to_mean, dwell);
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += mmpp.rate_in_window(0.05, rng);
+  EXPECT_NEAR(sum / n, 1e6, 0.08 * 1e6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MmppShapes,
+    ::testing::Values(std::make_pair(1.5, 0.2), std::make_pair(2.0, 0.5),
+                      std::make_pair(3.0, 1.0)));
+
+TEST(Mmpp, HighStateAboveLowState) {
+  MmppArrival mmpp(1e6, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(mmpp.high_rate_pps(), 3e6);
+  EXPECT_DOUBLE_EQ(mmpp.low_rate_pps(), 0.0);  // 2*mean - high clamps at 0
+  MmppArrival mild(1e6, 1.5, 0.5);
+  EXPECT_DOUBLE_EQ(mild.high_rate_pps(), 1.5e6);
+  EXPECT_DOUBLE_EQ(mild.low_rate_pps(), 0.5e6);
+}
+
+TEST(Mmpp, BurstyWindowsSpanStates) {
+  MmppArrival mmpp(1e6, 3.0, 0.5);
+  Rng rng(5);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double r = mmpp.rate_in_window(0.05, rng);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(lo, 0.5e6);  // touched the low phase
+  EXPECT_GT(hi, 2.5e6);  // touched the high phase
+}
+
+TEST(OnOff, DutyCycleMatchesPeakToMean) {
+  OnOffArrival onoff(1e6, 4.0, 0.2);
+  Rng rng(6);
+  int silent = 0;
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double r = onoff.rate_in_window(0.01, rng);
+    sum += r;
+    if (r == 0.0) ++silent;
+  }
+  // On 1/4 of the time -> silent ~75% of short windows.
+  EXPECT_NEAR(static_cast<double>(silent) / n, 0.75, 0.08);
+  EXPECT_NEAR(sum / n, 1e6, 0.1 * 1e6);
+}
+
+TEST(Arrival, CloneIsIndependent) {
+  MmppArrival original(1e6, 3.0, 0.5);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto copy = original.clone();
+  // Original advances; the clone keeps its own phase state.
+  (void)original.rate_in_window(1.0, rng_a);
+  const double from_clone = copy->rate_in_window(1.0, rng_b);
+  EXPECT_GE(from_clone, 0.0);
+}
+
+TEST(Arrival, RejectsBadParameters) {
+  EXPECT_DEATH(CbrArrival(-1.0), "non-negative");
+  EXPECT_DEATH(MmppArrival(1e6, 0.5, 0.5), "peak/mean");
+  EXPECT_DEATH(MmppArrival(1e6, 2.0, 0.0), "dwell");
+}
+
+}  // namespace
+}  // namespace greennfv::traffic

@@ -1,0 +1,120 @@
+#include "traffic/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace greennfv::traffic {
+namespace {
+
+TEST(Generator, EvalFlowsHitAggregateTarget) {
+  const auto flows = make_eval_flows(5, 3, 12.0, 42);
+  ASSERT_EQ(flows.size(), 5u);
+  double gbps = 0.0;
+  for (const auto& f : flows) gbps += f.mean_rate_gbps();
+  EXPECT_NEAR(gbps, 12.0, 1e-6);
+}
+
+TEST(Generator, EvalFlowsSpreadOverChains) {
+  const auto flows = make_eval_flows(5, 3, 12.0, 42);
+  std::set<int> chains;
+  for (const auto& f : flows) chains.insert(f.chain_index);
+  EXPECT_EQ(chains.size(), 3u);
+  for (const auto& f : flows) {
+    EXPECT_GE(f.chain_index, 0);
+    EXPECT_LT(f.chain_index, 3);
+    EXPECT_GE(f.pkt_bytes, 64u);
+    EXPECT_LE(f.pkt_bytes, 1518u);
+  }
+}
+
+class EvalFlowSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvalFlowSeeds, AlwaysValid) {
+  const auto flows = make_eval_flows(8, 3, 10.0, GetParam());
+  for (const auto& f : flows) EXPECT_NO_THROW(validate(f));
+  double gbps = 0.0;
+  for (const auto& f : flows) gbps += f.mean_rate_gbps();
+  EXPECT_NEAR(gbps, 10.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalFlowSeeds,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Generator, LineRateFlowAccountsForFraming) {
+  const FlowSpec flow = line_rate_flow(1518);
+  // 10 Gbps over (1518+20)*8 wire bits.
+  EXPECT_NEAR(flow.mean_rate_pps, 1e10 / ((1518 + 20) * 8.0), 1.0);
+  const FlowSpec small = line_rate_flow(64);
+  EXPECT_NEAR(small.mean_rate_pps, 1e10 / ((64 + 20) * 8.0), 1.0);
+  EXPECT_NEAR(small.mean_rate_pps, 14.88e6, 0.01e6);  // the classic 14.88 Mpps
+}
+
+TEST(Generator, WindowsSumFlows) {
+  std::vector<FlowSpec> flows = {line_rate_flow(1518)};
+  FlowSpec second = line_rate_flow(64);
+  second.id = 1;
+  second.mean_rate_pps = 1e6;
+  flows.push_back(second);
+  TrafficGenerator gen(flows, 11);
+  const WindowLoad load = gen.next_window(0.5);
+  EXPECT_EQ(load.per_flow_pps.size(), 2u);
+  EXPECT_NEAR(load.total_pps,
+              load.per_flow_pps[0] + load.per_flow_pps[1], 1e-6);
+  EXPECT_NEAR(gen.time_s(), 0.5, 1e-12);
+}
+
+TEST(Generator, TcpBacksOffOnDrops) {
+  FlowSpec tcp;
+  tcp.proto = Protocol::kTcp;
+  tcp.arrival = ArrivalKind::kCbr;
+  tcp.mean_rate_pps = 1e6;
+  tcp.pkt_bytes = 512;
+  TrafficGenerator gen({tcp}, 12);
+  const double before = gen.next_window(0.1).per_flow_pps[0];
+  gen.report_feedback(0, 0.5e6, 0.5e6);  // heavy drops
+  const double after = gen.next_window(0.1).per_flow_pps[0];
+  EXPECT_LT(after, before);
+  // Recovery: several clean windows climb back.
+  for (int i = 0; i < 10; ++i) gen.report_feedback(0, after, 0.0);
+  const double recovered = gen.next_window(0.1).per_flow_pps[0];
+  EXPECT_GT(recovered, after);
+}
+
+TEST(Generator, UdpIgnoresFeedback) {
+  FlowSpec udp = line_rate_flow(512);
+  TrafficGenerator gen({udp}, 13);
+  const double before = gen.next_window(0.1).per_flow_pps[0];
+  gen.report_feedback(0, 0.0, 1e6);
+  const double after = gen.next_window(0.1).per_flow_pps[0];
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(Generator, ResetRestoresTime) {
+  TrafficGenerator gen({line_rate_flow(512)}, 14);
+  (void)gen.next_window(1.0);
+  (void)gen.next_window(1.0);
+  EXPECT_NEAR(gen.time_s(), 2.0, 1e-12);
+  gen.reset(14);
+  EXPECT_NEAR(gen.time_s(), 0.0, 1e-12);
+}
+
+TEST(Generator, ValidateRejectsBadSpecs) {
+  FlowSpec bad = line_rate_flow(512);
+  bad.pkt_bytes = 32;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = line_rate_flow(512);
+  bad.mean_rate_pps = -1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = line_rate_flow(512);
+  bad.chain_index = -2;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Generator, ProtocolAndKindNames) {
+  EXPECT_EQ(to_string(Protocol::kUdp), "udp");
+  EXPECT_EQ(to_string(ArrivalKind::kMmpp), "mmpp");
+}
+
+}  // namespace
+}  // namespace greennfv::traffic
