@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Per-PR gate for the GreenNFV tree:
+#   1. the tier-1 verify line from ROADMAP.md (Release build, full ctest)
+#   2. an ASan/UBSan Debug build of the test suite, with the nfvsim suites
+#      (threaded engine, mempool, ring) always run under the sanitizers —
+#      that's where data races and lifetime bugs would land.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== [1/2] tier-1 verify: Release build + full ctest ==="
+# Pin every option: a stale build/ cache (Debug, sanitizers, bench off...)
+# must not silently weaken what this gate claims to have checked.
+cmake -B build -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DGREENNFV_SANITIZE=OFF \
+  -DGREENNFV_BUILD_TESTS=ON \
+  -DGREENNFV_BUILD_BENCH=ON \
+  -DGREENNFV_BUILD_EXAMPLES=ON
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
+
+echo
+echo "=== [2/2] sanitizer gate: ASan/UBSan Debug build ==="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DGREENNFV_SANITIZE=ON \
+  -DGREENNFV_BUILD_TESTS=ON \
+  -DGREENNFV_BUILD_BENCH=OFF \
+  -DGREENNFV_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$JOBS"
+
+# The threaded data path is the sanitizer-critical surface; run its suites
+# explicitly (pattern match keeps this in sync as nfvsim tests are added),
+# then the rest of the tree.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+(cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -R '^nfvsim\.')
+(cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -E '^nfvsim\.')
+
+echo
+echo "ci.sh: all green"

@@ -62,7 +62,9 @@ TEST_P(OndemandLoads, MonotoneInLoad) {
   EXPECT_GE(f_higher + 1e-12, f);
   EXPECT_GE(f, 1.2);
   EXPECT_LE(f, 2.1);
-  if (load >= 0.8) EXPECT_NEAR(f, 2.1, 1e-9);  // up-threshold jump
+  if (load >= 0.8) {  // up-threshold jump
+    EXPECT_NEAR(f, 2.1, 1e-9);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Loads, OndemandLoads,

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/greennfv.hpp"
+#include "telemetry/recorder.hpp"
+
+/// Reproducibility pin: the whole stack (common/rng.cpp xoshiro streams,
+/// traffic realization, analytic engine, DDPG updates) is seed-determined,
+/// so two synchronous training runs from the same TrainerConfig must agree
+/// bit-for-bit — same TrainResult and same per-episode curves. If this test
+/// starts failing, something introduced hidden global state or an
+/// iteration-order dependence.
+
+namespace greennfv::core {
+namespace {
+
+TrainerConfig small_config(std::uint64_t seed) {
+  TrainerConfig config;
+  config.env.num_chains = 2;
+  config.env.num_flows = 3;
+  config.env.window_s = 2.0;
+  config.env.sub_windows = 2;
+  config.env.steps_per_episode = 3;
+  config.episodes = 6;
+  config.ddpg.batch_size = 8;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Determinism, SameSeedSameTrainResult) {
+  telemetry::Recorder curves_a;
+  telemetry::Recorder curves_b;
+  GreenNfvTrainer trainer_a(small_config(42));
+  GreenNfvTrainer trainer_b(small_config(42));
+  const TrainResult a = trainer_a.train(&curves_a);
+  const TrainResult b = trainer_b.train(&curves_b);
+
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.train_steps, b.train_steps);
+  EXPECT_EQ(a.tail_gbps, b.tail_gbps);
+  EXPECT_EQ(a.tail_energy_j, b.tail_energy_j);
+  EXPECT_EQ(a.tail_reward, b.tail_reward);
+  EXPECT_EQ(a.tail_efficiency, b.tail_efficiency);
+
+  ASSERT_EQ(curves_a.series_names(), curves_b.series_names());
+  for (const std::string& name : curves_a.series_names()) {
+    const TimeSeries& sa = curves_a.series(name);
+    const TimeSeries& sb = curves_b.series(name);
+    ASSERT_EQ(sa.size(), sb.size()) << "series " << name;
+    EXPECT_EQ(sa.values(), sb.values()) << "series " << name;
+  }
+}
+
+TEST(Determinism, DifferentSeedDifferentTrajectory) {
+  GreenNfvTrainer trainer_a(small_config(42));
+  GreenNfvTrainer trainer_b(small_config(43));
+  const TrainResult a = trainer_a.train();
+  const TrainResult b = trainer_b.train();
+  // A seed change reshuffles traffic, exploration noise, and weight init;
+  // a bit-identical reward tail would mean the seed is being ignored.
+  EXPECT_NE(a.tail_reward, b.tail_reward);
+}
+
+}  // namespace
+}  // namespace greennfv::core
