@@ -6,27 +6,28 @@
 ///   C. pure polling vs hybrid callback+polling NF scheduling
 ///   D. SDN flow steering on/off under skewed traffic (§6 future work)
 ///
-/// Each section prints its own mini-table. Overrides: episodes=N seed=K.
+/// Every section builds its environment from the same resolved
+/// ScenarioSpec (paper-default unless scenario= overrides). Each prints
+/// its own mini-table. Overrides: any scenario key (episodes=N seed=K...).
 
 #include <cstdio>
 
-#include "bench/train_util.hpp"
+#include "bench/bench_util.hpp"
 #include "core/heuristic.hpp"
-#include "core/nf_controller.hpp"
 #include "core/sdn_controller.hpp"
+#include "scenario/experiment.hpp"
 
 using namespace greennfv;
 using namespace greennfv::core;
 
 namespace {
 
-void ablate_replay(const Config& config) {
+void ablate_replay(const scenario::ScenarioSpec& spec) {
   std::printf("\n[A] prioritized vs uniform replay (EnergyEfficiency SLA)\n");
-  const int episodes = static_cast<int>(config.get_int("episodes", 300));
   std::vector<std::vector<std::string>> rows;
   for (const bool prioritized : {true, false}) {
-    TrainerConfig trainer_config = bench::standard_trainer(
-        config, Sla::energy_efficiency(), episodes);
+    TrainerConfig trainer_config =
+        spec.trainer_config(spec.sla(SlaKind::kEnergyEfficiency));
     trainer_config.prioritized_replay = prioritized;
     GreenNfvTrainer trainer(trainer_config);
     const TrainResult result = trainer.train();
@@ -39,20 +40,18 @@ void ablate_replay(const Config& config) {
                      rows);
 }
 
-void ablate_reward_shape(const Config& config) {
+void ablate_reward_shape(const scenario::ScenarioSpec& spec) {
   std::printf("\n[B] gated (paper) vs shaped rewards (MaxThroughput SLA)\n");
-  const int episodes = static_cast<int>(config.get_int("episodes", 300));
   std::vector<std::vector<std::string>> rows;
   for (const bool shaped : {false, true}) {
-    TrainerConfig trainer_config = bench::standard_trainer(
-        config, Sla::max_throughput(2000.0), episodes);
+    TrainerConfig trainer_config =
+        spec.trainer_config(spec.sla(SlaKind::kMaxThroughput));
     trainer_config.env.shaped_reward = shaped;
     GreenNfvTrainer trainer(trainer_config);
     (void)trainer.train();
     auto scheduler = trainer.make_scheduler("x");
     const EvalResult eval = evaluate_scheduler(
-        trainer_config.env, *scheduler, 8,
-        static_cast<std::uint64_t>(config.get_int("seed", 42)) + 31);
+        trainer_config.env, *scheduler, 8, spec.seed + 31);
     rows.push_back({shaped ? "shaped" : "gated (paper)",
                     format_double(eval.mean_gbps, 2),
                     format_double(eval.mean_energy_j, 0),
@@ -61,15 +60,14 @@ void ablate_reward_shape(const Config& config) {
   bench::print_table({"reward", "Gbps", "Energy(J)", "SLA met"}, rows);
 }
 
-void ablate_sched_mode(const Config& config) {
+void ablate_sched_mode(const scenario::ScenarioSpec& spec) {
   std::printf("\n[C] pure polling vs hybrid callback+polling\n");
   // Identical knobs and traffic; only the scheduling discipline differs.
-  EnvConfig env_config =
-      bench::standard_env(config, Sla::energy_efficiency());
+  const EnvConfig env_config = spec.env_config();
   std::vector<std::vector<std::string>> rows;
   for (const nfvsim::SchedMode mode :
        {nfvsim::SchedMode::kPoll, nfvsim::SchedMode::kHybrid}) {
-    NfvEnvironment env(env_config, 42);
+    NfvEnvironment env(env_config, spec.seed);
     env.controller().set_sched_mode(mode);
     env.controller().set_use_cat(true);
     std::vector<nfvsim::ChainKnobs> knobs(
@@ -96,13 +94,12 @@ void ablate_sched_mode(const Config& config) {
               " duty — the paper's\nhybrid callback design in one table.\n");
 }
 
-void ablate_sdn(const Config& config) {
+void ablate_sdn(const scenario::ScenarioSpec& spec) {
   std::printf("\n[D] SDN flow steering under skewed load (§6 extension)\n");
-  EnvConfig env_config =
-      bench::standard_env(config, Sla::energy_efficiency());
+  const EnvConfig env_config = spec.env_config();
   std::vector<std::vector<std::string>> rows;
   for (const bool steering : {false, true}) {
-    NfvEnvironment env(env_config, 42);
+    NfvEnvironment env(env_config, spec.seed);
     HeuristicScheduler heuristic{env_config.spec, HeuristicConfig{}};
     NfController controller(env, heuristic);
     SdnController sdn;
@@ -132,11 +129,17 @@ void ablate_sdn(const Config& config) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config config = Config::from_args(argc, argv);
-  bench::banner("Ablations", "design-choice studies", config);
-  ablate_replay(config);
-  ablate_reward_shape(config);
-  ablate_sched_mode(config);
-  ablate_sdn(config);
+  const Config cli = Config::from_args(argc, argv);
+  if (bench::handle_cli(cli, scenario::ScenarioSpec::known_keys(),
+                        scenario::ScenarioSpec::known_prefixes()))
+    return 0;
+  Config config = cli;
+  if (!config.has("episodes")) config.set("episodes", "300");
+  const scenario::ScenarioSpec spec = scenario::resolve(config);
+  bench::banner("Ablations", "design-choice studies", cli, spec.name);
+  ablate_replay(spec);
+  ablate_reward_shape(spec);
+  ablate_sched_mode(spec);
+  ablate_sdn(spec);
   return 0;
 }

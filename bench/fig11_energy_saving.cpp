@@ -14,57 +14,77 @@
 ///
 /// Expected shape (paper): ~20-25% saving after the first hour, growing
 /// toward ~60% as the one-time training cost amortizes.
+///
+/// Overrides: any scenario key, plus fleet=N (hosting nodes the one-time
+/// training cost amortizes over; the paper's testbed hosts chains on 3).
 
 #include <cstdio>
 
-#include "bench/train_util.hpp"
-#include "core/nf_controller.hpp"
+#include "bench/bench_util.hpp"
+#include "scenario/experiment.hpp"
 
 using namespace greennfv;
 using namespace greennfv::core;
 
 int main(int argc, char** argv) {
-  const Config config = Config::from_args(argc, argv);
-  bench::banner("Figure 11", "energy saving incl. training cost", config);
-  const int episodes = static_cast<int>(config.get_int("episodes", 400));
-  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
-
-  const double reference_j = hwmodel::NodeSpec{}.p_max_w * 10.0;
-  TrainerConfig trainer_config = bench::standard_trainer(
-      config, Sla::min_energy(7.5, reference_j), episodes);
+  const Config cli = Config::from_args(argc, argv);
+  if (bench::handle_cli(
+          cli,
+          bench::keys_plus(scenario::ScenarioSpec::known_keys(), {"fleet"}),
+          scenario::ScenarioSpec::known_prefixes()))
+    return 0;
+  Config config = cli;
+  if (!config.has("sla")) config.set("sla", "mine");
+  if (!config.has("eval_windows")) config.set("eval_windows", "8");
+  const scenario::ScenarioSpec spec = scenario::resolve(config);
+  bench::banner("Figure 11", "energy saving incl. training cost", cli,
+                spec.name);
 
   // Train while accounting the energy every training episode burned.
   telemetry::Recorder curves;
-  GreenNfvTrainer trainer(trainer_config);
+  GreenNfvTrainer trainer(spec.trainer_config(spec.sla()));
   (void)trainer.train(&curves);
   const auto& train_energy = curves.series("energy_j");
   double e_train_j = 0.0;
   for (const double e : train_energy.values())
-    e_train_j += e * trainer_config.env.steps_per_episode;
-  auto scheduler = trainer.make_scheduler("GreenNFV(MinE)");
+    e_train_j += e * spec.steps_per_episode;
 
-  // Steady-state powers of the trained policy and the baseline.
-  BaselineScheduler baseline{trainer_config.env.spec};
-  const EvalResult base =
-      evaluate_scheduler(trainer_config.env, baseline, 8, seed + 5);
-  const EvalResult green =
-      evaluate_scheduler(trainer_config.env, *scheduler, 8, seed + 5);
+  // Steady-state powers of the trained policy and the baseline, measured
+  // by the same runner on the same traffic.
+  scenario::ExperimentRunner runner(spec);
+  std::vector<scenario::SchedulerFactory> roster =
+      scenario::filter_roster(scenario::default_roster(spec), "baseline");
+  roster.push_back(
+      {"GreenNFV(MinE)", 2,
+       [&trainer](const core::EnvConfig& env, std::uint64_t) {
+         // The amortization argument reuses the ONE policy whose training
+         // energy was metered above; it only fits the trained shape.
+         if (env.num_chains != trainer.config().env.num_chains) {
+           throw std::invalid_argument(
+               "fig11 amortizes a single trained policy; run it on"
+               " single-node scenarios (fleet=N scales the deployment)");
+         }
+         return trainer.make_scheduler("GreenNFV(MinE)");
+       }});
+  const scenario::EvalReport report = runner.run(roster);
+  const EvalResult& base = report.models[0].result;
+  const EvalResult& green = report.models[1].result;
 
   // The model "needs to be trained only once before deployment and is run
   // many times": training happens once, the policy then drives every
   // hosting node (the paper's testbed runs chains on three nodes).
-  const int nodes = static_cast<int>(config.get_int("nodes", 3));
+  const int fleet = static_cast<int>(config.get_int("fleet", 3));
   std::printf("baseline power %.1f W/node, GreenNFV(MinE) power %.1f "
               "W/node, one-time training cost %.2f MJ, fleet of %d nodes\n\n",
               base.mean_power_w, green.mean_power_w, e_train_j / 1e6,
-              nodes);
+              fleet);
 
   std::vector<std::vector<std::string>> rows;
   telemetry::Recorder recorder;
   for (int hour = 1; hour <= 6; ++hour) {
     const double t_s = hour * 3600.0;
-    const double e_baseline = nodes * base.mean_power_w * t_s;
-    const double e_green = nodes * green.mean_power_w * t_s;
+    const double e_baseline = fleet * base.mean_power_w * t_s;
+    const double e_green = fleet * green.mean_power_w * t_s;
     const double saving =
         (e_baseline - e_green - e_train_j) / e_baseline * 100.0;
     rows.push_back({format("%d", hour), format_double(saving, 1) + "%"});

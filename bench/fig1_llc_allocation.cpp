@@ -65,6 +65,7 @@ ChainDeployment make_c2(double llc_fraction) {
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(config, {})) return 0;
   bench::banner("Figure 1", "LLC partitioning between two chains", config);
 
   const NodeModel node;

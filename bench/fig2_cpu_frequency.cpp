@@ -24,6 +24,7 @@ using namespace greennfv::hwmodel;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(config, {"window_s", "cores"})) return 0;
   bench::banner("Figure 2", "CPU frequency sweep on a 3-NF chain", config);
   const double window_s = config.get_double("window_s", 10.0);
   const double cores = config.get_double("cores", 2.0);

@@ -24,6 +24,7 @@ using namespace greennfv::hwmodel;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(config, {"cores", "work_mpkts"})) return 0;
   bench::banner("Figure 3", "packet batch size sweep", config);
   const double cores = config.get_double("cores", 0.4);
   const double work_mpkts = config.get_double("work_mpkts", 10.0);

@@ -53,6 +53,7 @@ Point measure(const NodeModel& node, std::uint32_t pkt_bytes,
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(config, {"cores"})) return 0;
   bench::banner("Figure 4", "DMA buffer size sweep (64B vs 1518B)", config);
   const double cores = config.get_double("cores", 2.0);
 

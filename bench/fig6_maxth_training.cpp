@@ -20,12 +20,17 @@ using namespace greennfv;
 
 int main(int argc, char** argv) {
   Config config = Config::from_args(argc, argv);
-  const double budget = config.get_double("energy_budget", 2000.0);
+  if (bench::handle_cli(
+          config,
+          bench::keys_plus(scenario::ScenarioSpec::known_keys(),
+                           {"table_rows", "replay"}),
+          scenario::ScenarioSpec::known_prefixes()))
+    return 0;
   if (config.get_string("replay", "per") == "uniform")
     config.set("prioritized", "0");
   (void)bench::run_training_figure(
       "Figure 6", "Maximum Throughput SLA training progress",
-      core::Sla::max_throughput(budget), config,
+      core::SlaKind::kMaxThroughput, config,
       /*show_efficiency=*/false, "fig6_maxth_training");
   return 0;
 }

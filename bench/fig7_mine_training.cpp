@@ -16,14 +16,15 @@ using namespace greennfv;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  const double floor = config.get_double("throughput_floor", 7.5);
-  // Energy reference for reward scaling: a full-power window.
-  const core::EnvConfig probe = bench::standard_env(config,
-                                                    core::Sla::energy_efficiency());
-  const double reference_j = probe.spec.p_max_w * probe.window_s;
+  if (bench::handle_cli(
+          config,
+          bench::keys_plus(scenario::ScenarioSpec::known_keys(),
+                           {"table_rows", "replay"}),
+          scenario::ScenarioSpec::known_prefixes()))
+    return 0;
   (void)bench::run_training_figure(
       "Figure 7", "Minimum Energy SLA training progress",
-      core::Sla::min_energy(floor, reference_j), config,
+      core::SlaKind::kMinEnergy, config,
       /*show_efficiency=*/false, "fig7_mine_training");
   return 0;
 }

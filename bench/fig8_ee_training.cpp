@@ -14,9 +14,15 @@ using namespace greennfv;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(
+          config,
+          bench::keys_plus(scenario::ScenarioSpec::known_keys(),
+                           {"table_rows", "replay"}),
+          scenario::ScenarioSpec::known_prefixes()))
+    return 0;
   (void)bench::run_training_figure(
       "Figure 8", "Energy-Efficiency SLA training progress",
-      core::Sla::energy_efficiency(), config,
+      core::SlaKind::kEnergyEfficiency, config,
       /*show_efficiency=*/true, "fig8_ee_training");
   return 0;
 }

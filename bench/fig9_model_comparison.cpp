@@ -2,119 +2,51 @@
 /// on throughput and energy consumption."
 ///
 /// Seven bars: Baseline, Heuristics (Algorithm 1), EE-Pstate, Q-Learning,
-/// and GreenNFV trained under the MinE, MaxT, and EE SLAs. All models are
-/// evaluated by the same NfController harness on the same traffic.
+/// and GreenNFV trained under the MinE, MaxT, and EE SLAs. All models run
+/// through the same ExperimentRunner on the same scenario (paper-default
+/// unless `scenario=`/`scenario_file=` says otherwise).
 ///
 /// Expected shape (paper): baseline lowest (~2 Gbps at the highest energy);
 /// Heuristics / EE-Pstate / Q-Learning roughly 2x baseline; GreenNFV
 /// variants on top — MaxT ~4.4x baseline throughput at ~33% less energy,
 /// MinE ~3x baseline at ~50-60% less energy, EE ~4x at mid energy.
 ///
-/// Overrides: episodes=N (per SLA), q_episodes=N, eval_windows=N, seed=K.
+/// Overrides: any scenario key (episodes=N, q_episodes=N, eval_windows=N,
+/// seed=K, scenario=NAME...) plus models=a,b,c to run a subset.
 
 #include <cstdio>
-#include <memory>
 
-#include "bench/train_util.hpp"
-#include "core/ee_pstate.hpp"
-#include "core/heuristic.hpp"
-#include "core/nf_controller.hpp"
+#include "bench/bench_util.hpp"
+#include "scenario/experiment.hpp"
 
 using namespace greennfv;
-using namespace greennfv::core;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(
+          config,
+          bench::keys_plus(scenario::ScenarioSpec::known_keys(),
+                           {"models"}),
+          scenario::ScenarioSpec::known_prefixes()))
+    return 0;
+
+  const scenario::ScenarioSpec spec = scenario::resolve(config);
   bench::banner("Figure 9", "model comparison (throughput & energy)",
-                config);
-  const int episodes = static_cast<int>(config.get_int("episodes", 400));
-  const int q_episodes = static_cast<int>(config.get_int("q_episodes", 250));
-  const int eval_windows =
-      static_cast<int>(config.get_int("eval_windows", 12));
-  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+                config, spec.name);
 
-  const EnvConfig env_ee =
-      bench::standard_env(config, Sla::energy_efficiency());
-  const double budget = config.get_double("energy_budget", 2000.0);
-  const double floor = config.get_double("throughput_floor", 7.5);
-  const double reference_j = env_ee.spec.p_max_w * env_ee.window_s;
+  std::vector<scenario::SchedulerFactory> roster =
+      scenario::default_roster(spec);
+  if (const auto models = config.get("models"))
+    roster = scenario::filter_roster(roster, *models);
 
-  // --- train the learned models (2-seed model selection each) --------------
-  const int candidates = static_cast<int>(config.get_int("candidates", 2));
-  std::printf("[train] GreenNFV(MinE), %d episodes x %d seeds...\n",
-              episodes, candidates);
-  TrainerConfig mine_cfg = bench::standard_trainer(
-      config, Sla::min_energy(floor, reference_j), episodes);
-  auto green_mine =
-      train_best_scheduler(mine_cfg, "GreenNFV(MinE)", candidates);
+  scenario::ExperimentRunner runner(spec);
+  const scenario::EvalReport report = runner.run(roster);
 
-  std::printf("[train] GreenNFV(MaxT), %d episodes x %d seeds...\n",
-              episodes, candidates);
-  TrainerConfig maxt_cfg =
-      bench::standard_trainer(config, Sla::max_throughput(budget), episodes);
-  maxt_cfg.seed = seed + 1;
-  auto green_maxt =
-      train_best_scheduler(maxt_cfg, "GreenNFV(MaxT)", candidates);
-
-  std::printf("[train] GreenNFV(EE), %d episodes x %d seeds...\n", episodes,
-              candidates);
-  TrainerConfig ee_cfg =
-      bench::standard_trainer(config, Sla::energy_efficiency(), episodes);
-  ee_cfg.seed = seed + 2;
-  auto green_ee =
-      train_best_scheduler(ee_cfg, "GreenNFV(EE)", candidates);
-
-  std::printf("[train] Q-Learning, %d episodes...\n", q_episodes);
-  auto qlearning = train_qlearning_scheduler(env_ee, q_episodes, seed + 3);
-
-  // --- evaluate everything on identical traffic -----------------------------
-  BaselineScheduler baseline{env_ee.spec};
-  HeuristicScheduler heuristic{env_ee.spec, HeuristicConfig{}};
-  EePstateScheduler ee_pstate{env_ee.spec, EePstateConfig{}};
-
-  struct Entry {
-    Scheduler* scheduler;
-    int warmup;
-  };
-  const Entry entries[] = {
-      {&baseline, 2},
-      {&heuristic, 40},  // Algorithm 1 converges slowly (§5.1)
-      {&ee_pstate, 6},
-      {qlearning.get(), 2},
-      {green_mine.get(), 2},
-      {green_maxt.get(), 2},
-      {green_ee.get(), 2},
-  };
-
-  std::vector<EvalResult> results;
-  for (const Entry& entry : entries) {
-    results.push_back(evaluate_scheduler(env_ee, *entry.scheduler,
-                                         eval_windows, seed + 77,
-                                         entry.warmup));
-  }
-
-  const double base_gbps = results[0].mean_gbps;
-  const double base_energy = results[0].mean_energy_j;
-  std::vector<std::vector<std::string>> rows;
-  telemetry::Recorder recorder;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const EvalResult& r = results[i];
-    rows.push_back({r.scheduler, format_double(r.mean_gbps, 2),
-                    format_double(r.mean_energy_j, 0),
-                    format_double(r.mean_gbps / base_gbps, 2) + "x",
-                    format_double(r.mean_energy_j / base_energy * 100.0, 0) +
-                        "%",
-                    format_double(r.mean_efficiency, 2)});
-    recorder.record("throughput_gbps", static_cast<double>(i), r.mean_gbps);
-    recorder.record("energy_j", static_cast<double>(i), r.mean_energy_j);
-  }
-  bench::print_table({"model", "Gbps", "Energy(J)", "T vs base",
-                      "E vs base", "Efficiency"},
-                     rows);
+  std::fputs(report.table().c_str(), stdout);
   std::printf(
       "\nshape check (paper): Heuristics/EE-Pstate/Q-Learning ~2x baseline"
       " throughput;\nGreenNFV(MaxT) ~4.4x at ~33%% less energy;"
       " GreenNFV(MinE) ~3x at ~50-60%% less energy;\nGreenNFV(EE) ~4x.\n");
-  bench::dump_csv(recorder, "fig9_model_comparison");
+  bench::dump_csv(report.series, "fig9_model_comparison");
   return 0;
 }

@@ -5,53 +5,36 @@
 
 #include "bench/bench_util.hpp"
 #include "core/greennfv.hpp"
+#include "scenario/presets.hpp"
 
 /// \file train_util.hpp
-/// Shared harness for the training-progress figures (Figs 6-8): builds the
-/// paper's evaluation environment (§5: three hosting nodes' worth of 3-NF
-/// chains behind one controller, five flows), trains the DDPG policy for
-/// the requested SLA while recording every per-episode panel, and prints
-/// the panels as one downsampled table.
+/// Shared harness for the training-progress figures (Figs 6-8): resolves
+/// the evaluation scenario (paper-default unless overridden), trains the
+/// DDPG policy under the figure's SLA while recording every per-episode
+/// panel, and prints the panels as one downsampled table.
 
 namespace greennfv::bench {
 
-inline core::EnvConfig standard_env(const Config& config, core::Sla sla) {
-  core::EnvConfig env;
-  env.num_chains = static_cast<int>(config.get_int("chains", 3));
-  env.num_flows = static_cast<int>(config.get_int("flows", 5));
-  env.total_offered_gbps = config.get_double("offered_gbps", 12.0);
-  env.window_s = config.get_double("window_s", 10.0);
-  env.sub_windows = static_cast<int>(config.get_int("sub_windows", 5));
-  env.steps_per_episode =
-      static_cast<int>(config.get_int("steps_per_episode", 8));
-  env.sla = sla;
-  return env;
-}
-
-inline core::TrainerConfig standard_trainer(const Config& config,
-                                            core::Sla sla,
-                                            int default_episodes) {
-  core::TrainerConfig trainer;
-  trainer.env = standard_env(config, sla);
-  trainer.episodes =
-      static_cast<int>(config.get_int("episodes", default_episodes));
-  trainer.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
-  trainer.prioritized_replay = config.get_bool("prioritized", true);
-  trainer.noise_sigma = config.get_double("noise_sigma", 0.45);
-  trainer.noise_decay = config.get_double("noise_decay", 0.9985);
-  return trainer;
+/// Resolves the scenario for a training figure. Training figures default
+/// to 800 episodes (the paper trains its curves long past convergence);
+/// every other knob comes from the scenario machinery.
+inline scenario::ScenarioSpec training_scenario(const Config& config) {
+  Config defaults = config;
+  if (!defaults.has("episodes")) defaults.set("episodes", "800");
+  return scenario::resolve(defaults);
 }
 
 /// Trains and prints the Fig 6/7/8-style panel table. Returns the result.
 inline core::TrainResult run_training_figure(const std::string& figure,
                                              const std::string& title,
-                                             core::Sla sla,
+                                             core::SlaKind sla_kind,
                                              const Config& config,
                                              bool show_efficiency,
                                              const std::string& csv_name) {
-  banner(figure, title, config);
-  core::TrainerConfig trainer_config =
-      standard_trainer(config, sla, /*default_episodes=*/800);
+  const scenario::ScenarioSpec spec = training_scenario(config);
+  banner(figure, title, config, spec.name);
+  const core::TrainerConfig trainer_config =
+      spec.trainer_config(spec.sla(sla_kind));
 
   telemetry::Recorder curves;
   core::GreenNfvTrainer trainer(trainer_config);

@@ -1,79 +1,76 @@
 /// Live adaptive control under bursty traffic: runs the runtime NF
-/// controller (Algorithm 3's actor loop) with three different policies —
-/// static baseline, EE-Pstate's DES+threshold P-states, and Algorithm 1's
-/// heuristic — over the same MMPP/on-off traffic and prints the reaction
+/// controller (Algorithm 3's actor loop) with the three reactive policies
+/// — static baseline, EE-Pstate's DES+threshold P-states, and Algorithm
+/// 1's heuristic — over the same scenario and prints the reaction
 /// timeline. Shows why the paper moves from static rules to learning.
 ///
-///   build/examples/adaptive_controller [windows=N] [seed=K]
+///   build/examples/adaptive_controller [scenario=NAME] [eval_windows=N]
+///                                      [seed=K] [any scenario key...]
 
 #include <cstdio>
+#include <exception>
 
-#include "common/config.hpp"
-#include "core/ee_pstate.hpp"
-#include "core/heuristic.hpp"
-#include "core/nf_controller.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/presets.hpp"
 
 using namespace greennfv;
-using namespace greennfv::core;
 
-int main(int argc, char** argv) {
-  const Config config = Config::from_args(argc, argv);
-  const int windows = static_cast<int>(config.get_int("windows", 16));
-  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+namespace {
 
-  EnvConfig env_config;
-  env_config.num_chains = 3;
-  env_config.num_flows = 6;
-  env_config.total_offered_gbps = 10.0;
-  env_config.window_s = 5.0;
-  env_config.sub_windows = 5;
-  env_config.sla = Sla::energy_efficiency();
-
-  BaselineScheduler baseline{env_config.spec};
-  EePstateScheduler ee_pstate{env_config.spec, EePstateConfig{}};
-  HeuristicScheduler heuristic{env_config.spec, HeuristicConfig{}};
-
-  struct Row {
-    std::string name;
-    telemetry::Recorder recorder;
-    EvalResult result;
+int run(const Config& cli) {
+  if (scenario::print_help_if_requested(cli)) return 0;
+  std::vector<std::string> keys = scenario::ScenarioSpec::known_keys();
+  keys.emplace_back("help");
+  cli.check_known(keys, scenario::ScenarioSpec::known_prefixes());
+  // Default workload: the paper-default topology pushed to 6 flows at
+  // 10 Gbps over 5 s windows — enough burstiness to separate the
+  // reactive policies.
+  Config config = cli;
+  const auto defaulted = [&config](const char* key, const char* value) {
+    if (!config.has(key)) config.set(key, value);
   };
-  std::vector<Row> runs;
-  for (Scheduler* scheduler :
-       std::initializer_list<Scheduler*>{&baseline, &ee_pstate,
-                                         &heuristic}) {
-    Row row;
-    row.name = scheduler->name();
-    NfvEnvironment env(env_config, seed);
-    scheduler->reset();
-    NfController controller(env, *scheduler);
-    row.result =
-        controller.run(windows, &row.recorder, /*prefix=*/"");
-    runs.push_back(std::move(row));
-  }
+  defaulted("flows", "6");
+  defaulted("offered_gbps", "10");
+  defaulted("window_s", "5");
+  defaulted("eval_windows", "16");
+  const scenario::ScenarioSpec spec = scenario::resolve(config);
 
-  std::printf("reaction timeline (Gbps | W) over %d five-second windows of"
-              " bursty traffic:\n\n", windows);
+  scenario::ExperimentRunner runner(spec);
+  std::vector<scenario::SchedulerFactory> roster =
+      scenario::untrained_roster(spec);
+  // The cold start IS the story here: no settling windows, so the
+  // timeline shows each policy reacting from its initial allocation.
+  for (auto& entry : roster) entry.warmup = 0;
+  const scenario::EvalReport report = runner.run(roster);
+
+  std::printf("reaction timeline (Gbps | W) over %d %.0f-second windows of"
+              " scenario %s:\n\n",
+              spec.eval_windows, spec.window_s, spec.name.c_str());
   std::printf("%6s", "t(s)");
-  for (const Row& row : runs) std::printf("  %-22s", row.name.c_str());
+  for (const auto& model : report.models)
+    std::printf("  %-22s", model.result.scheduler.c_str());
   std::printf("\n");
-  const auto& t_axis = runs[0].recorder.series("throughput_gbps").times();
+  const auto& t_axis =
+      report.series.series(report.models[0].prefix + "throughput_gbps")
+          .times();
   for (std::size_t w = 0; w < t_axis.size(); ++w) {
     std::printf("%6.0f", t_axis[w]);
-    for (const Row& row : runs) {
+    for (const auto& model : report.models) {
       const double gbps =
-          row.recorder.series("throughput_gbps").values()[w];
-      const double watts = row.recorder.series("power_w").values()[w];
+          report.series.series(model.prefix + "throughput_gbps")
+              .values()[w];
+      const double watts =
+          report.series.series(model.prefix + "power_w").values()[w];
       std::printf("  %8.2f | %-11.1f", gbps, watts);
     }
     std::printf("\n");
   }
 
   std::printf("\nmeans:\n");
-  for (const Row& row : runs) {
+  for (const auto& model : report.models) {
     std::printf("  %-12s %6.2f Gbps  %6.1f W  efficiency %.2f\n",
-                row.name.c_str(), row.result.mean_gbps,
-                row.result.mean_power_w, row.result.mean_efficiency);
+                model.result.scheduler.c_str(), model.result.mean_gbps,
+                model.result.mean_power_w, model.result.mean_efficiency);
   }
   std::printf(
       "\nthe static baseline burns constant power regardless of load; the\n"
@@ -81,4 +78,15 @@ int main(int argc, char** argv) {
       "batch/frequency but oscillates around its thresholds — the gap\n"
       "GreenNFV's learned policy closes (see examples/sla_training.cpp).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Config::from_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

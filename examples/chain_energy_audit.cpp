@@ -1,23 +1,34 @@
-/// Energy audit of a consolidated NFV node: what each chain costs, how the
-/// Linux governors compare, and how the Fan-model calibration the paper
-/// performs against its Yokogawa WT210 works in this library.
+/// Energy audit of a consolidated NFV node: what each chain of the
+/// resolved scenario costs, how the Linux governors compare, and how the
+/// Fan-model calibration the paper performs against its Yokogawa WT210
+/// works in this library.
 ///
-///   build/examples/chain_energy_audit
+///   build/examples/chain_energy_audit [scenario=NAME] [any scenario key]
 
 #include <cstdio>
+#include <exception>
 
 #include "common/units.hpp"
 #include "hwmodel/calibration.hpp"
 #include "hwmodel/node.hpp"
-#include "nfvsim/engine_analytic.hpp"
-#include "traffic/generator.hpp"
+#include "nfvsim/chain.hpp"
+#include "scenario/presets.hpp"
 
 using namespace greennfv;
 using namespace greennfv::hwmodel;
 
-int main() {
-  std::printf("NFV node energy audit\n=====================\n\n");
-  const NodeSpec spec;
+namespace {
+
+int run(const Config& config) {
+  if (scenario::print_help_if_requested(config)) return 0;
+  std::vector<std::string> keys = scenario::ScenarioSpec::known_keys();
+  keys.emplace_back("help");
+  config.check_known(keys, scenario::ScenarioSpec::known_prefixes());
+  const scenario::ScenarioSpec scenario_spec = scenario::resolve(config);
+  const NodeSpec spec = scenario_spec.node;
+  std::printf("NFV node energy audit — scenario %s\n"
+              "=====================\n\n",
+              scenario_spec.name.c_str());
 
   // --- 1. calibrate the power model against the (synthetic) wall meter -------
   NodeSpec truth = spec;
@@ -32,21 +43,25 @@ int main() {
   calibrated.fan_h = fit.h;
   const NodeModel node(calibrated);
 
-  const char* const compositions[][3] = {
-      {"firewall", "router", "ids"},
-      {"firewall", "nat", "tunnel_gw"},
-      {"flow_monitor", "router", "epc"},
-  };
+  // The scenario's chain compositions (standard rotation unless the
+  // scenario names its own).
+  std::vector<std::vector<std::string>> compositions;
+  for (int c = 0; c < scenario_spec.num_chains; ++c) {
+    compositions.push_back(
+        scenario_spec.chain_nfs.empty()
+            ? nfvsim::standard_chain_nfs(c)
+            : scenario_spec.chain_nfs[static_cast<std::size_t>(c)]);
+  }
   std::vector<ChainDeployment> chains;
-  for (int c = 0; c < 3; ++c) {
+  for (const auto& nfs : compositions) {
     ChainDeployment dep;
-    for (const char* nf : compositions[c])
+    for (const auto& nf : nfs)
       dep.nfs.push_back(nf_catalog::by_name(nf));
     dep.workload.offered_pps = 1.0e6;
     dep.workload.pkt_bytes = 512;
     dep.cores = 2.0;
     dep.freq_ghz = 1.8;
-    dep.llc_fraction = 1.0 / 3.0;
+    dep.llc_fraction = 1.0 / static_cast<double>(compositions.size());
     dep.dma_bytes = 8ull * units::kMiB;
     dep.batch = 64;
     chains.push_back(std::move(dep));
@@ -56,8 +71,12 @@ int main() {
   std::printf("  %-28s %8s %9s %10s\n", "chain", "Gbps", "share W",
               "J/Mpkt");
   for (std::size_t c = 0; c < chains.size(); ++c) {
-    std::printf("  %s+%s+%-12s %8.2f %9.1f %10.1f\n",
-                compositions[c][0], compositions[c][1], compositions[c][2],
+    std::string label;
+    for (const auto& nf : compositions[c]) {
+      if (!label.empty()) label += "+";
+      label += nf;
+    }
+    std::printf("  %-28s %8.2f %9.1f %10.1f\n", label.c_str(),
                 eval.chains[c].eval.throughput_gbps,
                 eval.chains[c].power_w,
                 eval.chains[c].energy_per_mpkt_j);
@@ -67,11 +86,6 @@ int main() {
 
   // --- 3. governor comparison on the same workload ---------------------------
   std::printf("governor comparison (same chains, same traffic):\n");
-  const DvfsController dvfs(calibrated);
-  struct GovernorCase {
-    Governor governor;
-    double load;
-  };
   for (const Governor g : {Governor::kPerformance, Governor::kOndemand,
                            Governor::kConservative, Governor::kPowersave}) {
     DvfsController ladder(calibrated);
@@ -98,4 +112,15 @@ int main() {
               poll_eval.power_w, hybrid_eval.power_w,
               poll_eval.power_w - hybrid_eval.power_w);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Config::from_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

@@ -1,20 +1,23 @@
-/// Quickstart: deploy a service chain on the simulated NFV platform, push
-/// traffic through both engines, and read the throughput/energy telemetry.
+/// Quickstart: resolve the paper-default scenario, walk its deployment
+/// through one control window, and push real packets through the threaded
+/// engine — the platform tour in five steps.
 ///
 ///   build/examples/quickstart
 ///
 /// This walks the same public API the benchmarks use:
-///   1. OnvmController — deploy chains, set the five resource knobs
-///   2. AnalyticEngine — virtual-time simulation (throughput, watts, joules)
-///   3. ThreadedEngine — the real multi-threaded packet path
-///   4. EnergyMeter / telemetry — what GreenNFV's learner consumes
+///   1. ScenarioSpec — the declarative experiment description
+///   2. NfvEnvironment — chains + knobs + traffic compiled from the spec
+///   3. run_window — one measured control interval (Gbps, joules, drops)
+///   4. ThreadedEngine — the real multi-threaded packet path
+///   5. ExperimentRunner — the full model-comparison harness in two lines
 
 #include <cstdio>
 
 #include "common/units.hpp"
-#include "nfvsim/engine_analytic.hpp"
+#include "core/environment.hpp"
 #include "nfvsim/engine_threaded.hpp"
-#include "traffic/generator.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/presets.hpp"
 
 using namespace greennfv;
 using namespace greennfv::nfvsim;
@@ -22,36 +25,39 @@ using namespace greennfv::nfvsim;
 int main() {
   std::printf("GreenNFV quickstart\n===================\n\n");
 
-  // --- 1. deploy a 3-NF chain on one node --------------------------------------
-  OnvmController controller;  // Xeon E5-2620v4-like node, hybrid scheduling
-  const int chain_id =
-      controller.add_chain("edge-chain", {"firewall", "router", "ids"});
+  // --- 1. the declarative scenario -------------------------------------------
+  const scenario::ScenarioSpec spec = scenario::preset("paper-default");
+  std::printf("scenario %s: %d chains, %d flows at %.0f Gbps, %s SLA\n\n",
+              spec.name.c_str(), spec.num_chains, spec.num_flows,
+              spec.total_offered_gbps, spec.sla().name().c_str());
 
+  // --- 2. the environment it compiles to --------------------------------------
+  core::NfvEnvironment env(spec.env_config(), /*seed=*/42);
   ChainKnobs knobs;  // the five GreenNFV control knobs
   knobs.cores = 2.0;
   knobs.freq_ghz = 1.8;
   knobs.llc_fraction = 0.5;
   knobs.dma_bytes = 8ull * units::kMiB;
   knobs.batch = 64;
-  const ChainKnobs applied =
-      controller.apply_knobs(static_cast<std::size_t>(chain_id), knobs);
-  std::printf("applied knobs: %s\n\n", applied.to_string().c_str());
+  const ChainKnobs applied = env.controller().apply_knobs(0, knobs);
+  std::printf("applied knobs to chain 0: %s\n\n",
+              applied.to_string().c_str());
 
-  // --- 2. virtual-time simulation ------------------------------------------------
-  traffic::FlowSpec flow = traffic::line_rate_flow(512);
-  flow.mean_rate_pps = 1.2e6;  // 1.2 Mpps of 512 B frames
-  AnalyticEngine engine(controller, traffic::TrafficGenerator({flow}, 42));
-  const auto summary = engine.run(/*windows=*/10, /*dt=*/1.0);
-  std::printf("analytic engine, 10 s of virtual time:\n");
-  std::printf("  throughput : %6.2f Gbps\n", summary.mean_gbps);
-  std::printf("  power      : %6.1f W\n", summary.mean_power_w);
-  std::printf("  energy     : %6.1f J\n", summary.energy_j);
-  std::printf("  drops      : %6.2f %%\n", summary.drop_fraction * 100.0);
+  // --- 3. one measured control window ------------------------------------------
+  const std::vector<ChainKnobs> all_knobs(
+      static_cast<std::size_t>(spec.num_chains), knobs);
+  const auto outcome = env.run_window(all_knobs);
+  std::printf("one %.0f s control window under live traffic:\n",
+              spec.window_s);
+  std::printf("  throughput : %6.2f Gbps\n", outcome.throughput_gbps);
+  std::printf("  energy     : %6.1f J\n", outcome.energy_j);
+  std::printf("  efficiency : %6.2f Gbps/KJ\n", outcome.efficiency);
+  std::printf("  drops      : %6.2f %%\n", outcome.drop_fraction * 100.0);
 
-  // --- 3. the real threaded data path -----------------------------------------
+  // --- 4. the real threaded data path -----------------------------------------
   ThreadedEngine::Options options;
   options.total_packets = 200000;
-  ThreadedEngine threaded(controller, options);
+  ThreadedEngine threaded(env.controller(), options);
   traffic::FlowSpec tflow;
   tflow.pkt_bytes = 512;
   tflow.mean_rate_pps = 1e6;
@@ -67,17 +73,14 @@ int main() {
               static_cast<unsigned long long>(report.rx_ring_drops));
   std::printf("  conserved  : %s\n", report.conserved() ? "yes" : "NO");
 
-  // --- 4. what a bigger batch buys --------------------------------------------
-  knobs.batch = 4;
-  controller.apply_knobs(static_cast<std::size_t>(chain_id), knobs);
-  const auto small_batch = engine.run(5, 1.0);
-  knobs.batch = 192;
-  controller.apply_knobs(static_cast<std::size_t>(chain_id), knobs);
-  const auto large_batch = engine.run(5, 1.0);
-  std::printf("\nbatch knob, same traffic: batch=4 -> %.2f Gbps, "
-              "batch=192 -> %.2f Gbps\n",
-              small_batch.mean_gbps, large_batch.mean_gbps);
-  std::printf("\ndone — see examples/sla_training.cpp for the learning"
-              " loop.\n");
+  // --- 5. the full harness in two lines ----------------------------------------
+  scenario::ScenarioSpec quick = scenario::preset("ci-smoke");
+  scenario::ExperimentRunner runner(quick);
+  const scenario::EvalReport eval =
+      runner.run(scenario::untrained_roster(quick));
+  std::printf("\nreactive roster on the %s scenario:\n\n%s",
+              quick.name.c_str(), eval.table().c_str());
+  std::printf("\ndone — examples/sla_training.cpp adds the learning loop,"
+              "\nexamples/run_scenario.cpp runs any scenario end to end.\n");
   return 0;
 }

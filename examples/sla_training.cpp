@@ -1,49 +1,42 @@
 /// Train a GreenNFV policy for a chosen SLA and evaluate it against the
-/// untuned baseline — the paper's core workflow in one file.
+/// untuned baseline — the paper's core workflow in one file, on the
+/// Scenario/Experiment API.
 ///
 ///   build/examples/sla_training [sla=maxt|mine|ee] [episodes=N] [seed=K]
-///                               [apex=1 actors=N]
+///                               [scenario=NAME] [apex=1 actors=N]
 ///
 /// With apex=1 the distributed Ape-X trainer (actor threads + central
 /// prioritized replay + learner thread) is used instead of the synchronous
 /// loop.
 
 #include <cstdio>
+#include <exception>
 
-#include "common/config.hpp"
 #include "core/greennfv.hpp"
-#include "core/nf_controller.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/presets.hpp"
 
 using namespace greennfv;
 using namespace greennfv::core;
 
-int main(int argc, char** argv) {
-  const Config config = Config::from_args(argc, argv);
-  const std::string sla_name = config.get_string("sla", "ee");
-  const int episodes = static_cast<int>(config.get_int("episodes", 300));
+namespace {
 
-  EnvConfig env;
-  env.num_chains = 3;
-  env.num_flows = 5;
-  env.total_offered_gbps = 12.0;
-  env.window_s = 10.0;
-  env.sub_windows = 5;
-
-  if (sla_name == "maxt") {
-    env.sla = Sla::max_throughput(config.get_double("energy_budget", 2000));
-  } else if (sla_name == "mine") {
-    env.sla = Sla::min_energy(config.get_double("throughput_floor", 7.5),
-                              env.spec.p_max_w * env.window_s);
-  } else {
-    env.sla = Sla::energy_efficiency();
+int run(const Config& cli) {
+  if (scenario::print_help_if_requested(cli, {"apex", "actors"})) return 0;
+  {
+    std::vector<std::string> keys = scenario::ScenarioSpec::known_keys();
+    keys.insert(keys.end(), {"apex", "actors", "help"});
+    cli.check_known(keys, scenario::ScenarioSpec::known_prefixes());
   }
-  std::printf("training GreenNFV under the %s SLA, %d episodes...\n",
-              env.sla.name().c_str(), episodes);
+  Config config = cli;
+  if (!config.has("episodes")) config.set("episodes", "300");
+  const scenario::ScenarioSpec spec = scenario::resolve(config);
 
-  TrainerConfig trainer_config;
-  trainer_config.env = env;
-  trainer_config.episodes = episodes;
-  trainer_config.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  std::printf("training GreenNFV under the %s SLA on scenario %s, %d"
+              " episodes...\n",
+              spec.sla().name().c_str(), spec.name.c_str(), spec.episodes);
+
+  TrainerConfig trainer_config = spec.trainer_config(spec.sla());
   trainer_config.use_apex = config.get_bool("apex", false);
   trainer_config.apex.num_actors =
       static_cast<int>(config.get_int("actors", 2));
@@ -56,23 +49,43 @@ int main(int argc, char** argv) {
               result.tail_efficiency,
               static_cast<long long>(result.train_steps));
 
-  // Head-to-head against the baseline on fresh traffic.
-  auto green = trainer.make_scheduler("GreenNFV(" + env.sla.name() + ")");
-  BaselineScheduler baseline{env.spec};
-  const EvalResult base = evaluate_scheduler(env, baseline, 8, 1234);
-  const EvalResult learned = evaluate_scheduler(env, *green, 8, 1234);
+  // Head-to-head against the baseline on fresh traffic, both models
+  // through the identical runner.
+  const std::string label = "GreenNFV(" + spec.sla().name() + ")";
+  std::vector<scenario::SchedulerFactory> roster =
+      scenario::filter_roster(scenario::default_roster(spec), "baseline");
+  roster.push_back(
+      {label, 2,
+       [&trainer, &label](const core::EnvConfig& env, std::uint64_t) {
+         // One policy was trained for the whole-deployment shape; a
+         // per-node env with a different chain count cannot reuse it.
+         if (env.num_chains != trainer.config().env.num_chains) {
+           throw std::invalid_argument(
+               "sla_training trains one policy for the full deployment;"
+               " multi-node scenarios need example_run_scenario, whose"
+               " roster trains per node shape");
+         }
+         return trainer.make_scheduler(label);
+       }});
+  scenario::ExperimentRunner runner(spec);
+  const scenario::EvalReport report = runner.run(roster);
+  std::fputs(report.table().c_str(), stdout);
 
-  std::printf("%-22s %10s %12s %12s %6s\n", "model", "Gbps", "Energy(J)",
-              "Efficiency", "SLA");
-  const auto row = [](const EvalResult& r) {
-    std::printf("%-22s %10.2f %12.0f %12.2f %5.0f%%\n", r.scheduler.c_str(),
-                r.mean_gbps, r.mean_energy_j, r.mean_efficiency,
-                r.sla_satisfaction * 100.0);
-  };
-  row(base);
-  row(learned);
+  const EvalResult& base = report.models[0].result;
+  const EvalResult& learned = report.models[1].result;
   std::printf("\nimprovement: %.2fx throughput, %.0f%% of baseline energy\n",
               learned.mean_gbps / base.mean_gbps,
               learned.mean_energy_j / base.mean_energy_j * 100.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Config::from_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

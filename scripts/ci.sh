@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Per-PR gate for the GreenNFV tree:
-#   1. the tier-1 verify line from ROADMAP.md (Release build, full ctest)
+#   1. the tier-1 verify line from ROADMAP.md (Release build, full ctest),
+#      then a run_scenario smoke over the ci-smoke preset so the
+#      Scenario/Experiment API (full scheduler roster, tiny budgets) is
+#      exercised end to end in the gate
 #   2. an ASan/UBSan Debug build of the test suite, with the nfvsim suites
 #      (threaded engine, mempool, ring) always run under the sanitizers —
 #      that's where data races and lifetime bugs would land.
@@ -22,6 +25,10 @@ cmake -B build -S . \
   -DGREENNFV_BUILD_EXAMPLES=ON
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
+
+echo
+echo "=== [1b] scenario smoke: ci-smoke preset, full roster ==="
+./build/example_run_scenario scenario=ci-smoke
 
 echo
 echo "=== [2/2] sanitizer gate: ASan/UBSan Debug build ==="

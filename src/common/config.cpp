@@ -86,6 +86,44 @@ std::int64_t Config::get_int(const std::string& key,
   return parsed;
 }
 
+void Config::check_known(
+    const std::vector<std::string>& known_keys,
+    const std::vector<std::string>& known_prefixes) const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const auto& known : known_keys) {
+      if (key == known) {
+        found = true;
+        break;
+      }
+    }
+    // Prefixes name indexed families (flow0=, chain12=): the suffix must
+    // be a bare index, so "flowz" or "flow_rate" is still a typo.
+    for (const auto& prefix : known_prefixes) {
+      if (found) break;
+      if (key.size() <= prefix.size() ||
+          key.compare(0, prefix.size(), prefix) != 0)
+        continue;
+      found = true;
+      for (std::size_t i = prefix.size(); i < key.size(); ++i) {
+        if (key[i] < '0' || key[i] > '9') {
+          found = false;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += key;
+    }
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("Config: unknown key(s): " + unknown +
+                                " (pass help=1 to list accepted keys)");
+  }
+}
+
 bool Config::get_bool(const std::string& key, bool fallback) const {
   const auto value = get(key);
   if (!value) return fallback;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 /// \file config.hpp
 /// Tiny key=value configuration parser used by benches and examples to take
@@ -37,6 +38,14 @@ class Config {
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Rejects mistyped experiment keys: throws std::invalid_argument naming
+  /// every key that is neither in `known_keys` nor an indexed-family match
+  /// for one of `known_prefixes` (prefix followed by a bare index: flow0=,
+  /// chain12= — "flowz" is still a typo). A typo'd key must not silently
+  /// select the fallback value.
+  void check_known(const std::vector<std::string>& known_keys,
+                   const std::vector<std::string>& known_prefixes = {}) const;
 
   [[nodiscard]] const std::map<std::string, std::string>& entries() const {
     return values_;

@@ -7,33 +7,47 @@
 namespace greennfv::core {
 
 std::unique_ptr<nfvsim::OnvmController> make_eval_controller(
-    const hwmodel::NodeSpec& spec, int num_chains) {
+    const hwmodel::NodeSpec& spec, int num_chains,
+    const std::vector<std::vector<std::string>>& chain_nfs) {
+  GNFV_REQUIRE(chain_nfs.empty() ||
+                   chain_nfs.size() == static_cast<std::size_t>(num_chains),
+               "make_eval_controller: chain_nfs must match num_chains");
   auto controller = std::make_unique<nfvsim::OnvmController>(
       spec, nfvsim::SchedMode::kHybrid);
   for (int c = 0; c < num_chains; ++c) {
-    controller->add_chain(format("chain%d", c),
-                          nfvsim::standard_chain_nfs(c));
+    controller->add_chain(
+        format("chain%d", c),
+        chain_nfs.empty() ? nfvsim::standard_chain_nfs(c)
+                          : chain_nfs[static_cast<std::size_t>(c)]);
   }
   return controller;
 }
 
 NfvEnvironment::NfvEnvironment(EnvConfig config, std::uint64_t seed)
-    : config_(config),
-      controller_(make_eval_controller(config.spec, config.num_chains)),
-      state_codec_(config.spec, static_cast<std::size_t>(config.num_chains),
-                   config.window_s),
-      action_codec_(config.spec,
-                    static_cast<std::size_t>(config.num_chains)) {
+    : config_(std::move(config)),
+      controller_(make_eval_controller(config_.spec, config_.num_chains,
+                                       config_.chain_nfs)),
+      state_codec_(config_.spec,
+                   static_cast<std::size_t>(config_.num_chains),
+                   config_.window_s),
+      action_codec_(config_.spec,
+                    static_cast<std::size_t>(config_.num_chains)) {
   GNFV_REQUIRE(config_.num_chains >= 1, "env: need >= 1 chain");
-  GNFV_REQUIRE(config_.num_flows >= 1, "env: need >= 1 flow");
+  GNFV_REQUIRE(config_.flows.empty() ? config_.num_flows >= 1
+                                     : true,
+               "env: need >= 1 flow");
   GNFV_REQUIRE(config_.window_s > 0.0, "env: bad window");
   GNFV_REQUIRE(config_.sub_windows >= 1, "env: bad sub-window count");
   engine_ = std::make_unique<nfvsim::AnalyticEngine>(
       *controller_,
       traffic::TrafficGenerator(
-          traffic::make_eval_flows(config_.num_flows, config_.num_chains,
-                                   config_.total_offered_gbps, seed),
+          config_.flows.empty()
+              ? traffic::make_eval_flows(config_.num_flows,
+                                         config_.num_chains,
+                                         config_.total_offered_gbps, seed)
+              : config_.flows,
           seed));
+  engine_->generator().set_rate_profile(config_.rate_profile);
   last_knobs_.assign(static_cast<std::size_t>(config_.num_chains),
                      nfvsim::baseline_knobs(config_.spec));
 }
@@ -61,6 +75,8 @@ NfvEnvironment::WindowOutcome NfvEnvironment::run_window(
   WindowOutcome outcome;
   outcome.throughput_gbps = summary.mean_gbps;
   outcome.energy_j = summary.energy_j;
+  outcome.drop_fraction = summary.drop_fraction;
+  outcome.offered_pps = summary.mean_offered_pps;
   outcome.sla_satisfied =
       config_.sla.satisfied(outcome.throughput_gbps, outcome.energy_j);
   outcome.reward =

@@ -30,6 +30,17 @@ struct EnvConfig {
   Sla sla = Sla::energy_efficiency();
   /// Use gated rewards (paper) or shaped rewards (ablation).
   bool shaped_reward = false;
+  /// Explicit traffic mix. Empty -> the standard §5 workload
+  /// (traffic::make_eval_flows over num_flows/total_offered_gbps). When
+  /// set, num_flows/total_offered_gbps are ignored for generation.
+  std::vector<traffic::FlowSpec> flows;
+  /// Per-chain NF compositions (catalog names). Empty -> the standard
+  /// heterogeneous rotation (nfvsim::standard_chain_nfs). When set, must
+  /// hold exactly num_chains entries.
+  std::vector<std::vector<std::string>> chain_nfs;
+  /// Macroscopic offered-load envelope (scenario workloads: diurnal,
+  /// flash crowd...). Steady by default — bit-transparent.
+  traffic::RateProfile rate_profile;
 };
 
 class NfvEnvironment final : public rl::Environment {
@@ -49,6 +60,8 @@ class NfvEnvironment final : public rl::Environment {
     double energy_j = 0.0;
     double reward = 0.0;
     double efficiency = 0.0;
+    double drop_fraction = 0.0;  ///< offered packets not delivered
+    double offered_pps = 0.0;    ///< what the traffic generator pushed
     bool sla_satisfied = false;
     std::vector<ChainObservation> observations;
   };
@@ -72,6 +85,11 @@ class NfvEnvironment final : public rl::Environment {
     return engine_->generator();
   }
 
+  /// Re-zeros the rate-profile clock (see TrafficGenerator::
+  /// anchor_rate_profile): the evaluation harness calls this after warmup
+  /// so every model meets a non-steady profile at the same measured time.
+  void align_rate_profile() { engine_->generator().anchor_rate_profile(); }
+
   /// Mean knob values across chains (what Figs 6-8 plot per episode).
   [[nodiscard]] nfvsim::ChainKnobs mean_knobs() const;
 
@@ -89,8 +107,10 @@ class NfvEnvironment final : public rl::Environment {
 };
 
 /// Builds the standard evaluation node: `num_chains` heterogeneous 3-NF
-/// chains behind one ONVM controller (hybrid scheduling, CAT on).
+/// chains behind one ONVM controller (hybrid scheduling, CAT on). Custom
+/// per-chain NF compositions override the standard rotation when given.
 [[nodiscard]] std::unique_ptr<nfvsim::OnvmController> make_eval_controller(
-    const hwmodel::NodeSpec& spec, int num_chains);
+    const hwmodel::NodeSpec& spec, int num_chains,
+    const std::vector<std::vector<std::string>>& chain_nfs = {});
 
 }  // namespace greennfv::core

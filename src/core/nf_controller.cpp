@@ -36,6 +36,7 @@ EvalResult NfController::run(int windows, telemetry::Recorder* recorder,
     result.mean_power_w += outcome.energy_j / env_.config().window_s;
     result.mean_efficiency += outcome.efficiency;
     result.sla_satisfaction += outcome.sla_satisfied ? 1.0 : 0.0;
+    result.drop_fraction += outcome.drop_fraction;
 
     if (recorder != nullptr) {
       recorder->record(prefix + "throughput_gbps", t,
@@ -44,6 +45,8 @@ EvalResult NfController::run(int windows, telemetry::Recorder* recorder,
       recorder->record(prefix + "power_w", t,
                        outcome.energy_j / env_.config().window_s);
       recorder->record(prefix + "efficiency", t, outcome.efficiency);
+      recorder->record(prefix + "drop_fraction", t, outcome.drop_fraction);
+      recorder->record(prefix + "offered_pps", t, outcome.offered_pps);
     }
     t += env_.config().window_s;
   }
@@ -54,6 +57,7 @@ EvalResult NfController::run(int windows, telemetry::Recorder* recorder,
   result.mean_power_w /= n;
   result.mean_efficiency /= n;
   result.sla_satisfaction /= n;
+  result.drop_fraction /= n;
   return result;
 }
 
@@ -65,6 +69,10 @@ EvalResult evaluate_scheduler(const EnvConfig& config, Scheduler& scheduler,
   scheduler.reset();
   NfController controller(env, scheduler);
   if (warmup > 0) (void)controller.run(warmup);
+  // Measurement defines t=0 for the macroscopic rate envelope: models with
+  // different warmups must still meet a surge/swing at the same recorded
+  // time, or the comparison measures different workloads.
+  env.align_rate_profile();
   return controller.run(windows, recorder, prefix);
 }
 

@@ -21,6 +21,7 @@ struct EvalResult {
   double mean_power_w = 0.0;
   double mean_efficiency = 0.0;   ///< λ, Gbps per KJ
   double sla_satisfaction = 0.0;  ///< fraction of windows meeting the SLA
+  double drop_fraction = 0.0;     ///< mean fraction of offered pkts dropped
   int windows = 0;
 };
 

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+/// \file presets.hpp
+/// The named-scenario registry. A preset is a fully-specified ScenarioSpec
+/// — "run the paper's evaluation", "slam the deployment with a flash
+/// crowd", "spread six chains over a three-node cluster" — resolvable by
+/// name from any bench or example, overridable key-by-key from the command
+/// line, and exportable to a scenario file as a starting point for custom
+/// workloads.
+
+namespace greennfv::scenario {
+
+/// All preset names, in listing order.
+[[nodiscard]] std::vector<std::string> preset_names();
+
+/// The preset with that name. Unknown names are a hard error
+/// (std::invalid_argument listing the valid names) — a typo must never
+/// silently run some other workload.
+[[nodiscard]] ScenarioSpec preset(const std::string& name);
+
+/// One row per preset: "name — description".
+[[nodiscard]] std::string preset_table();
+
+/// The single entry point benches/examples use: picks the scenario named
+/// by `scenario=` (or loads `scenario_file=`, or falls back to
+/// `default_scenario`), applies every per-key override in `config` on top,
+/// validates, and returns it.
+[[nodiscard]] ScenarioSpec resolve(
+    const Config& config,
+    const std::string& default_scenario = "paper-default");
+
+/// Prints a sorted key listing; when `scenario_driven`, the preset table
+/// follows. The one help-text implementation every binary's `help=1` path
+/// shares (directly or via print_help_if_requested / bench handle_cli).
+void print_cli_help(std::vector<std::string> keys, bool scenario_driven);
+
+/// When `help=1` was passed: prints the scenario vocabulary plus
+/// `extra_keys` and the preset table, and returns true so the caller can
+/// exit before check_known rejects anything.
+[[nodiscard]] bool print_help_if_requested(
+    const Config& config, const std::vector<std::string>& extra_keys = {});
+
+}  // namespace greennfv::scenario

@@ -1,0 +1,452 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "hwmodel/nf_cost.hpp"
+
+namespace greennfv::scenario {
+
+namespace {
+
+std::string fmt_double(double value) { return format("%.10g", value); }
+
+traffic::ArrivalKind arrival_from_string(const std::string& name) {
+  if (name == "cbr") return traffic::ArrivalKind::kCbr;
+  if (name == "poisson") return traffic::ArrivalKind::kPoisson;
+  if (name == "mmpp") return traffic::ArrivalKind::kMmpp;
+  if (name == "onoff") return traffic::ArrivalKind::kOnOff;
+  throw std::invalid_argument("scenario: unknown arrival kind '" + name +
+                              "' (expected cbr|poisson|mmpp|onoff)");
+}
+
+/// Guards the indexed families against silent truncation: a gap in the
+/// chainN=/flowN= sequence (chain0, chain1, chain3) must be an error, not
+/// a quietly shorter list.
+void require_contiguous(const Config& config, const std::string& prefix,
+                        std::size_t collected) {
+  for (const auto& [key, value] : config.entries()) {
+    if (key.size() <= prefix.size() ||
+        key.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    bool all_digits = true;
+    for (std::size_t i = prefix.size(); i < key.size(); ++i)
+      all_digits = all_digits && key[i] >= '0' && key[i] <= '9';
+    if (!all_digits) continue;
+    const std::size_t index = static_cast<std::size_t>(
+        std::stoull(key.substr(prefix.size())));
+    if (index >= collected) {
+      throw std::invalid_argument(
+          "scenario: " + key + " leaves a gap — " + prefix +
+          "N entries must be contiguous from " + prefix + "0");
+    }
+  }
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: " + what + " is not a number: " +
+                                text);
+  }
+}
+
+}  // namespace
+
+std::string to_string(core::SlaKind kind) {
+  switch (kind) {
+    case core::SlaKind::kMaxThroughput: return "maxt";
+    case core::SlaKind::kMinEnergy: return "mine";
+    case core::SlaKind::kEnergyEfficiency: return "ee";
+  }
+  return "ee";
+}
+
+core::SlaKind sla_kind_from_string(const std::string& name) {
+  if (name == "maxt") return core::SlaKind::kMaxThroughput;
+  if (name == "mine") return core::SlaKind::kMinEnergy;
+  if (name == "ee") return core::SlaKind::kEnergyEfficiency;
+  throw std::invalid_argument("scenario: unknown sla '" + name +
+                              "' (expected maxt|mine|ee)");
+}
+
+cluster::PlacementPolicy placement_from_string(const std::string& name) {
+  if (name == "least-loaded" || name == "balanced")
+    return cluster::PlacementPolicy::kLeastLoaded;
+  if (name == "first-fit-decreasing" || name == "ffd")
+    return cluster::PlacementPolicy::kFirstFitDecreasing;
+  throw std::invalid_argument(
+      "scenario: unknown placement '" + name +
+      "' (expected least-loaded|first-fit-decreasing)");
+}
+
+std::string flow_to_text(const traffic::FlowSpec& flow) {
+  return traffic::to_string(flow.proto) + ":" +
+         traffic::to_string(flow.arrival) + ":" +
+         format("%u", flow.pkt_bytes) + ":" + fmt_double(flow.mean_rate_pps) +
+         ":" + format("%d", flow.chain_index) + ":" +
+         fmt_double(flow.peak_to_mean) + ":" + fmt_double(flow.dwell_s);
+}
+
+traffic::FlowSpec flow_from_text(const std::string& text, int id) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.size() < 5 || fields.size() > 7) {
+    throw std::invalid_argument(
+        "scenario: flow '" + text +
+        "' must be proto:arrival:pkt_bytes:rate_pps:chain"
+        "[:peak_to_mean[:dwell_s]]");
+  }
+  traffic::FlowSpec flow;
+  flow.id = id;
+  if (fields[0] == "udp") {
+    flow.proto = traffic::Protocol::kUdp;
+  } else if (fields[0] == "tcp") {
+    flow.proto = traffic::Protocol::kTcp;
+  } else {
+    throw std::invalid_argument("scenario: flow protocol '" + fields[0] +
+                                "' (expected udp|tcp)");
+  }
+  flow.arrival = arrival_from_string(fields[1]);
+  flow.pkt_bytes = static_cast<std::uint32_t>(
+      parse_double(fields[2], "flow pkt_bytes"));
+  flow.mean_rate_pps = parse_double(fields[3], "flow rate_pps");
+  flow.chain_index =
+      static_cast<int>(parse_double(fields[4], "flow chain index"));
+  if (fields.size() > 5)
+    flow.peak_to_mean = parse_double(fields[5], "flow peak_to_mean");
+  if (fields.size() > 6)
+    flow.dwell_s = parse_double(fields[6], "flow dwell_s");
+  return flow;
+}
+
+core::Sla ScenarioSpec::sla() const { return sla(sla_kind); }
+
+core::Sla ScenarioSpec::sla(core::SlaKind kind) const {
+  switch (kind) {
+    case core::SlaKind::kMaxThroughput:
+      return core::Sla::max_throughput(energy_budget_j);
+    case core::SlaKind::kMinEnergy:
+      return core::Sla::min_energy(throughput_floor_gbps,
+                                   node.p_max_w * window_s);
+    case core::SlaKind::kEnergyEfficiency:
+      return core::Sla::energy_efficiency();
+  }
+  return core::Sla::energy_efficiency();
+}
+
+core::EnvConfig ScenarioSpec::env_config() const {
+  core::EnvConfig env;
+  env.spec = node;
+  env.num_chains = num_chains;
+  env.num_flows = num_flows;
+  env.total_offered_gbps = total_offered_gbps;
+  env.window_s = window_s;
+  env.sub_windows = sub_windows;
+  env.steps_per_episode = steps_per_episode;
+  env.sla = sla();
+  env.shaped_reward = shaped_reward;
+  env.flows = flows;
+  env.chain_nfs = chain_nfs;
+  env.rate_profile = profile;
+  return env;
+}
+
+core::TrainerConfig ScenarioSpec::trainer_config(const core::Sla& sla)
+    const {
+  core::TrainerConfig trainer;
+  trainer.env = env_config();
+  trainer.env.sla = sla;
+  trainer.episodes = episodes;
+  trainer.seed = seed;
+  trainer.prioritized_replay = prioritized_replay;
+  trainer.noise_sigma = noise_sigma;
+  trainer.noise_decay = noise_decay;
+  return trainer;
+}
+
+void ScenarioSpec::apply(const Config& config) {
+  name = config.get_string("name", name);
+  num_nodes = static_cast<int>(config.get_int("nodes", num_nodes));
+  if (const auto p = config.get("placement"))
+    placement = placement_from_string(*p);
+
+  node.total_cores =
+      static_cast<int>(config.get_int("node_cores", node.total_cores));
+  node.fmin_ghz = config.get_double("node_fmin_ghz", node.fmin_ghz);
+  node.fmax_ghz = config.get_double("node_fmax_ghz", node.fmax_ghz);
+  node.line_rate_gbps =
+      config.get_double("node_line_rate_gbps", node.line_rate_gbps);
+  node.p_idle_w = config.get_double("node_p_idle_w", node.p_idle_w);
+  node.p_max_w = config.get_double("node_p_max_w", node.p_max_w);
+
+  // Scalar counts first: an explicit count without indexed entries reverts
+  // the family to its generated/standard form.
+  if (config.has("chains")) {
+    num_chains = static_cast<int>(config.get_int("chains", num_chains));
+    if (!config.has("chain0")) chain_nfs.clear();
+  }
+  if (config.has("flows")) {
+    num_flows = static_cast<int>(config.get_int("flows", num_flows));
+    if (!config.has("flow0")) flows.clear();
+  }
+
+  // Indexed families: contiguous from 0.
+  if (config.has("chain0")) {
+    chain_nfs.clear();
+    for (int c = 0;; ++c) {
+      const auto entry = config.get(format("chain%d", c));
+      if (!entry) break;
+      std::vector<std::string> nfs;
+      for (const auto& nf : split(*entry, '+'))
+        if (!nf.empty()) nfs.push_back(nf);
+      chain_nfs.push_back(std::move(nfs));
+    }
+    require_contiguous(config, "chain", chain_nfs.size());
+    if (config.has("chains") &&
+        static_cast<std::size_t>(num_chains) != chain_nfs.size()) {
+      throw std::invalid_argument(
+          "scenario: chains= disagrees with the number of chainN= entries");
+    }
+    num_chains = static_cast<int>(chain_nfs.size());
+  } else {
+    require_contiguous(config, "chain", 0);  // chain1= without chain0=
+  }
+  if (config.has("flow0")) {
+    flows.clear();
+    for (int f = 0;; ++f) {
+      const auto entry = config.get(format("flow%d", f));
+      if (!entry) break;
+      flows.push_back(flow_from_text(*entry, f));
+    }
+    require_contiguous(config, "flow", flows.size());
+    if (config.has("flows") &&
+        static_cast<std::size_t>(num_flows) != flows.size()) {
+      throw std::invalid_argument(
+          "scenario: flows= disagrees with the number of flowN= entries");
+    }
+    num_flows = static_cast<int>(flows.size());
+  } else {
+    require_contiguous(config, "flow", 0);  // flow1= without flow0=
+  }
+
+  total_offered_gbps =
+      config.get_double("offered_gbps", total_offered_gbps);
+  if (const auto p = config.get("profile"))
+    profile.kind = traffic::profile_kind_from_string(*p);
+  profile.period_s =
+      config.get_double("profile_period_s", profile.period_s);
+  profile.amplitude =
+      config.get_double("profile_amplitude", profile.amplitude);
+  profile.surge_start_s =
+      config.get_double("profile_surge_start_s", profile.surge_start_s);
+  profile.surge_duration_s = config.get_double("profile_surge_duration_s",
+                                               profile.surge_duration_s);
+  profile.surge_factor =
+      config.get_double("profile_surge_factor", profile.surge_factor);
+
+  if (const auto s = config.get("sla")) sla_kind = sla_kind_from_string(*s);
+  energy_budget_j = config.get_double("energy_budget", energy_budget_j);
+  throughput_floor_gbps =
+      config.get_double("throughput_floor", throughput_floor_gbps);
+  shaped_reward = config.get_bool("shaped_reward", shaped_reward);
+
+  window_s = config.get_double("window_s", window_s);
+  sub_windows = static_cast<int>(config.get_int("sub_windows", sub_windows));
+  steps_per_episode = static_cast<int>(
+      config.get_int("steps_per_episode", steps_per_episode));
+  eval_windows =
+      static_cast<int>(config.get_int("eval_windows", eval_windows));
+
+  episodes = static_cast<int>(config.get_int("episodes", episodes));
+  q_episodes = static_cast<int>(config.get_int("q_episodes", q_episodes));
+  candidates = static_cast<int>(config.get_int("candidates", candidates));
+  prioritized_replay = config.get_bool("prioritized", prioritized_replay);
+  noise_sigma = config.get_double("noise_sigma", noise_sigma);
+  noise_decay = config.get_double("noise_decay", noise_decay);
+  seed = static_cast<std::uint64_t>(
+      config.get_int("seed", static_cast<std::int64_t>(seed)));
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream out;
+  out << "name=" << name << "\n";
+  out << "nodes=" << num_nodes << "\n";
+  out << "placement=" << cluster::to_string(placement) << "\n";
+  out << "node_cores=" << node.total_cores << "\n";
+  out << "node_fmin_ghz=" << fmt_double(node.fmin_ghz) << "\n";
+  out << "node_fmax_ghz=" << fmt_double(node.fmax_ghz) << "\n";
+  out << "node_line_rate_gbps=" << fmt_double(node.line_rate_gbps) << "\n";
+  out << "node_p_idle_w=" << fmt_double(node.p_idle_w) << "\n";
+  out << "node_p_max_w=" << fmt_double(node.p_max_w) << "\n";
+  out << "chains=" << num_chains << "\n";
+  for (std::size_t c = 0; c < chain_nfs.size(); ++c) {
+    out << "chain" << c << "=";
+    for (std::size_t i = 0; i < chain_nfs[c].size(); ++i) {
+      if (i) out << "+";
+      out << chain_nfs[c][i];
+    }
+    out << "\n";
+  }
+  out << "flows=" << num_flows << "\n";
+  for (std::size_t f = 0; f < flows.size(); ++f)
+    out << "flow" << f << "=" << flow_to_text(flows[f]) << "\n";
+  out << "offered_gbps=" << fmt_double(total_offered_gbps) << "\n";
+  out << "profile=" << traffic::to_string(profile.kind) << "\n";
+  out << "profile_period_s=" << fmt_double(profile.period_s) << "\n";
+  out << "profile_amplitude=" << fmt_double(profile.amplitude) << "\n";
+  out << "profile_surge_start_s=" << fmt_double(profile.surge_start_s)
+      << "\n";
+  out << "profile_surge_duration_s=" << fmt_double(profile.surge_duration_s)
+      << "\n";
+  out << "profile_surge_factor=" << fmt_double(profile.surge_factor) << "\n";
+  out << "sla=" << scenario::to_string(sla_kind) << "\n";
+  out << "energy_budget=" << fmt_double(energy_budget_j) << "\n";
+  out << "throughput_floor=" << fmt_double(throughput_floor_gbps) << "\n";
+  out << "shaped_reward=" << (shaped_reward ? 1 : 0) << "\n";
+  out << "window_s=" << fmt_double(window_s) << "\n";
+  out << "sub_windows=" << sub_windows << "\n";
+  out << "steps_per_episode=" << steps_per_episode << "\n";
+  out << "eval_windows=" << eval_windows << "\n";
+  out << "episodes=" << episodes << "\n";
+  out << "q_episodes=" << q_episodes << "\n";
+  out << "candidates=" << candidates << "\n";
+  out << "prioritized=" << (prioritized_replay ? 1 : 0) << "\n";
+  out << "noise_sigma=" << fmt_double(noise_sigma) << "\n";
+  out << "noise_decay=" << fmt_double(noise_decay) << "\n";
+  out << "seed=" << seed << "\n";
+  return out.str();
+}
+
+void ScenarioSpec::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("scenario: cannot write " + path);
+  out << "# GreenNFV scenario file (key=value; '#' to end of line is a"
+         " comment)\n";
+  out << to_text();
+  if (!out)
+    throw std::runtime_error("scenario: failed writing " + path);
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("scenario: cannot read " + path);
+  std::string text;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    text += line;
+    text += "\n";
+  }
+  const Config config = Config::from_string(text);
+  config.check_known(known_keys(), known_prefixes());
+  ScenarioSpec spec;
+  spec.apply(config);
+  spec.validate();
+  return spec;
+}
+
+void ScenarioSpec::validate() const {
+  if (num_nodes < 1)
+    throw std::invalid_argument("scenario: need at least one node");
+  if (num_chains < 1)
+    throw std::invalid_argument(
+        "scenario: need at least one chain (zero-chain topology)");
+  if (flows.empty()) {
+    if (num_flows < 1)
+      throw std::invalid_argument("scenario: empty traffic mix (no flows)");
+    if (total_offered_gbps <= 0.0)
+      throw std::invalid_argument(
+          "scenario: offered_gbps must be positive");
+  } else {
+    for (const auto& flow : flows) {
+      traffic::validate(flow);
+      if (flow.mean_rate_pps <= 0.0)
+        throw std::invalid_argument(
+            "scenario: flow rates must be positive");
+      if (flow.chain_index >= num_chains)
+        throw std::invalid_argument(
+            format("scenario: flow %d targets chain %d but only %d chains"
+                   " exist",
+                   flow.id, flow.chain_index, num_chains));
+    }
+  }
+  if (!chain_nfs.empty()) {
+    if (chain_nfs.size() != static_cast<std::size_t>(num_chains))
+      throw std::invalid_argument(
+          "scenario: chainN entries must cover every chain");
+    for (const auto& nfs : chain_nfs) {
+      if (nfs.empty())
+        throw std::invalid_argument("scenario: chain with no NFs");
+      for (const auto& nf : nfs)
+        (void)hwmodel::nf_catalog::by_name(nf);  // throws on unknown names
+    }
+  }
+  profile.validate();
+  if (window_s <= 0.0)
+    throw std::invalid_argument("scenario: window_s must be positive");
+  if (sub_windows < 1)
+    throw std::invalid_argument("scenario: sub_windows must be >= 1");
+  if (steps_per_episode < 1)
+    throw std::invalid_argument(
+        "scenario: steps_per_episode must be >= 1");
+  if (eval_windows < 1)
+    throw std::invalid_argument("scenario: eval_windows must be >= 1");
+  if (episodes < 1 || q_episodes < 1)
+    throw std::invalid_argument("scenario: training episodes must be >= 1");
+  if (candidates < 1)
+    throw std::invalid_argument("scenario: candidates must be >= 1");
+  if (noise_sigma < 0.0)
+    throw std::invalid_argument("scenario: noise_sigma must be >= 0");
+  if (noise_decay <= 0.0 || noise_decay > 1.0)
+    throw std::invalid_argument("scenario: noise_decay must be in (0, 1]");
+  if (sla_kind == core::SlaKind::kMaxThroughput && energy_budget_j <= 0.0)
+    throw std::invalid_argument(
+        "scenario: energy_budget must be positive for the maxt SLA");
+  if (sla_kind == core::SlaKind::kMinEnergy &&
+      throughput_floor_gbps <= 0.0)
+    throw std::invalid_argument(
+        "scenario: throughput_floor must be positive for the mine SLA");
+  if (num_nodes > 1 && num_chains < num_nodes)
+    throw std::invalid_argument(
+        "scenario: cluster runs need at least one chain per node");
+}
+
+const std::vector<std::string>& ScenarioSpec::known_keys() {
+  static const std::vector<std::string> keys = {
+      "scenario",       "scenario_file",
+      "name",           "nodes",
+      "placement",      "node_cores",
+      "node_fmin_ghz",  "node_fmax_ghz",
+      "node_line_rate_gbps", "node_p_idle_w",
+      "node_p_max_w",   "chains",
+      "flows",          "offered_gbps",
+      "profile",        "profile_period_s",
+      "profile_amplitude", "profile_surge_start_s",
+      "profile_surge_duration_s", "profile_surge_factor",
+      "sla",            "energy_budget",
+      "throughput_floor", "shaped_reward",
+      "window_s",       "sub_windows",
+      "steps_per_episode", "eval_windows",
+      "episodes",       "q_episodes",
+      "candidates",     "prioritized",
+      "noise_sigma",    "noise_decay",
+      "seed",
+  };
+  return keys;
+}
+
+const std::vector<std::string>& ScenarioSpec::known_prefixes() {
+  static const std::vector<std::string> prefixes = {"chain", "flow"};
+  return prefixes;
+}
+
+}  // namespace greennfv::scenario

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "common/config.hpp"
+#include "core/environment.hpp"
+#include "core/greennfv.hpp"
+
+/// \file scenario_spec.hpp
+/// The declarative experiment description every bench, example, and test
+/// runs from: one value type naming the hardware, the chain topology, the
+/// traffic mix (per-flow specs plus a macroscopic rate profile), the SLA,
+/// the window/episode geometry, and the training budgets. A spec is
+/// parseable from `Config` key=value arguments, round-trips to/from a
+/// plain-text scenario file, and compiles down to the `core::EnvConfig` /
+/// `core::TrainerConfig` the evaluation machinery consumes — so "run the
+/// flash-crowd workload against every scheduler" is one line, not a new
+/// main().
+
+namespace greennfv::scenario {
+
+struct ScenarioSpec {
+  std::string name = "custom";
+  /// Human-readable one-liner (preset listings only; not serialized).
+  std::string description;
+
+  // --- deployment ----------------------------------------------------------
+  /// Hosting nodes. 1 = the single-node evaluations of Figs 9-10; >1 runs
+  /// the cluster path (chains placed via `placement`, traffic partitioned
+  /// per node, fleet metrics aggregated).
+  int num_nodes = 1;
+  cluster::PlacementPolicy placement = cluster::PlacementPolicy::kLeastLoaded;
+  hwmodel::NodeSpec node;
+
+  // --- chain topology ------------------------------------------------------
+  int num_chains = 3;
+  /// Per-chain NF compositions (catalog names). Empty -> the standard
+  /// heterogeneous rotation (nfvsim::standard_chain_nfs).
+  std::vector<std::vector<std::string>> chain_nfs;
+
+  // --- traffic mix ---------------------------------------------------------
+  /// Used when `flows` is empty: the §5 workload generator over this many
+  /// flows at this aggregate offered load.
+  int num_flows = 5;
+  double total_offered_gbps = 12.0;
+  /// Explicit per-flow specs; overrides the generator when non-empty.
+  std::vector<traffic::FlowSpec> flows;
+  /// Macroscopic rate envelope: steady, diurnal, bursty, flash-crowd.
+  traffic::RateProfile profile;
+
+  // --- SLA -----------------------------------------------------------------
+  core::SlaKind sla_kind = core::SlaKind::kEnergyEfficiency;
+  double energy_budget_j = 2000.0;      ///< MaxThroughput constraint
+  double throughput_floor_gbps = 7.5;   ///< MinEnergy constraint
+  bool shaped_reward = false;
+
+  // --- window/episode geometry --------------------------------------------
+  double window_s = 10.0;
+  int sub_windows = 5;
+  int steps_per_episode = 8;
+  int eval_windows = 12;
+
+  // --- training budgets ----------------------------------------------------
+  int episodes = 400;
+  int q_episodes = 250;
+  /// Seeds per GreenNFV variant for model selection.
+  int candidates = 2;
+  bool prioritized_replay = true;
+  double noise_sigma = 0.45;
+  double noise_decay = 0.9985;
+  std::uint64_t seed = 42;
+
+  /// The SLA object (MinEnergy's reference energy derives from the node's
+  /// peak power over one window, as the figure benches compute it).
+  [[nodiscard]] core::Sla sla() const;
+
+  /// Same constants under an explicit kind — how a figure or roster entry
+  /// derives its training SLA from the scenario's constraint constants.
+  [[nodiscard]] core::Sla sla(core::SlaKind kind) const;
+
+  /// Compiles the whole-deployment (single-node view) environment config.
+  [[nodiscard]] core::EnvConfig env_config() const;
+
+  /// Trainer config for one GreenNFV variant trained under `sla` on this
+  /// scenario's environment.
+  [[nodiscard]] core::TrainerConfig trainer_config(const core::Sla& sla)
+      const;
+
+  /// Overwrites fields named by `config` keys (see known_keys()). Unknown
+  /// keys are NOT rejected here — callers combine scenario keys with their
+  /// own and call Config::check_known with the union.
+  void apply(const Config& config);
+
+  /// Serializes to "key=value" lines; apply(Config::from_string(text))
+  /// on a default spec reproduces this spec exactly.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Scenario-file IO. Files are the to_text() format; '#' starts a
+  /// comment that runs to end of line.
+  void save(const std::string& path) const;
+  [[nodiscard]] static ScenarioSpec load(const std::string& path);
+
+  /// Throws std::invalid_argument naming the offending field (zero chains,
+  /// empty traffic mix, negative rates, unknown NF names...).
+  void validate() const;
+
+  /// Every scalar key apply() understands, plus the indexed-family
+  /// prefixes ("chain", "flow") — the vocabulary for Config::check_known.
+  [[nodiscard]] static const std::vector<std::string>& known_keys();
+  [[nodiscard]] static const std::vector<std::string>& known_prefixes();
+};
+
+/// Serialization helpers for the indexed families (shared with tests).
+[[nodiscard]] std::string flow_to_text(const traffic::FlowSpec& flow);
+[[nodiscard]] traffic::FlowSpec flow_from_text(const std::string& text,
+                                               int id);
+
+[[nodiscard]] std::string to_string(core::SlaKind kind);
+[[nodiscard]] core::SlaKind sla_kind_from_string(const std::string& name);
+[[nodiscard]] cluster::PlacementPolicy placement_from_string(
+    const std::string& name);
+
+}  // namespace greennfv::scenario

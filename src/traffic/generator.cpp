@@ -23,8 +23,12 @@ WindowLoad TrafficGenerator::next_window(double dt) {
   GNFV_REQUIRE(dt > 0.0, "next_window: dt must be positive");
   WindowLoad load;
   load.per_flow_pps.resize(flows_.size());
+  // Envelope evaluated at the window midpoint so square-wave edges land
+  // where a whole-window average would put them.
+  const double envelope =
+      profile_.multiplier(time_s_ - profile_t0_s_ + 0.5 * dt);
   for (std::size_t i = 0; i < flows_.size(); ++i) {
-    double rate = arrivals_[i]->rate_in_window(dt, rng_);
+    double rate = arrivals_[i]->rate_in_window(dt, rng_) * envelope;
     if (flows_[i].proto == Protocol::kTcp) rate *= tcp_window_[i];
     load.per_flow_pps[i] = rate;
     load.total_pps += rate;
@@ -58,9 +62,15 @@ void TrafficGenerator::steer_flow(std::size_t flow_index, int chain_index) {
   flows_[flow_index].chain_index = chain_index;
 }
 
+void TrafficGenerator::set_rate_profile(const RateProfile& profile) {
+  profile.validate();
+  profile_ = profile;
+}
+
 void TrafficGenerator::reset(std::uint64_t seed) {
   rng_ = Rng(seed);
   time_s_ = 0.0;
+  profile_t0_s_ = 0.0;
   std::fill(tcp_window_.begin(), tcp_window_.end(), 1.0);
   arrivals_.clear();
   for (const auto& flow : flows_) arrivals_.push_back(make_arrival(flow));

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "traffic/flow.hpp"
+#include "traffic/profile.hpp"
 
 /// \file generator.hpp
 /// The MoonGen stand-in: owns a set of flows and produces per-window offered
@@ -52,8 +53,23 @@ class TrafficGenerator {
   /// effect from the next window.
   void steer_flow(std::size_t flow_index, int chain_index);
 
+  /// Installs a macroscopic rate envelope (diurnal swing, flash crowd...)
+  /// multiplying every flow's offered rate. Survives reset(): the profile
+  /// is part of the workload definition, not of the random state.
+  void set_rate_profile(const RateProfile& profile);
+  [[nodiscard]] const RateProfile& rate_profile() const { return profile_; }
+
+  /// Re-zeros the envelope clock at the current virtual time. Evaluation
+  /// harnesses call this after warmup so every model — whatever its
+  /// settling period — is measured against the same segment of a
+  /// non-steady profile (the surge of `flash-crowd` hits at the same
+  /// recorded t for all of them).
+  void anchor_rate_profile() { profile_t0_s_ = time_s_; }
+
  private:
   std::vector<FlowSpec> flows_;
+  RateProfile profile_;
+  double profile_t0_s_ = 0.0;
   std::vector<std::unique_ptr<ArrivalProcess>> arrivals_;
   /// Per-flow AIMD multiplier in (0, 1]; 1 for UDP.
   std::vector<double> tcp_window_;

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+/// \file profile.hpp
+/// Deterministic rate profiles: a multiplicative envelope applied on top of
+/// the per-flow arrival processes. Arrival processes model short-timescale
+/// randomness (bursts, phases); the profile models the *macroscopic* shape
+/// of a workload over a whole experiment — the diurnal swing of a
+/// metropolitan PoP, a load-test square wave, or a flash crowd slamming
+/// into the deployment mid-run. Scenario presets pick one per experiment.
+
+namespace greennfv::traffic {
+
+/// A deterministic function of virtual time multiplying every flow's
+/// offered rate.
+struct RateProfile {
+  enum class Kind {
+    kSteady,      ///< multiplier 1 everywhere (the paper's evaluations)
+    kDiurnal,     ///< 1 + amplitude * sin(2*pi*t/period)
+    kBursty,      ///< square wave: 1+amplitude / 1-amplitude per half period
+    kFlashCrowd,  ///< 1 except surge_factor in [surge_start, +surge_duration)
+  };
+
+  Kind kind = Kind::kSteady;
+  /// Period of the diurnal sinusoid / bursty square wave.
+  double period_s = 120.0;
+  /// Relative swing of diurnal/bursty in [0, 1).
+  double amplitude = 0.5;
+  /// Flash-crowd surge window and height.
+  double surge_start_s = 60.0;
+  double surge_duration_s = 60.0;
+  double surge_factor = 3.0;
+
+  /// Offered-load multiplier at virtual time `t_s`. Exactly 1.0 for
+  /// kSteady so the default profile is bit-transparent.
+  [[nodiscard]] double multiplier(double t_s) const;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+[[nodiscard]] std::string to_string(RateProfile::Kind kind);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] RateProfile::Kind profile_kind_from_string(
+    const std::string& name);
+
+}  // namespace greennfv::traffic

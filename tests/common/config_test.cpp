@@ -42,6 +42,42 @@ TEST(Config, ThrowsOnMalformedNumbers) {
   EXPECT_THROW((void)c.get_bool("b", false), std::invalid_argument);
 }
 
+TEST(Config, CheckKnownAcceptsListedKeysAndPrefixes) {
+  const Config c = Config::from_string("seed=7 flow0=udp flow12=tcp");
+  EXPECT_NO_THROW(c.check_known({"seed"}, {"flow"}));
+}
+
+TEST(Config, CheckKnownThrowsNamingEveryUnknownKey) {
+  const Config c = Config::from_string("sede=7 epizodes=3 windows=4");
+  try {
+    c.check_known({"seed", "episodes", "windows"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sede"), std::string::npos);
+    EXPECT_NE(what.find("epizodes"), std::string::npos);
+    EXPECT_EQ(what.find("windows"), std::string::npos);
+  }
+}
+
+TEST(Config, CheckKnownPrefixRequiresSuffix) {
+  // A bare prefix is not a key — "flow" alone is still a typo.
+  const Config c = Config::from_string("flow=1");
+  EXPECT_THROW(c.check_known({}, {"flow"}), std::invalid_argument);
+}
+
+TEST(Config, CheckKnownPrefixSuffixMustBeAnIndex) {
+  // Prefixes name indexed families; a non-numeric suffix is a typo that
+  // would otherwise be silently ignored ("flowz", "flow_rate").
+  EXPECT_THROW(Config::from_string("flowz=3").check_known({}, {"flow"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Config::from_string("flow_rate=3").check_known({}, {"flow"}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      Config::from_string("flow12=x").check_known({}, {"flow"}));
+}
+
 TEST(Config, WhitespaceTrimmed) {
   // Spaces separate tokens, so values must hug their '='; surrounding
   // whitespace and tabs around whole tokens are stripped.

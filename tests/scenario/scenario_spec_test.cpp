@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "scenario/presets.hpp"
+#include "scenario/scenario_spec.hpp"
+
+/// ScenarioSpec contract: Config/file round-trips are lossless, the preset
+/// registry resolves by name (unknown names are a hard error), and invalid
+/// scenarios are rejected with named fields.
+
+namespace greennfv::scenario {
+namespace {
+
+TEST(ScenarioSpec, ConfigTextRoundTripsEveryPreset) {
+  for (const std::string& name : preset_names()) {
+    const ScenarioSpec original = preset(name);
+    const std::string text = original.to_text();
+    ScenarioSpec reparsed;
+    reparsed.apply(Config::from_string(text));
+    EXPECT_EQ(reparsed.to_text(), text) << "preset " << name;
+  }
+}
+
+TEST(ScenarioSpec, ToTextOnlyEmitsKnownKeys) {
+  // The serialized form must be accepted by the same vocabulary the
+  // benches use for check_known — otherwise saved files would be rejected.
+  const Config config =
+      Config::from_string(preset("heterogeneous-cluster").to_text());
+  EXPECT_NO_THROW(config.check_known(ScenarioSpec::known_keys(),
+                                     ScenarioSpec::known_prefixes()));
+}
+
+TEST(ScenarioSpec, FileRoundTripPreservesSpecAndTolerateComments) {
+  const std::string path = "/tmp/gnfv_scenario_roundtrip.scenario";
+  const ScenarioSpec original = preset("tcp-heavy");  // explicit flows
+  original.save(path);
+  const ScenarioSpec loaded = ScenarioSpec::load(path);
+  EXPECT_EQ(loaded.to_text(), original.to_text());
+  EXPECT_EQ(loaded.flows.size(), original.flows.size());
+  EXPECT_EQ(loaded.flows[1].proto, traffic::Protocol::kTcp);
+  EXPECT_EQ(loaded.flows[1].arrival, traffic::ArrivalKind::kMmpp);
+
+  // Comments and blank lines are workload documentation, not errors.
+  std::ofstream out(path, std::ios::app);
+  out << "\n# trailing comment\nseed=7 # inline comment\n";
+  out.close();
+  const ScenarioSpec commented = ScenarioSpec::load(path);
+  EXPECT_EQ(commented.seed, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSpec, LoadRejectsMistypedKeys) {
+  const std::string path = "/tmp/gnfv_scenario_typo.scenario";
+  std::ofstream out(path);
+  out << "epizodes=100\n";
+  out.close();
+  EXPECT_THROW((void)ScenarioSpec::load(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Presets, RegistryResolvesEveryNameAndValidates) {
+  const auto names = preset_names();
+  ASSERT_GE(names.size(), 5u);
+  for (const auto& name : names) {
+    const ScenarioSpec spec = preset(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.validate()) << name;
+  }
+}
+
+TEST(Presets, UnknownNameIsAHardError) {
+  try {
+    (void)preset("paper-defalt");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error names the typo and lists what exists.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("paper-defalt"), std::string::npos);
+    EXPECT_NE(what.find("paper-default"), std::string::npos);
+  }
+}
+
+TEST(Presets, ResolveAppliesOverridesOnTopOfThePreset) {
+  const Config config = Config::from_string(
+      "scenario=paper-default chains=4 profile=diurnal seed=9");
+  const ScenarioSpec spec = resolve(config);
+  EXPECT_EQ(spec.num_chains, 4);
+  EXPECT_EQ(spec.profile.kind, traffic::RateProfile::Kind::kDiurnal);
+  EXPECT_EQ(spec.seed, 9u);
+  // Untouched fields keep the preset's values.
+  EXPECT_EQ(spec.num_flows, 5);
+}
+
+TEST(Presets, ResolveRejectsScenarioPlusScenarioFile) {
+  const Config config =
+      Config::from_string("scenario=paper-default scenario_file=x");
+  EXPECT_THROW((void)resolve(config), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, SlaConstructionUsesScenarioConstants) {
+  ScenarioSpec spec;
+  spec.sla_kind = core::SlaKind::kMaxThroughput;
+  spec.energy_budget_j = 1234.0;
+  EXPECT_EQ(spec.sla().kind(), core::SlaKind::kMaxThroughput);
+  EXPECT_DOUBLE_EQ(spec.sla().energy_budget_j(), 1234.0);
+
+  spec.sla_kind = core::SlaKind::kMinEnergy;
+  spec.throughput_floor_gbps = 6.5;
+  EXPECT_DOUBLE_EQ(spec.sla().throughput_floor_gbps(), 6.5);
+}
+
+TEST(ScenarioSpecValidation, RejectsZeroChains) {
+  ScenarioSpec spec;
+  spec.num_chains = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, RejectsEmptyTrafficMix) {
+  ScenarioSpec spec;
+  spec.num_flows = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, RejectsNonPositiveRates) {
+  ScenarioSpec spec;
+  spec.total_offered_gbps = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  ScenarioSpec explicit_spec;
+  explicit_spec.flows = {flow_from_text("udp:cbr:512:0:0", 0)};
+  explicit_spec.num_flows = 1;
+  EXPECT_THROW(explicit_spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, RejectsFlowTargetingMissingChain) {
+  ScenarioSpec spec;
+  spec.flows = {flow_from_text("udp:cbr:512:1e6:7", 0)};
+  spec.num_flows = 1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, RejectsUnknownNfNames) {
+  ScenarioSpec spec;
+  spec.num_chains = 1;
+  spec.chain_nfs = {{"firewall", "warp_drive"}};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, RejectsBadProfileParameters) {
+  ScenarioSpec spec;
+  spec.profile.kind = traffic::RateProfile::Kind::kDiurnal;
+  spec.profile.amplitude = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, RejectsClusterWithFewerChainsThanNodes) {
+  ScenarioSpec spec;
+  spec.num_nodes = 4;
+  spec.num_chains = 3;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecApply, RejectsConflictingCountsAndUnknownEnums) {
+  ScenarioSpec spec;
+  EXPECT_THROW(
+      spec.apply(Config::from_string("chains=3 chain0=firewall")),
+      std::invalid_argument);
+  EXPECT_THROW(spec.apply(Config::from_string("sla=fastest")),
+               std::invalid_argument);
+  EXPECT_THROW(spec.apply(Config::from_string("profile=lunar")),
+               std::invalid_argument);
+  EXPECT_THROW(spec.apply(Config::from_string("flow0=udp:cbr:512")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecApply, RejectsIndexGapsInChainAndFlowFamilies) {
+  // A gap must not silently truncate the list.
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.apply(Config::from_string(
+                   "chain0=firewall chain1=nat chain3=ids")),
+               std::invalid_argument);
+  EXPECT_THROW(spec.apply(Config::from_string(
+                   "flow0=udp:cbr:512:1e6:0 flow2=udp:cbr:512:1e6:0")),
+               std::invalid_argument);
+  // ...including a family that never starts at 0.
+  EXPECT_THROW(spec.apply(Config::from_string("chain1=firewall")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      spec.apply(Config::from_string("flow1=udp:cbr:512:1e6:0")),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greennfv::scenario

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "traffic/generator.hpp"
+#include "traffic/profile.hpp"
+
+/// RateProfile: the macroscopic offered-load envelope. Steady must be
+/// bit-transparent (scenario defaults cannot perturb existing numbers);
+/// the shaped kinds must modulate the generator deterministically.
+
+namespace greennfv::traffic {
+namespace {
+
+TEST(RateProfile, SteadyIsExactlyOne) {
+  const RateProfile profile;
+  for (const double t : {0.0, 1.5, 100.0, 1e6})
+    EXPECT_EQ(profile.multiplier(t), 1.0);
+}
+
+TEST(RateProfile, DiurnalSwingsAroundOne) {
+  RateProfile profile;
+  profile.kind = RateProfile::Kind::kDiurnal;
+  profile.period_s = 100.0;
+  profile.amplitude = 0.5;
+  EXPECT_NEAR(profile.multiplier(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(profile.multiplier(25.0), 1.5, 1e-12);  // peak at T/4
+  EXPECT_NEAR(profile.multiplier(75.0), 0.5, 1e-12);  // trough at 3T/4
+  // Long-run mean over a whole period is the nominal rate.
+  double mean = 0.0;
+  for (int i = 0; i < 1000; ++i) mean += profile.multiplier(i * 0.1) / 1000;
+  EXPECT_NEAR(mean, 1.0, 1e-3);
+}
+
+TEST(RateProfile, BurstySquareWaveAlternates) {
+  RateProfile profile;
+  profile.kind = RateProfile::Kind::kBursty;
+  profile.period_s = 10.0;
+  profile.amplitude = 0.4;
+  EXPECT_DOUBLE_EQ(profile.multiplier(1.0), 1.4);
+  EXPECT_DOUBLE_EQ(profile.multiplier(6.0), 0.6);
+  EXPECT_DOUBLE_EQ(profile.multiplier(11.0), 1.4);
+}
+
+TEST(RateProfile, FlashCrowdSurgesOnlyInsideItsWindow) {
+  RateProfile profile;
+  profile.kind = RateProfile::Kind::kFlashCrowd;
+  profile.surge_start_s = 60.0;
+  profile.surge_duration_s = 30.0;
+  profile.surge_factor = 3.0;
+  EXPECT_DOUBLE_EQ(profile.multiplier(59.9), 1.0);
+  EXPECT_DOUBLE_EQ(profile.multiplier(60.0), 3.0);
+  EXPECT_DOUBLE_EQ(profile.multiplier(89.9), 3.0);
+  EXPECT_DOUBLE_EQ(profile.multiplier(90.0), 1.0);
+}
+
+TEST(RateProfile, ValidateRejectsBadParameters) {
+  RateProfile profile;
+  profile.kind = RateProfile::Kind::kDiurnal;
+  profile.amplitude = 1.0;  // would allow zero/negative rates
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+  profile.amplitude = 0.5;
+  profile.period_s = 0.0;
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+
+  RateProfile crowd;
+  crowd.kind = RateProfile::Kind::kFlashCrowd;
+  crowd.surge_factor = -1.0;
+  EXPECT_THROW(crowd.validate(), std::invalid_argument);
+}
+
+TEST(RateProfile, NamesRoundTripAndRejectUnknown) {
+  for (const auto kind :
+       {RateProfile::Kind::kSteady, RateProfile::Kind::kDiurnal,
+        RateProfile::Kind::kBursty, RateProfile::Kind::kFlashCrowd}) {
+    EXPECT_EQ(profile_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)profile_kind_from_string("lunar"),
+               std::invalid_argument);
+}
+
+TEST(TrafficGenerator, ProfileModulatesOfferedLoadAndSurvivesReset) {
+  FlowSpec flow;
+  flow.mean_rate_pps = 1e6;
+  flow.pkt_bytes = 512;
+  flow.arrival = ArrivalKind::kCbr;
+
+  RateProfile crowd;
+  crowd.kind = RateProfile::Kind::kFlashCrowd;
+  crowd.surge_start_s = 10.0;
+  crowd.surge_duration_s = 10.0;
+  crowd.surge_factor = 2.0;
+
+  TrafficGenerator generator({flow}, 7);
+  generator.set_rate_profile(crowd);
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 1e6);  // t=0.5
+  for (int i = 0; i < 10; ++i) (void)generator.next_window(1.0);
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 2e6);  // t=11.5
+
+  generator.reset(7);
+  EXPECT_EQ(generator.rate_profile().kind,
+            RateProfile::Kind::kFlashCrowd);
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 1e6);
+}
+
+TEST(TrafficGenerator, AnchorRealignsEnvelopeClockToMeasurementStart) {
+  FlowSpec flow;
+  flow.mean_rate_pps = 1e6;
+  flow.arrival = ArrivalKind::kCbr;
+
+  RateProfile crowd;
+  crowd.kind = RateProfile::Kind::kFlashCrowd;
+  crowd.surge_start_s = 0.0;
+  crowd.surge_duration_s = 5.0;
+  crowd.surge_factor = 2.0;
+
+  TrafficGenerator generator({flow}, 7);
+  generator.set_rate_profile(crowd);
+  // 8 warmup seconds run straight through (and past) the surge...
+  for (int i = 0; i < 8; ++i) (void)generator.next_window(1.0);
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 1e6);
+  // ...but anchoring restarts the envelope: measurement sees the surge
+  // from its own t=0, however long the warmup was.
+  generator.anchor_rate_profile();
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 2e6);
+}
+
+TEST(TrafficGenerator, SetRateProfileValidates) {
+  TrafficGenerator generator({FlowSpec{}}, 7);
+  RateProfile bad;
+  bad.kind = RateProfile::Kind::kBursty;
+  bad.amplitude = 2.0;
+  EXPECT_THROW(generator.set_rate_profile(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greennfv::traffic
