@@ -6,13 +6,17 @@
 ///   C. pure polling vs hybrid callback+polling NF scheduling
 ///   D. SDN flow steering on/off under skewed traffic (§6 future work)
 ///
-/// Every section builds its environment from the same resolved
-/// ScenarioSpec (paper-default unless scenario= overrides). Each prints
-/// its own mini-table. Overrides: any scenario key (episodes=N seed=K...).
+/// A and B are knob-subset sweeps and execute through the campaign runner
+/// (one axis each, jobs=N parallelizes the grid, artifacts under
+/// out/ablation-*/); C and D toggle engine internals no scenario key
+/// reaches, so they keep their bespoke loops. Every section builds from
+/// the same resolved ScenarioSpec (paper-default unless scenario=
+/// overrides). Overrides: any scenario key (episodes=N seed=K...), jobs=N.
 
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "campaign/runner.hpp"
 #include "core/heuristic.hpp"
 #include "core/sdn_controller.hpp"
 #include "scenario/experiment.hpp"
@@ -22,45 +26,68 @@ using namespace greennfv::core;
 
 namespace {
 
-void ablate_replay(const scenario::ScenarioSpec& spec) {
-  std::printf("\n[A] prioritized vs uniform replay (EnergyEfficiency SLA)\n");
-  std::vector<std::vector<std::string>> rows;
-  for (const bool prioritized : {true, false}) {
-    TrainerConfig trainer_config =
-        spec.trainer_config(spec.sla(SlaKind::kEnergyEfficiency));
-    trainer_config.prioritized_replay = prioritized;
-    GreenNfvTrainer trainer(trainer_config);
-    const TrainResult result = trainer.train();
-    rows.push_back({prioritized ? "prioritized" : "uniform",
-                    format_double(result.tail_reward, 3),
-                    format_double(result.tail_gbps, 2),
-                    format_double(result.tail_efficiency, 2)});
-  }
-  bench::print_table({"replay", "tail reward", "tail Gbps", "tail eff"},
-                     rows);
+/// Runs a one-axis campaign over the resolved scenario and returns the
+/// summary cells in matrix order.
+campaign::CampaignSummary sweep(const scenario::ScenarioSpec& spec,
+                                const std::string& campaign_name,
+                                const std::string& axis_key,
+                                const std::vector<std::string>& values,
+                                const std::string& models, int jobs) {
+  campaign::CampaignSpec camp;
+  camp.name = campaign_name;
+  camp.base = spec;
+  camp.models = models;
+  camp.axes = {{axis_key, values}};
+  const campaign::ArtifactStore store(out_root(), camp.name);
+  campaign::CampaignRunner runner(
+      camp, bench::out_writable() ? &store : nullptr);
+  return runner.run(jobs, /*resume=*/false).summary;
 }
 
-void ablate_reward_shape(const scenario::ScenarioSpec& spec) {
-  std::printf("\n[B] gated (paper) vs shaped rewards (MaxThroughput SLA)\n");
+void ablate_replay(const scenario::ScenarioSpec& spec, int jobs,
+                   bench::Perf& perf) {
+  std::printf("\n[A] prioritized vs uniform replay (EnergyEfficiency"
+              " SLA)\n");
+  scenario::ScenarioSpec ee_spec = spec;
+  ee_spec.sla_kind = SlaKind::kEnergyEfficiency;
+  const campaign::CampaignSummary summary =
+      sweep(ee_spec, "ablation-replay", "prioritized", {"1", "0"},
+            "greennfv-ee", jobs);
   std::vector<std::vector<std::string>> rows;
-  for (const bool shaped : {false, true}) {
-    TrainerConfig trainer_config =
-        spec.trainer_config(spec.sla(SlaKind::kMaxThroughput));
-    trainer_config.env.shaped_reward = shaped;
-    GreenNfvTrainer trainer(trainer_config);
-    (void)trainer.train();
-    auto scheduler = trainer.make_scheduler("x");
-    const EvalResult eval = evaluate_scheduler(
-        trainer_config.env, *scheduler, 8, spec.seed + 31);
-    rows.push_back({shaped ? "shaped" : "gated (paper)",
-                    format_double(eval.mean_gbps, 2),
-                    format_double(eval.mean_energy_j, 0),
-                    format_double(eval.sla_satisfaction * 100.0, 0) + "%"});
+  for (const auto& cell : summary.cells) {
+    rows.push_back({cell.assignments[0].second == "1" ? "prioritized"
+                                                      : "uniform",
+                    format_double(cell.gbps.mean, 2),
+                    format_double(cell.energy_j.mean, 0),
+                    format_double(cell.efficiency.mean, 2)});
+    perf.add_windows(spec.eval_windows);
+  }
+  bench::print_table({"replay", "Gbps", "Energy(J)", "eff"}, rows);
+}
+
+void ablate_reward_shape(const scenario::ScenarioSpec& spec, int jobs,
+                         bench::Perf& perf) {
+  std::printf("\n[B] gated (paper) vs shaped rewards (MaxThroughput"
+              " SLA)\n");
+  scenario::ScenarioSpec maxt_spec = spec;
+  maxt_spec.sla_kind = SlaKind::kMaxThroughput;
+  const campaign::CampaignSummary summary =
+      sweep(maxt_spec, "ablation-reward", "shaped_reward", {"0", "1"},
+            "greennfv-maxt", jobs);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& cell : summary.cells) {
+    rows.push_back({cell.assignments[0].second == "1" ? "shaped"
+                                                      : "gated (paper)",
+                    format_double(cell.gbps.mean, 2),
+                    format_double(cell.energy_j.mean, 0),
+                    format_double(cell.sla.mean * 100.0, 0) + "%"});
+    perf.add_windows(spec.eval_windows);
   }
   bench::print_table({"reward", "Gbps", "Energy(J)", "SLA met"}, rows);
 }
 
-void ablate_sched_mode(const scenario::ScenarioSpec& spec) {
+void ablate_sched_mode(const scenario::ScenarioSpec& spec,
+                       bench::Perf& perf) {
   std::printf("\n[C] pure polling vs hybrid callback+polling\n");
   // Identical knobs and traffic; only the scheduling discipline differs.
   const EnvConfig env_config = spec.env_config();
@@ -86,6 +113,7 @@ void ablate_sched_mode(const scenario::ScenarioSpec& spec) {
       gbps += outcome.throughput_gbps / 6.0;
       energy += outcome.energy_j / 6.0;
     }
+    perf.add_windows(6);
     rows.push_back({nfvsim::to_string(mode), format_double(gbps, 2),
                     format_double(energy, 0)});
   }
@@ -94,7 +122,7 @@ void ablate_sched_mode(const scenario::ScenarioSpec& spec) {
               " duty — the paper's\nhybrid callback design in one table.\n");
 }
 
-void ablate_sdn(const scenario::ScenarioSpec& spec) {
+void ablate_sdn(const scenario::ScenarioSpec& spec, bench::Perf& perf) {
   std::printf("\n[D] SDN flow steering under skewed load (§6 extension)\n");
   const EnvConfig env_config = spec.env_config();
   std::vector<std::vector<std::string>> rows;
@@ -118,6 +146,7 @@ void ablate_sdn(const scenario::ScenarioSpec& spec) {
       if (steering) (void)sdn.rebalance(obs, gen);
       gbps += outcome.throughput_gbps / windows;
     }
+    perf.add_windows(windows);
     rows.push_back({steering ? "SDN steering on" : "steering off",
                     format_double(gbps, 2),
                     steering ? format("%d moves", sdn.rebalances_performed())
@@ -130,16 +159,20 @@ void ablate_sdn(const scenario::ScenarioSpec& spec) {
 
 int main(int argc, char** argv) {
   const Config cli = Config::from_args(argc, argv);
-  if (bench::handle_cli(cli, scenario::ScenarioSpec::known_keys(),
+  if (bench::handle_cli(cli,
+                        bench::keys_plus(
+                            scenario::ScenarioSpec::known_keys(), {"jobs"}),
                         scenario::ScenarioSpec::known_prefixes()))
     return 0;
   Config config = cli;
   if (!config.has("episodes")) config.set("episodes", "300");
   const scenario::ScenarioSpec spec = scenario::resolve(config);
+  const int jobs = static_cast<int>(config.get_int("jobs", 1));
   bench::banner("Ablations", "design-choice studies", cli, spec.name);
-  ablate_replay(spec);
-  ablate_reward_shape(spec);
-  ablate_sched_mode(spec);
-  ablate_sdn(spec);
+  bench::Perf perf("ablation_study");
+  ablate_replay(spec, jobs, perf);
+  ablate_reward_shape(spec, jobs, perf);
+  ablate_sched_mode(spec, perf);
+  ablate_sdn(spec, perf);
   return 0;
 }

@@ -1,12 +1,16 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/fs_util.hpp"
+#include "common/json.hpp"
 #include "common/string_util.hpp"
 #include "scenario/presets.hpp"
 #include "telemetry/recorder.hpp"
@@ -14,7 +18,9 @@
 /// \file bench_util.hpp
 /// Shared plumbing for the figure-reproduction binaries: banner printing
 /// (with the resolved scenario name), `help=1` key listings, table
-/// emission, and CSV dumps.
+/// emission, CSV dumps (routed under out/), and per-figure wall-clock
+/// accounting (out/BENCH_<fig>.json) so the perf trajectory accumulates
+/// PR over PR.
 
 namespace greennfv::bench {
 
@@ -80,19 +86,79 @@ inline void print_table(const std::vector<std::string>& header,
   std::fputs(render_table(header, rows).c_str(), stdout);
 }
 
-/// Dumps a recorder to bench_out_<name>.csv (best effort: prints a warning
+/// Dumps a recorder to out/bench_<name>.csv (best effort: prints a warning
 /// instead of failing the bench when the directory is not writable).
 inline void dump_csv(const telemetry::Recorder& recorder,
                      const std::string& name) {
   if (recorder.num_series() == 0) return;
-  const std::string path = "bench_out_" + name + ".csv";
   try {
+    const std::string path = out_path("bench_" + name + ".csv");
     recorder.to_csv(path);
     std::printf("[csv] wrote %s\n", path.c_str());
   } catch (const std::exception& e) {
     std::printf("[csv] skipped (%s)\n", e.what());
   }
 }
+
+/// Probes whether out/ artifacts can be written. Figure benches are
+/// best-effort about their outputs (an unwritable directory must cost a
+/// warning, not the evaluation): when this returns false they run their
+/// campaigns without an artifact store.
+inline bool out_writable() {
+  try {
+    const std::string probe = out_path(".writable_probe");
+    write_file_atomic(probe, "");
+    std::remove(probe.c_str());
+    return true;
+  } catch (const std::exception& e) {
+    std::printf("[artifacts] disabled (%s)\n", e.what());
+    return false;
+  }
+}
+
+/// Per-figure perf accounting: construct one per bench main with the
+/// figure's file stem, add the simulated control windows the bench
+/// evaluated, and the destructor writes out/BENCH_<fig>.json with the
+/// wall-clock and windows/sec — one data point per run of the figure, the
+/// series future PRs' optimizations are measured against.
+class Perf {
+ public:
+  explicit Perf(std::string figure)
+      : figure_(std::move(figure)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Perf(const Perf&) = delete;
+  Perf& operator=(const Perf&) = delete;
+
+  void add_windows(double n) { windows_ += n; }
+
+  ~Perf() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    try {
+      Json json = Json::object();
+      json.set("figure", figure_);
+      json.set("wall_s", wall_s);
+      json.set("windows", windows_);
+      json.set("windows_per_sec", wall_s > 0.0 ? windows_ / wall_s : 0.0);
+      const std::string path = out_path("BENCH_" + figure_ + ".json");
+      write_file_atomic(path, json.dump(1) + "\n");
+      std::printf("[perf] %s: %.2f s wall, %.0f windows (%.1f windows/s)"
+                  " -> %s\n",
+                  figure_.c_str(), wall_s, windows_,
+                  wall_s > 0.0 ? windows_ / wall_s : 0.0, path.c_str());
+    } catch (const std::exception& e) {
+      std::printf("[perf] skipped (%s)\n", e.what());
+    }
+  }
+
+ private:
+  std::string figure_;
+  std::chrono::steady_clock::time_point start_;
+  double windows_ = 0.0;
+};
 
 /// Downsamples a series to `points` rows of (x, value) cells.
 inline std::vector<std::vector<std::string>> series_rows(

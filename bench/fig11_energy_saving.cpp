@@ -12,15 +12,21 @@
 /// baseline so the value reads directly as "% saved vs baseline", matching
 /// the figure's axis. EXPERIMENTS.md records this deviation.)
 ///
+/// The steady-state power measurement executes through the campaign
+/// runner (a one-cell matrix whose roster injects the metered pre-trained
+/// policy), so artifacts land under out/fig11/ like every other sweep.
+///
 /// Expected shape (paper): ~20-25% saving after the first hour, growing
 /// toward ~60% as the one-time training cost amortizes.
 ///
 /// Overrides: any scenario key, plus fleet=N (hosting nodes the one-time
-/// training cost amortizes over; the paper's testbed hosts chains on 3).
+/// training cost amortizes over; the paper's testbed hosts chains on 3)
+/// and jobs=N.
 
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "campaign/runner.hpp"
 #include "scenario/experiment.hpp"
 
 using namespace greennfv;
@@ -30,7 +36,8 @@ int main(int argc, char** argv) {
   const Config cli = Config::from_args(argc, argv);
   if (bench::handle_cli(
           cli,
-          bench::keys_plus(scenario::ScenarioSpec::known_keys(), {"fleet"}),
+          bench::keys_plus(scenario::ScenarioSpec::known_keys(),
+                           {"fleet", "jobs"}),
           scenario::ScenarioSpec::known_prefixes()))
     return 0;
   Config config = cli;
@@ -39,6 +46,7 @@ int main(int argc, char** argv) {
   const scenario::ScenarioSpec spec = scenario::resolve(config);
   bench::banner("Figure 11", "energy saving incl. training cost", cli,
                 spec.name);
+  bench::Perf perf("fig11_energy_saving");
 
   // Train while accounting the energy every training episode burned.
   telemetry::Recorder curves;
@@ -48,27 +56,43 @@ int main(int argc, char** argv) {
   double e_train_j = 0.0;
   for (const double e : train_energy.values())
     e_train_j += e * spec.steps_per_episode;
+  perf.add_windows(static_cast<double>(spec.episodes) *
+                   spec.steps_per_episode);
 
   // Steady-state powers of the trained policy and the baseline, measured
-  // by the same runner on the same traffic.
-  scenario::ExperimentRunner runner(spec);
-  std::vector<scenario::SchedulerFactory> roster =
-      scenario::filter_roster(scenario::default_roster(spec), "baseline");
-  roster.push_back(
-      {"GreenNFV(MinE)", 2,
-       [&trainer](const core::EnvConfig& env, std::uint64_t) {
-         // The amortization argument reuses the ONE policy whose training
-         // energy was metered above; it only fits the trained shape.
-         if (env.num_chains != trainer.config().env.num_chains) {
-           throw std::invalid_argument(
-               "fig11 amortizes a single trained policy; run it on"
-               " single-node scenarios (fleet=N scales the deployment)");
-         }
-         return trainer.make_scheduler("GreenNFV(MinE)");
-       }});
-  const scenario::EvalReport report = runner.run(roster);
+  // by the campaign runner on the same traffic: a one-cell matrix whose
+  // roster reuses the ONE policy metered above.
+  campaign::CampaignSpec camp;
+  camp.name = "fig11";
+  camp.base = spec;
+  const campaign::ArtifactStore store(out_root(), camp.name);
+  campaign::CampaignRunner crunner(
+      camp, bench::out_writable() ? &store : nullptr);
+  crunner.set_roster_provider([&trainer](
+                                  const scenario::ScenarioSpec& cell) {
+    std::vector<scenario::SchedulerFactory> roster = scenario::filter_roster(
+        scenario::default_roster(cell), "baseline");
+    roster.push_back(
+        {"GreenNFV(MinE)", 2,
+         [&trainer](const core::EnvConfig& env, std::uint64_t) {
+           // The amortization argument reuses the single trained policy;
+           // it only fits the trained shape.
+           if (env.num_chains != trainer.config().env.num_chains) {
+             throw std::invalid_argument(
+                 "fig11 amortizes a single trained policy; run it on"
+                 " single-node scenarios (fleet=N scales the deployment)");
+           }
+           return trainer.make_scheduler("GreenNFV(MinE)");
+         }});
+    return roster;
+  });
+  const campaign::CampaignReport creport =
+      crunner.run(static_cast<int>(config.get_int("jobs", 1)),
+                  /*resume=*/false);
+  const scenario::EvalReport& report = creport.runs.front().report;
   const EvalResult& base = report.models[0].result;
   const EvalResult& green = report.models[1].result;
+  perf.add_windows(2.0 * spec.eval_windows);
 
   // The model "needs to be trained only once before deployment and is run
   // many times": training happens once, the policy then drives every

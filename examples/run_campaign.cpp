@@ -1,0 +1,194 @@
+/// Run any named or file-loaded campaign — a parallel sweep over
+/// scenarios x schedulers x seeds — and print per-cell statistics (mean,
+/// stddev, 95% CI) plus the throughput-vs-energy Pareto front.
+///
+///   build/example_run_campaign                         # fig9 campaign
+///   build/example_run_campaign list=1                  # preset table
+///   build/example_run_campaign campaign=fig11-rates jobs=8
+///   build/example_run_campaign campaign=ablation expand=1   # matrix only
+///   build/example_run_campaign campaign=ci-campaign-smoke jobs=2
+///   build/example_run_campaign campaign=fig9 save=my.campaign
+///   build/example_run_campaign campaign_file=my.campaign fresh=1
+///   build/example_run_campaign validate_manifest=out/fig9/manifest.json
+///   build/example_run_campaign help=1                  # accepted keys
+///
+/// Sweep axes are "sweep.<scenario-key>=v1,v2,..." (any scenario key:
+/// sweep.offered_gbps=5,10,20,40, sweep.sla=maxt,mine,ee...); plain
+/// scenario keys apply to every run (episodes=6 seed=7...); seeds= /
+/// auto_seeds= set the seed axis and models= filters the roster.
+///
+/// Artifacts land under out/<campaign>/: one runs/<run_id>.json per run
+/// (metrics + telemetry) and a manifest.json with the aggregates. Runs
+/// are resumed from artifacts by default — an interrupted sweep picks up
+/// where it crashed, skipping completed runs; fresh=1 re-executes
+/// everything. jobs=N parallelizes over the work-stealing pool; any N
+/// produces bit-identical results.
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "campaign/presets.hpp"
+#include "campaign/runner.hpp"
+#include "common/fs_util.hpp"
+#include "common/string_util.hpp"
+#include "scenario/presets.hpp"
+
+using namespace greennfv;
+
+namespace {
+
+const std::vector<std::string>& cli_keys() {
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> all = campaign::CampaignSpec::known_keys();
+    for (const auto& key : scenario::ScenarioSpec::known_keys())
+      if (key != "scenario" && key != "scenario_file") all.push_back(key);
+    all.insert(all.end(), {"jobs", "fresh", "out", "save", "list", "expand",
+                           "validate_manifest", "help"});
+    return all;
+  }();
+  return keys;
+}
+
+void print_help() {
+  std::printf("accepted key=value arguments (plus sweep.<scenario-key>="
+              "v1,v2,... axes\nand chainN=/flowN= indexed overrides):\n");
+  for (const auto& key : cli_keys()) std::printf("  %s\n", key.c_str());
+  std::printf("\nnamed campaigns (campaign=<name>):\n%s",
+              campaign::preset_table().c_str());
+  std::printf("\nnamed scenarios (scenarios=a,b,...):\n%s",
+              scenario::preset_table().c_str());
+}
+
+/// Parses and sanity-checks a manifest: every aggregate field must be a
+/// finite number. Returns 0 when healthy — the CI gate's crash-safe proof
+/// that a campaign actually produced machine-readable statistics.
+int validate_manifest(const std::string& path) {
+  const Json manifest = Json::parse(read_file(path));
+  const Json& summary = manifest.at("summary");
+  int checked = 0;
+  for (const Json& cell : summary.at("cells").elements()) {
+    for (const char* metric :
+         {"gbps", "energy_j", "power_w", "efficiency", "sla_satisfaction",
+          "drop_fraction"}) {
+      const Json& stats = cell.at(metric);
+      for (const char* field : {"n", "mean", "stddev", "ci95"}) {
+        const double value = stats.at(field).as_double();
+        if (!std::isfinite(value)) {
+          std::fprintf(stderr,
+                       "manifest %s: cell %s %s.%s is not finite\n",
+                       path.c_str(),
+                       cell.at("cell_id").as_string().c_str(), metric,
+                       field);
+          return 2;
+        }
+        ++checked;
+      }
+    }
+  }
+  if (manifest.at("runs").size() !=
+      static_cast<std::size_t>(manifest.at("matrix_size").as_double())) {
+    std::fprintf(stderr, "manifest %s: run list does not cover matrix\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("manifest %s: ok (%zu runs, %zu cells, %d finite fields)\n",
+              path.c_str(), manifest.at("runs").size(),
+              summary.at("cells").size(), checked);
+  return 0;
+}
+
+int run(const Config& config) {
+  if (config.get_bool("list", false)) {
+    std::printf("named campaigns:\n%s", campaign::preset_table().c_str());
+    return 0;
+  }
+  if (config.get_bool("help", false)) {
+    print_help();
+    return 0;
+  }
+  if (const auto manifest = config.get("validate_manifest"))
+    return validate_manifest(*manifest);
+
+  // Key validation happens inside CampaignSpec::apply (the vocabulary is
+  // open-ended via sweep.* and chainN=/flowN=); CLI-only keys are
+  // stripped first.
+  Config campaign_config = config;
+  for (const char* key : {"jobs", "fresh", "out", "save", "list", "expand",
+                          "validate_manifest", "help"}) {
+    Config stripped;
+    for (const auto& [k, v] : campaign_config.entries())
+      if (k != key) stripped.set(k, v);
+    campaign_config = stripped;
+  }
+  const campaign::CampaignSpec spec = campaign::resolve(campaign_config);
+
+  if (const auto path = config.get("save")) {
+    spec.save(*path);
+    std::printf("wrote %s — rerun with campaign_file=%s\n", path->c_str(),
+                path->c_str());
+    return 0;
+  }
+
+  const int jobs = static_cast<int>(config.get_int("jobs", 1));
+  const bool fresh = config.get_bool("fresh", false);
+  const std::string out_root_dir = config.get_string("out", out_root());
+
+  const campaign::ArtifactStore store(out_root_dir, spec.name);
+  campaign::CampaignRunner runner(spec, &store);
+
+  std::printf("campaign %s: %zu run(s) = %zu scenario(s)", spec.name.c_str(),
+              runner.matrix().size(),
+              spec.base ? std::size_t{1} : spec.scenarios.size());
+  for (const auto& axis : spec.axes)
+    std::printf(" x %zu %s", axis.values.size(), axis.key.c_str());
+  std::printf(" x %zu seed(s); models=%s; jobs=%d\n",
+              runner.matrix().empty()
+                  ? std::size_t{0}
+                  : spec.seeds_for(runner.matrix()[0].scenario.seed).size(),
+              spec.models.empty() ? "<full roster>" : spec.models.c_str(),
+              jobs);
+
+  if (config.get_bool("expand", false)) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& entry : runner.matrix()) {
+      std::string assignments;
+      for (const auto& [key, value] : entry.assignments) {
+        if (!assignments.empty()) assignments += " ";
+        assignments += key + "=" + value;
+      }
+      rows.push_back(
+          {format("%zu", entry.index), entry.scenario_name, assignments,
+           format("%llu", static_cast<unsigned long long>(entry.seed))});
+    }
+    std::fputs(render_table({"#", "scenario", "assignments", "seed"}, rows)
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  const campaign::CampaignReport report = runner.run(jobs, !fresh);
+
+  std::printf("\n");
+  std::fputs(report.summary.table().c_str(), stdout);
+  std::printf("\npareto front (throughput vs energy):\n");
+  for (const std::size_t index : report.summary.pareto) {
+    const auto& cell = report.summary.cells[index];
+    std::printf("  %s / %s: %.2f Gbps at %.0f J\n", cell.cell_id.c_str(),
+                cell.model.c_str(), cell.gbps.mean, cell.energy_j.mean);
+  }
+  std::printf("\n%d executed, %d resumed; artifacts in %s\n",
+              report.executed, report.resumed, store.dir().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Config::from_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "common/fs_util.hpp"
 #include "common/string_util.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/presets.hpp"
@@ -68,8 +69,12 @@ int run(const Config& config) {
   std::fputs(report.table().c_str(), stdout);
 
   if (const auto csv = config.get("csv")) {
-    report.series.to_csv(*csv);
-    std::printf("\n[csv] wrote %s\n", csv->c_str());
+    // Bare filenames are routed under out/ with every other artifact;
+    // explicit paths are honoured as given.
+    const std::string path =
+        csv->find('/') == std::string::npos ? out_path(*csv) : *csv;
+    report.series.to_csv(path);
+    std::printf("\n[csv] wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -31,6 +31,15 @@ echo "=== [1b] scenario smoke: ci-smoke preset, full roster ==="
 ./build/example_run_scenario scenario=ci-smoke
 
 echo
+echo "=== [1c] campaign smoke: 2 presets x 2 seeds, jobs=2 ==="
+# fresh=1 so the gate always exercises real parallel execution (not a
+# cache hit from a previous run), then the manifest must parse with every
+# aggregate field finite.
+./build/example_run_campaign campaign=ci-campaign-smoke jobs=2 fresh=1
+./build/example_run_campaign \
+  validate_manifest=out/ci-campaign-smoke/manifest.json
+
+echo
 echo "=== [2/2] sanitizer gate: ASan/UBSan Debug build ==="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \

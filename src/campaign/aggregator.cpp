@@ -1,0 +1,205 @@
+#include "campaign/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "telemetry/stats.hpp"
+
+namespace greennfv::campaign {
+
+namespace {
+
+/// Welford accumulators for one (cell, model)'s six metrics.
+struct CellAccumulator {
+  std::size_t order = 0;  ///< first-seen position (output order)
+  std::string cell_id;
+  std::string scenario;
+  std::vector<std::pair<std::string, std::string>> assignments;
+  std::string model;
+  telemetry::RunningStats gbps, energy_j, power_w, efficiency, sla, drop;
+};
+
+MetricStats finalize(const telemetry::RunningStats& stats) {
+  MetricStats out;
+  out.n = stats.count();
+  out.mean = stats.count() > 0 ? stats.mean() : 0.0;
+  out.stddev = stats.count() > 1 ? stats.stddev() : 0.0;
+  out.ci95 = stats.count() > 1
+                 ? t_critical_95(stats.count() - 1) * out.stddev /
+                       std::sqrt(static_cast<double>(stats.count()))
+                 : 0.0;
+  return out;
+}
+
+std::string fmt_ci(const MetricStats& stats, int decimals) {
+  // ASCII "+-" keeps render_table's byte-width column alignment intact.
+  if (stats.n < 2) return format_double(stats.mean, decimals);
+  return format_double(stats.mean, decimals) + "+-" +
+         format_double(stats.ci95, decimals);
+}
+
+}  // namespace
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% critical values, df = 1..30.
+  static const double table[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return table[df - 1];
+  return 1.96;
+}
+
+CampaignSummary aggregate(const std::vector<RunResult>& runs) {
+  // Group by (cell, model) preserving first-seen order — runs arrive in
+  // matrix order, so cells come out in expansion order and models in
+  // roster order.
+  std::map<std::pair<std::string, std::string>, CellAccumulator> groups;
+  std::size_t next_order = 0;
+  for (const RunResult& run : runs) {
+    for (const auto& model : run.report.models) {
+      const auto key =
+          std::make_pair(run.cell_id, model.result.scheduler);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        CellAccumulator acc;
+        acc.order = next_order++;
+        acc.cell_id = run.cell_id;
+        acc.scenario = run.scenario_name;
+        acc.assignments = run.assignments;
+        acc.model = model.result.scheduler;
+        it = groups.emplace(key, std::move(acc)).first;
+      }
+      CellAccumulator& acc = it->second;
+      acc.gbps.add(model.result.mean_gbps);
+      acc.energy_j.add(model.result.mean_energy_j);
+      acc.power_w.add(model.result.mean_power_w);
+      acc.efficiency.add(model.result.mean_efficiency);
+      acc.sla.add(model.result.sla_satisfaction);
+      acc.drop.add(model.result.drop_fraction);
+    }
+  }
+
+  // Consistency: every seed of a cell must have reported the same model
+  // roster, else the per-model means average different sample sets.
+  std::map<std::string, std::size_t> runs_per_cell;
+  for (const RunResult& run : runs) ++runs_per_cell[run.cell_id];
+  for (const auto& [key, acc] : groups) {
+    if (acc.gbps.count() != runs_per_cell[acc.cell_id]) {
+      throw std::invalid_argument(
+          "campaign: cell '" + acc.cell_id + "' has model '" + acc.model +
+          "' in only " + format("%zu", acc.gbps.count()) + " of " +
+          format("%zu", runs_per_cell[acc.cell_id]) +
+          " seed runs — inconsistent rosters across the cell");
+    }
+  }
+
+  std::vector<const CellAccumulator*> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [key, acc] : groups) ordered.push_back(&acc);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CellAccumulator* a, const CellAccumulator* b) {
+              return a->order < b->order;
+            });
+
+  CampaignSummary summary;
+  for (const CellAccumulator* acc : ordered) {
+    CellModelStats cell;
+    cell.cell_id = acc->cell_id;
+    cell.scenario = acc->scenario;
+    cell.assignments = acc->assignments;
+    cell.model = acc->model;
+    cell.gbps = finalize(acc->gbps);
+    cell.energy_j = finalize(acc->energy_j);
+    cell.power_w = finalize(acc->power_w);
+    cell.efficiency = finalize(acc->efficiency);
+    cell.sla = finalize(acc->sla);
+    cell.drop = finalize(acc->drop);
+    summary.cells.push_back(std::move(cell));
+  }
+
+  // Pareto front over mean throughput (max) vs mean energy (min): a point
+  // survives unless some other point is at least as good on both axes and
+  // strictly better on one.
+  for (std::size_t i = 0; i < summary.cells.size(); ++i) {
+    const CellModelStats& p = summary.cells[i];
+    bool dominated = false;
+    for (std::size_t j = 0; j < summary.cells.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const CellModelStats& q = summary.cells[j];
+      dominated = q.gbps.mean >= p.gbps.mean &&
+                  q.energy_j.mean <= p.energy_j.mean &&
+                  (q.gbps.mean > p.gbps.mean ||
+                   q.energy_j.mean < p.energy_j.mean);
+    }
+    summary.cells[i].on_pareto = !dominated;
+    if (!dominated) summary.pareto.push_back(i);
+  }
+  std::sort(summary.pareto.begin(), summary.pareto.end(),
+            [&summary](std::size_t a, std::size_t b) {
+              if (summary.cells[a].gbps.mean != summary.cells[b].gbps.mean)
+                return summary.cells[a].gbps.mean >
+                       summary.cells[b].gbps.mean;
+              return a < b;
+            });
+  return summary;
+}
+
+std::string CampaignSummary::table() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const CellModelStats& cell : cells) {
+    rows.push_back({cell.cell_id, cell.model,
+                    format("%zu", cell.gbps.n), fmt_ci(cell.gbps, 2),
+                    fmt_ci(cell.energy_j, 0), fmt_ci(cell.efficiency, 2),
+                    format_double(cell.sla.mean * 100.0, 0) + "%",
+                    format_double(cell.drop.mean * 100.0, 1) + "%",
+                    cell.on_pareto ? "*" : ""});
+  }
+  return render_table({"cell", "model", "seeds", "Gbps", "Energy(J)",
+                       "Efficiency", "SLA met", "drop", "pareto"},
+                      rows);
+}
+
+Json CampaignSummary::to_json() const {
+  const auto metric_json = [](const MetricStats& stats) {
+    Json json = Json::object();
+    json.set("n", static_cast<double>(stats.n));
+    json.set("mean", stats.mean);
+    json.set("stddev", stats.stddev);
+    json.set("ci95", stats.ci95);
+    return json;
+  };
+  Json cells_json = Json::array();
+  for (const CellModelStats& cell : cells) {
+    Json json = Json::object();
+    json.set("cell_id", cell.cell_id);
+    json.set("scenario", cell.scenario);
+    Json assignments = Json::object();
+    for (const auto& [key, value] : cell.assignments)
+      assignments.set(key, value);
+    json.set("assignments", std::move(assignments));
+    json.set("model", cell.model);
+    json.set("gbps", metric_json(cell.gbps));
+    json.set("energy_j", metric_json(cell.energy_j));
+    json.set("power_w", metric_json(cell.power_w));
+    json.set("efficiency", metric_json(cell.efficiency));
+    json.set("sla_satisfaction", metric_json(cell.sla));
+    json.set("drop_fraction", metric_json(cell.drop));
+    json.set("on_pareto", cell.on_pareto);
+    cells_json.push_back(std::move(json));
+  }
+  Json pareto_json = Json::array();
+  for (const std::size_t index : pareto)
+    pareto_json.push_back(static_cast<double>(index));
+  Json json = Json::object();
+  json.set("cells", std::move(cells_json));
+  json.set("pareto", std::move(pareto_json));
+  return json;
+}
+
+}  // namespace greennfv::campaign

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/artifact_store.hpp"
+#include "common/json.hpp"
+
+/// \file aggregator.hpp
+/// Reduces the per-seed run results of a campaign into per-cell statistics
+/// — mean, sample stddev, and a 95% confidence interval per model and
+/// metric — plus the cross-cell Pareto front of the paper's core
+/// trade-off, throughput (maximize) vs energy (minimize). This is how a
+/// sweep's answer is read: not one lucky seed, but a cell mean with error
+/// bars, and the frontier of configurations no other configuration beats
+/// on both axes.
+
+namespace greennfv::campaign {
+
+/// Summary of one metric over a cell's seeds. ci95 is the half-width of
+/// the two-sided 95% confidence interval on the mean (Student t for small
+/// n); 0 when n < 2 — always finite.
+struct MetricStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+};
+
+/// One (cell, model) aggregate.
+struct CellModelStats {
+  std::string cell_id;
+  std::string scenario;
+  std::vector<std::pair<std::string, std::string>> assignments;
+  std::string model;
+  MetricStats gbps;
+  MetricStats energy_j;
+  MetricStats power_w;
+  MetricStats efficiency;
+  MetricStats sla;
+  MetricStats drop;
+  /// On the cross-cell throughput-vs-energy Pareto front.
+  bool on_pareto = false;
+};
+
+struct CampaignSummary {
+  /// Matrix order (cells in expansion order, models in roster order).
+  std::vector<CellModelStats> cells;
+  /// Indices into `cells` on the Pareto front, best throughput first.
+  std::vector<std::size_t> pareto;
+
+  /// Per-cell/model table with mean ± ci95 columns and a Pareto marker.
+  [[nodiscard]] std::string table() const;
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (1.96 beyond the tabulated range). Exposed for the tests.
+[[nodiscard]] double t_critical_95(std::size_t df);
+
+/// Groups runs by (cell, model), computes the statistics, and marks the
+/// Pareto front. Models must be consistent across a cell's seeds (the
+/// runner guarantees this; mismatches throw).
+[[nodiscard]] CampaignSummary aggregate(const std::vector<RunResult>& runs);
+
+}  // namespace greennfv::campaign

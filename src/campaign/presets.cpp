@@ -1,0 +1,112 @@
+#include "campaign/presets.hpp"
+
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace greennfv::campaign {
+
+namespace {
+
+CampaignSpec fig9() {
+  CampaignSpec spec;
+  spec.name = "fig9";
+  spec.description =
+      "Fig. 9 model comparison on paper-default: full seven-model roster,"
+      " three seeds, CI per model";
+  spec.scenarios = {"paper-default"};
+  spec.auto_seeds = 3;
+  return spec;
+}
+
+CampaignSpec fig11_rates() {
+  CampaignSpec spec;
+  spec.name = "fig11-rates";
+  spec.description =
+      "Fig. 11-style energy frontier: baseline vs GreenNFV(MinE) across"
+      " offered rates 6-18 Gbps under the MinE SLA";
+  spec.scenarios = {"paper-default"};
+  spec.models = "baseline,greennfv-mine";
+  spec.axes = {{"offered_gbps", {"6", "9", "12", "15", "18"}}};
+  spec.overrides.set("sla", "mine");
+  return spec;
+}
+
+CampaignSpec ablation() {
+  CampaignSpec spec;
+  spec.name = "ablation";
+  spec.description =
+      "Design-knob grid: prioritized vs uniform replay x gated vs shaped"
+      " rewards, evaluated on GreenNFV(EE)";
+  spec.scenarios = {"paper-default"};
+  spec.models = "greennfv-ee";
+  spec.axes = {{"prioritized", {"1", "0"}}, {"shaped_reward", {"0", "1"}}};
+  return spec;
+}
+
+CampaignSpec ci_campaign_smoke() {
+  CampaignSpec spec;
+  spec.name = "ci-campaign-smoke";
+  spec.description =
+      "Gate matrix: 2 presets x 2 seeds, untrained models, tiny windows —"
+      " exercises expansion, parallel execution, artifacts, aggregation";
+  spec.scenarios = {"ci-smoke", "flash-crowd"};
+  spec.models = "baseline,ee-pstate";
+  spec.seeds = {1, 2};
+  spec.overrides.set("eval_windows", "3");
+  spec.overrides.set("sub_windows", "2");
+  spec.overrides.set("window_s", "2");
+  return spec;
+}
+
+const std::vector<CampaignSpec>& registry() {
+  static const std::vector<CampaignSpec> presets = {
+      fig9(), fig11_rates(), ablation(), ci_campaign_smoke()};
+  return presets;
+}
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : registry()) names.push_back(spec.name);
+  return names;
+}
+
+CampaignSpec preset(const std::string& name) {
+  for (const auto& spec : registry())
+    if (spec.name == name) return spec;
+  std::string known;
+  for (const auto& spec : registry()) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw std::invalid_argument("campaign: unknown preset '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::string preset_table() {
+  std::string table;
+  for (const auto& spec : registry())
+    table += format("  %-22s %s\n", spec.name.c_str(),
+                    spec.description.c_str());
+  return table;
+}
+
+CampaignSpec resolve(const Config& config,
+                     const std::string& default_campaign) {
+  CampaignSpec spec;
+  if (const auto file = config.get("campaign_file")) {
+    if (config.has("campaign"))
+      throw std::invalid_argument(
+          "campaign: pass campaign= or campaign_file=, not both");
+    spec = CampaignSpec::load(*file);
+  } else {
+    spec = preset(config.get_string("campaign", default_campaign));
+  }
+  spec.apply(config);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace greennfv::campaign

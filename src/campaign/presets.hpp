@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hpp"
+
+/// \file presets.hpp
+/// The named-campaign registry, mirroring the paper's sweeps: the Fig. 9
+/// scheduler comparison (multi-seed), the Fig. 11-style traffic-rate
+/// sweep, the design-knob ablation grid, and the CI smoke matrix. Like
+/// scenario presets, a name resolves to a fully-specified CampaignSpec,
+/// overridable key-by-key from the command line; unknown names are a hard
+/// error.
+
+namespace greennfv::campaign {
+
+/// All campaign preset names, in listing order.
+[[nodiscard]] std::vector<std::string> preset_names();
+
+/// The preset with that name; std::invalid_argument lists the valid
+/// names on a miss.
+[[nodiscard]] CampaignSpec preset(const std::string& name);
+
+/// One row per preset: "name — description".
+[[nodiscard]] std::string preset_table();
+
+/// The CLI entry point: picks the campaign named by `campaign=` (or loads
+/// `campaign_file=`, or falls back to `default_campaign`), applies every
+/// override in `config` on top, validates, and returns it.
+[[nodiscard]] CampaignSpec resolve(
+    const Config& config, const std::string& default_campaign = "fig9");
+
+}  // namespace greennfv::campaign

@@ -1,0 +1,114 @@
+#include "campaign/runner.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
+
+namespace greennfv::campaign {
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, const ArtifactStore* store)
+    : spec_(std::move(spec)), store_(store), matrix_(spec_.expand()) {
+  const std::string models = spec_.models;
+  roster_ = [models](const scenario::ScenarioSpec& scenario) {
+    std::vector<scenario::SchedulerFactory> roster =
+        scenario::default_roster(scenario);
+    if (!models.empty()) roster = scenario::filter_roster(roster, models);
+    return roster;
+  };
+}
+
+void CampaignRunner::set_roster_provider(RosterProvider provider) {
+  roster_ = std::move(provider);
+}
+
+RunResult CampaignRunner::execute(const RunSpec& run,
+                                  const RosterProvider& roster) {
+  scenario::ExperimentRunner runner(run.scenario);
+  RunResult result;
+  result.index = run.index;
+  result.run_id = run.run_id;
+  result.cell_id = run.cell_id;
+  result.scenario_name = run.scenario_name;
+  result.assignments = run.assignments;
+  result.seed = run.seed;
+  result.scenario_text = run.scenario.to_text();
+  result.report = runner.run(roster(run.scenario));
+  return result;
+}
+
+CampaignReport CampaignRunner::run(int jobs, bool resume) {
+  CampaignReport report;
+  report.runs.resize(matrix_.size());
+
+  // Resume pass: pull completed runs off disk, collect what's left. An
+  // artifact only counts when its roster matches what this campaign
+  // would run (building the roster is cheap — the factories are lazy);
+  // a stale models= filter means re-run, not a mixed aggregate.
+  std::vector<std::size_t> todo;
+  for (const RunSpec& run : matrix_) {
+    if (resume && store_ != nullptr) {
+      if (auto cached = store_->load_run(run)) {
+        const std::vector<scenario::SchedulerFactory> roster =
+            roster_(run.scenario);
+        bool roster_matches = roster.size() == cached->report.models.size();
+        for (std::size_t m = 0; roster_matches && m < roster.size(); ++m) {
+          roster_matches =
+              roster[m].name == cached->report.models[m].result.scheduler;
+        }
+        if (roster_matches) {
+          report.runs[run.index] = std::move(*cached);
+          ++report.resumed;
+          continue;
+        }
+      }
+    }
+    todo.push_back(run.index);
+  }
+  if (report.resumed > 0) {
+    std::printf("[campaign] %s: resumed %d/%zu runs from %s\n",
+                spec_.name.c_str(), report.resumed, matrix_.size(),
+                store_->dir().c_str());
+  }
+
+  // Parallel pass: every pending run is independent — per-run seeds, no
+  // shared state — so slot-indexed results make any interleaving (and any
+  // jobs count) produce identical bytes.
+  ThreadPool::parallel_for(
+      todo.size(), jobs, [this, &report, &todo](std::size_t i) {
+        const RunSpec& run = matrix_[todo[i]];
+        std::printf("[campaign] run %zu/%zu %s\n", run.index + 1,
+                    matrix_.size(), run.run_id.c_str());
+        RunResult result = execute(run, roster_);
+        if (store_ != nullptr) store_->save_run(result);
+        report.runs[run.index] = std::move(result);
+      });
+  report.executed = static_cast<int>(todo.size());
+
+  report.summary = aggregate(report.runs);
+  if (store_ != nullptr) store_->save_manifest(manifest(report));
+  return report;
+}
+
+Json CampaignRunner::manifest(const CampaignReport& report) const {
+  Json json = Json::object();
+  json.set("campaign", spec_.name);
+  json.set("spec", spec_.to_text());
+  json.set("matrix_size", static_cast<double>(matrix_.size()));
+  Json runs = Json::array();
+  for (const RunResult& run : report.runs) {
+    Json entry = Json::object();
+    entry.set("run_id", run.run_id);
+    entry.set("cell_id", run.cell_id);
+    entry.set("seed",
+              format("%llu", static_cast<unsigned long long>(run.seed)));
+    entry.set("resumed", run.from_cache);
+    runs.push_back(std::move(entry));
+  }
+  json.set("runs", std::move(runs));
+  json.set("summary", report.summary.to_json());
+  return json;
+}
+
+}  // namespace greennfv::campaign

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregator.hpp"
+#include "campaign/artifact_store.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "scenario/experiment.hpp"
+
+/// \file runner.hpp
+/// Executes a campaign's run matrix: each matrix entry is an independent
+/// (scenario, roster, seed) evaluation through ExperimentRunner, so the
+/// work-stealing pool can run them in any interleaving — results land in
+/// index-addressed slots and every run derives its randomness from its own
+/// RunSpec seed, which is what makes `--jobs N` bit-identical to
+/// `--jobs 1`. With an ArtifactStore attached, each finished run is
+/// persisted immediately and a resumed campaign loads completed runs
+/// instead of re-executing them.
+
+namespace greennfv::campaign {
+
+struct CampaignReport {
+  /// Matrix order (RunSpec::index), independent of execution order.
+  std::vector<RunResult> runs;
+  CampaignSummary summary;
+  int executed = 0;  ///< runs evaluated this invocation
+  int resumed = 0;   ///< runs loaded from artifacts
+};
+
+class CampaignRunner {
+ public:
+  /// Builds one run's scheduler roster. The default provider applies the
+  /// campaign's `models` filter to scenario::default_roster (factories
+  /// are lazy — unselected trained models never train).
+  using RosterProvider =
+      std::function<std::vector<scenario::SchedulerFactory>(
+          const scenario::ScenarioSpec&)>;
+
+  /// Expands the matrix up front (a bad cell throws here, before anything
+  /// runs). `store` may be null: no artifacts, no resume.
+  CampaignRunner(CampaignSpec spec, const ArtifactStore* store = nullptr);
+
+  /// Replaces the roster builder — how a bench injects a pre-trained
+  /// policy (Fig. 11) while still executing through the campaign path.
+  void set_roster_provider(RosterProvider provider);
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<RunSpec>& matrix() const {
+    return matrix_;
+  }
+
+  /// Executes every run not already completed (when `resume` and a store
+  /// is attached) across `jobs` workers, persists fresh runs, aggregates,
+  /// and — with a store — writes the campaign manifest.
+  CampaignReport run(int jobs, bool resume = true);
+
+  /// One run, independent of any pool — the unit the matrix parallelizes.
+  [[nodiscard]] static RunResult execute(const RunSpec& run,
+                                         const RosterProvider& roster);
+
+  /// The manifest document for a finished report (exposed for tests).
+  [[nodiscard]] Json manifest(const CampaignReport& report) const;
+
+ private:
+  CampaignSpec spec_;
+  const ArtifactStore* store_;
+  std::vector<RunSpec> matrix_;
+  RosterProvider roster_;
+};
+
+}  // namespace greennfv::campaign

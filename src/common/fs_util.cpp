@@ -1,0 +1,65 @@
+#include "common/fs_util.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace greennfv {
+
+namespace fs = std::filesystem;
+
+void ensure_dir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec && !fs::is_directory(path))
+    throw std::runtime_error("fs: cannot create directory " + path + ": " +
+                             ec.message());
+}
+
+const std::string& out_root() {
+  static const std::string root = "out";
+  return root;
+}
+
+std::string out_path(const std::string& relative) {
+  const fs::path full = fs::path(out_root()) / relative;
+  if (full.has_parent_path()) ensure_dir(full.parent_path().string());
+  return full.string();
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::string& content) {
+  const fs::path target(path);
+  if (target.has_parent_path()) ensure_dir(target.parent_path().string());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("fs: cannot write " + tmp);
+    out << content;
+    if (!out) throw std::runtime_error("fs: failed writing " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("fs: cannot rename " + tmp + " -> " + path +
+                             ": " + ec.message());
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fs: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+}  // namespace greennfv

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+/// \file fs_util.hpp
+/// Output-file routing: every bench/example/campaign artifact lands under
+/// the repo-local `out/` tree (gitignored) instead of littering the
+/// working directory.
+
+namespace greennfv {
+
+/// Creates `path` (and parents) if missing. Throws std::runtime_error on
+/// failure.
+void ensure_dir(const std::string& path);
+
+/// The artifact root, "out" (relative to the current working directory).
+[[nodiscard]] const std::string& out_root();
+
+/// `out/<relative>`, with every parent directory created. `relative` may
+/// contain subdirectories ("fig9/runs/a.json").
+[[nodiscard]] std::string out_path(const std::string& relative);
+
+/// Writes `content` to `path` atomically: a temp file in the same
+/// directory is renamed over the target, so readers (and crash-resumed
+/// campaigns) never observe a half-written artifact.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Reads a whole file. Throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// True when `path` names an existing regular file.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+}  // namespace greennfv

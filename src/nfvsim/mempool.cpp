@@ -1,5 +1,7 @@
 #include "nfvsim/mempool.hpp"
 
+#include <thread>
+
 #include "common/assert.hpp"
 
 namespace greennfv::nfvsim {
@@ -25,7 +27,16 @@ void Mempool::free(Packet* pkt) {
   GNFV_ASSERT(owns(pkt), "Mempool::free: foreign packet");
   pkt->flags = 0;
   pkt->chain_pos = 0;
-  const bool ok = freelist_.try_push(pkt);
+  // The freelist has more cells than packets exist, so a failed push can
+  // only be (a) a transient Vyukov-queue stall — a consumer claimed the
+  // cell a lap ago but was descheduled before publishing its sequence —
+  // or (b) a real double free flooding the queue past capacity. Retry
+  // through (a); only a push that stays refused is (b).
+  bool ok = freelist_.try_push(pkt);
+  for (int spins = 0; !ok && spins < (1 << 20); ++spins) {
+    std::this_thread::yield();
+    ok = freelist_.try_push(pkt);
+  }
   GNFV_ASSERT(ok, "Mempool: double free or freelist overflow");
   in_use_.fetch_sub(1, std::memory_order_relaxed);
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
@@ -51,6 +53,49 @@ void Recorder::to_csv(const std::string& path) const {
     csv.append(row);
   }
   csv.flush();
+}
+
+Json Recorder::to_json() const {
+  Json series = Json::object();
+  for (const auto& [name, ts] : series_) {
+    Json entry = Json::object();
+    Json t = Json::array();
+    Json v = Json::array();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      t.push_back(ts.times()[i]);
+      v.push_back(ts.values()[i]);
+    }
+    entry.set("t", std::move(t));
+    entry.set("v", std::move(v));
+    Json summary = Json::object();
+    summary.set("count", static_cast<double>(ts.size()));
+    if (!ts.empty()) {
+      summary.set("min", ts.min());
+      summary.set("mean", ts.mean());
+      summary.set("max", ts.max());
+      summary.set("last", ts.back());
+    }
+    entry.set("summary", std::move(summary));
+    series.set(name, std::move(entry));
+  }
+  Json json = Json::object();
+  json.set("series", std::move(series));
+  return json;
+}
+
+Recorder Recorder::from_json(const Json& json) {
+  Recorder recorder;
+  for (const auto& [name, entry] : json.at("series").members()) {
+    const Json& t = entry.at("t");
+    const Json& v = entry.at("v");
+    if (t.size() != v.size()) {
+      throw std::invalid_argument("Recorder: series '" + name +
+                                  "' has mismatched t/v lengths");
+    }
+    for (std::size_t i = 0; i < t.size(); ++i)
+      recorder.record(name, t.at(i).as_double(), v.at(i).as_double());
+  }
+  return recorder;
 }
 
 std::string Recorder::summary_table() const {

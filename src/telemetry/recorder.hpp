@@ -4,12 +4,14 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/timeseries.hpp"
 
 /// \file recorder.hpp
 /// Experiment recorder: a bag of named time series (throughput, energy,
-/// knob trajectories...) with CSV export. Every training figure in the
-/// paper (Figs 6-8, 10, 11) is a set of these series.
+/// knob trajectories...) with CSV and JSON export. Every training figure
+/// in the paper (Figs 6-8, 10, 11) is a set of these series; campaign
+/// artifacts persist the JSON form so sweeps stay machine-readable.
 
 namespace greennfv::telemetry {
 
@@ -30,6 +32,16 @@ class Recorder {
   /// Renders a text summary table (name, count, min, mean, max, last) —
   /// what the bench binaries print under each figure.
   [[nodiscard]] std::string summary_table() const;
+
+  /// Machine-readable export: every series as {"t": [...], "v": [...]}
+  /// plus its summary stats ("count", "min", "mean", "max", "last").
+  /// Sample values survive dump() -> parse() -> from_json() bit-for-bit.
+  [[nodiscard]] Json to_json() const;
+
+  /// Rebuilds a recorder from to_json() output (the summary block is
+  /// ignored — it is derived data). Throws std::invalid_argument when the
+  /// shape is wrong or "t"/"v" lengths disagree.
+  [[nodiscard]] static Recorder from_json(const Json& json);
 
   void clear() { series_.clear(); }
 

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "campaign/aggregator.hpp"
+
+/// Aggregator contract: per-cell statistics match the textbook formulas
+/// (Welford mean/stddev, Student-t 95% CI), single-seed cells stay finite
+/// with zero-width intervals, groups come out in matrix order, and the
+/// Pareto front keeps exactly the non-dominated throughput/energy points.
+
+namespace greennfv::campaign {
+namespace {
+
+RunResult make_run(const std::string& cell, std::uint64_t seed,
+                   const std::vector<std::pair<std::string, double>>&
+                       model_gbps_energy_pairs) {
+  RunResult run;
+  run.cell_id = cell;
+  run.run_id = cell + "__s" + std::to_string(seed);
+  run.scenario_name = "synthetic";
+  run.seed = seed;
+  for (std::size_t i = 0; i < model_gbps_energy_pairs.size(); i += 2) {
+    scenario::ModelReport model;
+    model.result.scheduler = model_gbps_energy_pairs[i].first;
+    model.result.mean_gbps = model_gbps_energy_pairs[i].second;
+    model.result.mean_energy_j = model_gbps_energy_pairs[i + 1].second;
+    model.result.mean_power_w = model.result.mean_energy_j / 10.0;
+    model.result.mean_efficiency =
+        model.result.mean_gbps / model.result.mean_energy_j * 1000.0;
+    model.result.sla_satisfaction = 1.0;
+    model.result.drop_fraction = 0.25;
+    model.result.windows = 3;
+    run.report.models.push_back(std::move(model));
+  }
+  return run;
+}
+
+/// Shorthand: one model "m" with the given gbps/energy.
+RunResult point(const std::string& cell, double gbps, double energy,
+                std::uint64_t seed = 1) {
+  return make_run(cell, seed, {{"m", gbps}, {"e", energy}});
+}
+
+TEST(Aggregator, StatsMatchHandComputedValues) {
+  // One cell, one model, three seeds: gbps 2, 4, 9.
+  const std::vector<RunResult> runs = {point("c", 2.0, 100.0, 1),
+                                       point("c", 4.0, 100.0, 2),
+                                       point("c", 9.0, 100.0, 3)};
+  const CampaignSummary summary = aggregate(runs);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  const MetricStats& gbps = summary.cells[0].gbps;
+  EXPECT_EQ(gbps.n, 3u);
+  EXPECT_DOUBLE_EQ(gbps.mean, 5.0);
+  // Sample stddev of {2,4,9}: sqrt(((−3)²+(−1)²+4²)/2) = sqrt(13).
+  EXPECT_NEAR(gbps.stddev, std::sqrt(13.0), 1e-12);
+  // 95% CI half-width: t(df=2) * s / sqrt(3) with t = 4.303.
+  EXPECT_NEAR(gbps.ci95, 4.303 * std::sqrt(13.0) / std::sqrt(3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(t_critical_95(2), 4.303);
+  EXPECT_DOUBLE_EQ(t_critical_95(1000), 1.96);
+  // Constant energy: zero spread, zero CI.
+  EXPECT_DOUBLE_EQ(summary.cells[0].energy_j.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(summary.cells[0].energy_j.ci95, 0.0);
+}
+
+TEST(Aggregator, SingleSeedCellsAreFiniteWithZeroWidth) {
+  const CampaignSummary summary = aggregate({point("only", 7.0, 50.0)});
+  ASSERT_EQ(summary.cells.size(), 1u);
+  const CellModelStats& cell = summary.cells[0];
+  for (const MetricStats* stats :
+       {&cell.gbps, &cell.energy_j, &cell.power_w, &cell.efficiency,
+        &cell.sla, &cell.drop}) {
+    EXPECT_EQ(stats->n, 1u);
+    EXPECT_TRUE(std::isfinite(stats->mean));
+    EXPECT_DOUBLE_EQ(stats->stddev, 0.0);
+    EXPECT_DOUBLE_EQ(stats->ci95, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(cell.gbps.mean, 7.0);
+}
+
+TEST(Aggregator, GroupsComeOutInMatrixOrder) {
+  // Two cells x two models, seeds interleaved; cells must come out in
+  // first-seen (matrix) order with models in roster order.
+  const std::vector<RunResult> runs = {
+      make_run("cell-b", 1, {{"Baseline", 1.0}, {"x", 10.0},
+                             {"EE-Pstate", 2.0}, {"y", 20.0}}),
+      make_run("cell-a", 1, {{"Baseline", 3.0}, {"x", 30.0},
+                             {"EE-Pstate", 4.0}, {"y", 40.0}}),
+      make_run("cell-b", 2, {{"Baseline", 1.5}, {"x", 10.0},
+                             {"EE-Pstate", 2.5}, {"y", 20.0}}),
+      make_run("cell-a", 2, {{"Baseline", 3.5}, {"x", 30.0},
+                             {"EE-Pstate", 4.5}, {"y", 40.0}}),
+  };
+  const CampaignSummary summary = aggregate(runs);
+  ASSERT_EQ(summary.cells.size(), 4u);
+  EXPECT_EQ(summary.cells[0].cell_id, "cell-b");
+  EXPECT_EQ(summary.cells[0].model, "Baseline");
+  EXPECT_EQ(summary.cells[1].cell_id, "cell-b");
+  EXPECT_EQ(summary.cells[1].model, "EE-Pstate");
+  EXPECT_EQ(summary.cells[2].cell_id, "cell-a");
+  EXPECT_EQ(summary.cells[3].model, "EE-Pstate");
+  EXPECT_DOUBLE_EQ(summary.cells[0].gbps.mean, 1.25);
+  EXPECT_EQ(summary.cells[0].gbps.n, 2u);
+}
+
+TEST(Aggregator, ParetoFrontKeepsOnlyNonDominatedPoints) {
+  //   a: 10 Gbps @ 100 J   (front)
+  //   b:  8 Gbps @  50 J   (front)
+  //   c:  9 Gbps @ 120 J   (dominated by a: less Gbps, more J)
+  //   d: 10 Gbps @ 150 J   (dominated by a: equal Gbps, more J)
+  //   e:  2 Gbps @  20 J   (front: cheapest)
+  const CampaignSummary summary = aggregate(
+      {point("a", 10.0, 100.0), point("b", 8.0, 50.0),
+       point("c", 9.0, 120.0), point("d", 10.0, 150.0),
+       point("e", 2.0, 20.0)});
+  ASSERT_EQ(summary.cells.size(), 5u);
+  EXPECT_TRUE(summary.cells[0].on_pareto);   // a
+  EXPECT_TRUE(summary.cells[1].on_pareto);   // b
+  EXPECT_FALSE(summary.cells[2].on_pareto);  // c
+  EXPECT_FALSE(summary.cells[3].on_pareto);  // d
+  EXPECT_TRUE(summary.cells[4].on_pareto);   // e
+  // Front listed best-throughput-first.
+  ASSERT_EQ(summary.pareto.size(), 3u);
+  EXPECT_EQ(summary.cells[summary.pareto[0]].cell_id, "a");
+  EXPECT_EQ(summary.cells[summary.pareto[1]].cell_id, "b");
+  EXPECT_EQ(summary.cells[summary.pareto[2]].cell_id, "e");
+}
+
+TEST(Aggregator, SummaryJsonCarriesFiniteStats) {
+  const CampaignSummary summary = aggregate(
+      {point("a", 10.0, 100.0, 1), point("a", 12.0, 110.0, 2)});
+  const Json json = summary.to_json();
+  ASSERT_EQ(json.at("cells").size(), 1u);
+  const Json& cell = json.at("cells").at(0);
+  for (const char* metric : {"gbps", "energy_j", "power_w", "efficiency",
+                             "sla_satisfaction", "drop_fraction"}) {
+    for (const char* field : {"n", "mean", "stddev", "ci95"}) {
+      EXPECT_TRUE(std::isfinite(cell.at(metric).at(field).as_double()))
+          << metric << "." << field;
+    }
+  }
+  EXPECT_TRUE(cell.at("on_pareto").as_bool());
+  EXPECT_EQ(json.at("pareto").size(), 1u);
+}
+
+TEST(Aggregator, InconsistentRostersAcrossACellThrow) {
+  // Seed 1 reports two models, seed 2 only one: the per-model means would
+  // silently average different sample sets.
+  const std::vector<RunResult> runs = {
+      make_run("c", 1, {{"Baseline", 1.0}, {"x", 10.0},
+                        {"EE-Pstate", 2.0}, {"y", 20.0}}),
+      make_run("c", 2, {{"Baseline", 1.5}, {"x", 10.0}}),
+  };
+  EXPECT_THROW((void)aggregate(runs), std::invalid_argument);
+}
+
+TEST(Aggregator, TableRendersOneRowPerCellModel) {
+  const CampaignSummary summary = aggregate(
+      {point("a", 10.0, 100.0, 1), point("a", 12.0, 110.0, 2),
+       point("b", 5.0, 60.0, 1)});
+  const std::string table = summary.table();
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("+-"), std::string::npos);  // CI column present
+  EXPECT_NE(table.find("pareto"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greennfv::campaign
