@@ -132,6 +132,13 @@ class Perf {
 
   void add_windows(double n) { windows_ += n; }
 
+  /// Extra figure-specific metrics (e.g. bench_train's train_steps/sec);
+  /// emitted into the BENCH json after the wall-clock fields, in insertion
+  /// order.
+  void add_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
   ~Perf() {
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -143,6 +150,7 @@ class Perf {
       json.set("wall_s", wall_s);
       json.set("windows", windows_);
       json.set("windows_per_sec", wall_s > 0.0 ? windows_ / wall_s : 0.0);
+      for (const auto& [key, value] : metrics_) json.set(key, value);
       const std::string path = out_path("BENCH_" + figure_ + ".json");
       write_file_atomic(path, json.dump(1) + "\n");
       std::printf("[perf] %s: %.2f s wall, %.0f windows (%.1f windows/s)"
@@ -158,6 +166,7 @@ class Perf {
   std::string figure_;
   std::chrono::steady_clock::time_point start_;
   double windows_ = 0.0;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 /// Downsamples a series to `points` rows of (x, value) cells.

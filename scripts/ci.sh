@@ -40,6 +40,15 @@ echo "=== [1c] campaign smoke: 2 presets x 2 seeds, jobs=2 ==="
   validate_manifest=out/ci-campaign-smoke/manifest.json
 
 echo
+echo "=== [1d] RL training microbench: smoke mode + baseline check ==="
+# Smoke-sized run of the batched training engine (train_steps/sec,
+# actions/sec -> out/BENCH_train.json). The baseline comparison warns —
+# never fails — on a >30% train-throughput regression, so a future PR
+# cannot silently lose the batched-GEMM win but a noisy machine cannot
+# block the gate either.
+./build/bench_train smoke=1 baseline=bench/baselines/BENCH_train.json
+
+echo
 echo "=== [2/2] sanitizer gate: ASan/UBSan Debug build ==="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \

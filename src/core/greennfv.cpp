@@ -66,6 +66,9 @@ TrainResult GreenNfvTrainer::train_sync(telemetry::Recorder* curves) {
   }
   rl::GaussianNoise noise(agent_->config().action_dim, config_.noise_sigma,
                           config_.noise_decay, config_.noise_sigma_min);
+  // Rollout scratch: the per-env-step act path reuses these buffers.
+  rl::DdpgAgent::ActScratch scratch;
+  std::vector<double> action(agent_->config().action_dim);
 
   TrainResult result;
   result.episodes = config_.episodes;
@@ -79,7 +82,7 @@ TrainResult GreenNfvTrainer::train_sync(telemetry::Recorder* curves) {
     bool done = false;
     int steps = 0;
     while (!done) {
-      const std::vector<double> action = agent_->act_noisy(state, noise, rng);
+      agent_->act_noisy_into(state, noise, rng, scratch, action);
       auto sr = env.step(action);
       rl::Transition t;
       t.state = std::move(state);
@@ -94,7 +97,7 @@ TrainResult GreenNfvTrainer::train_sync(telemetry::Recorder* curves) {
       ++steps;
 
       if (replay->size() >= agent_->config().batch_size * 2) {
-        const rl::TrainStats stats = agent_->train_step(*replay, rng);
+        const rl::TrainStats& stats = agent_->train_step(*replay, rng);
         replay->update_priorities(stats.indices, stats.td_errors);
         ++result.train_steps;
       }

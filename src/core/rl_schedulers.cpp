@@ -24,7 +24,9 @@ std::vector<nfvsim::ChainKnobs> DdpgScheduler::decide(
     const std::vector<nfvsim::ChainKnobs>& current) {
   (void)current;
   const std::vector<double> state = state_codec_.encode(obs);
-  return action_codec_.decode(agent_->act(state));
+  action_.resize(agent_->config().action_dim);
+  agent_->act_into(state, scratch_, action_);
+  return action_codec_.decode(action_);
 }
 
 QLearningScheduler::QLearningScheduler(

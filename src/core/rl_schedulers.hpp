@@ -33,6 +33,10 @@ class DdpgScheduler final : public Scheduler {
   StateCodec state_codec_;
   ActionCodec action_codec_;
   std::string label_;
+  // decide() is per-instance serial (one scheduler per evaluation run), so
+  // the inference scratch can live here and keep the loop allocation-free.
+  rl::DdpgAgent::ActScratch scratch_;
+  std::vector<double> action_;
 };
 
 /// The Q-learning comparison model. Per the paper (§4.3), discretizing the

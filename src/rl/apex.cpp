@@ -62,6 +62,9 @@ ApexResult ApexRunner::train(EpisodeCallback on_episode) {
       GaussianNoise noise(ddpg_config_.action_dim,
                           apex_config_.noise_sigma,
                           apex_config_.noise_decay);
+      // Per-thread inference scratch: the act path touches no heap.
+      DdpgAgent::ActScratch scratch;
+      std::vector<double> action(ddpg_config_.action_dim);
       std::vector<Transition> local_buffer;
       local_buffer.reserve(
           static_cast<std::size_t>(apex_config_.local_buffer_flush));
@@ -83,8 +86,7 @@ ApexResult ApexRunner::train(EpisodeCallback on_episode) {
         double reward_sum = 0.0;
         double last_reward = 0.0;
         for (int step = 0; step < apex_config_.steps_per_episode; ++step) {
-          const std::vector<double> action =
-              local.act_noisy(state, noise, rng);
+          local.act_noisy_into(state, noise, rng, scratch, action);
           auto step_result = env->step(action);
           Transition t;
           t.state = state;
@@ -144,7 +146,7 @@ ApexResult ApexRunner::train(EpisodeCallback on_episode) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         continue;
       }
-      const TrainStats stats = agent_.train_step(replay_, rng);
+      const TrainStats& stats = agent_.train_step(replay_, rng);
       replay_.update_priorities(stats.indices, stats.td_errors);
       ++steps;
       if (steps % 16 == 0) publish_params();
@@ -162,7 +164,7 @@ ApexResult ApexRunner::train(EpisodeCallback on_episode) {
         for (std::int64_t d = 0;
              d < kDrainSteps && steps < apex_config_.max_learner_steps;
              ++d) {
-          const TrainStats extra = agent_.train_step(replay_, rng);
+          const TrainStats& extra = agent_.train_step(replay_, rng);
           replay_.update_priorities(extra.indices, extra.td_errors);
           ++steps;
         }

@@ -54,22 +54,40 @@ DdpgAgent::DdpgAgent(DdpgConfig config, std::uint64_t seed)
   // Targets start as exact copies (Algorithm 2 initialization).
   target_actor_.copy_from(actor_);
   target_critic_.copy_from(critic_);
+  critic_grads_ = critic_.make_gradients();
+  actor_grads_ = actor_.make_gradients();
+  critic_scratch_ = critic_.make_gradients();
 }
 
 std::vector<double> DdpgAgent::act(std::span<const double> state) const {
   return actor_.forward(state);
 }
 
+void DdpgAgent::act_into(std::span<const double> state, ActScratch& scratch,
+                         std::span<double> action) const {
+  actor_.forward_into(state, scratch.ws, action);
+}
+
 std::vector<double> DdpgAgent::act_noisy(std::span<const double> state,
                                          NoiseProcess& noise,
                                          Rng& rng) const {
-  std::vector<double> action = actor_.forward(state);
-  const std::vector<double> n = noise.sample(rng);
-  GNFV_ASSERT(n.size() == action.size(), "noise dimension mismatch");
-  for (std::size_t i = 0; i < action.size(); ++i) {
-    action[i] = math_util::clamp(action[i] + n[i], -1.0, 1.0);
-  }
+  std::vector<double> action(config_.action_dim);
+  ActScratch scratch;
+  act_noisy_into(state, noise, rng, scratch, action);
   return action;
+}
+
+void DdpgAgent::act_noisy_into(std::span<const double> state,
+                               NoiseProcess& noise, Rng& rng,
+                               ActScratch& scratch,
+                               std::span<double> action) const {
+  act_into(state, scratch, action);
+  GNFV_ASSERT(noise.dim() == action.size(), "noise dimension mismatch");
+  scratch.noise.resize(noise.dim());
+  noise.sample_into(rng, scratch.noise);
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    action[i] = math_util::clamp(action[i] + scratch.noise[i], -1.0, 1.0);
+  }
 }
 
 std::vector<double> DdpgAgent::critic_input(
@@ -86,7 +104,118 @@ double DdpgAgent::q_value(std::span<const double> state,
   return critic_.forward(critic_input(state, action))[0];
 }
 
-TrainStats DdpgAgent::train_step(ReplayInterface& replay, Rng& rng) {
+void DdpgAgent::ensure_train_scratch(std::size_t n) {
+  const std::size_t s = config_.state_dim;
+  const std::size_t a = config_.action_dim;
+  actor_ws_.input.resize(n, s);
+  target_actor_ws_.input.resize(n, s);
+  critic_ws_.input.resize(n, s + a);
+  critic_pol_ws_.input.resize(n, s + a);
+  target_critic_ws_.input.resize(n, s + a);
+  y_.resize(n);
+  dq_.resize(n, 1);
+  dq_da_.resize(n, a);
+  if (ones_.rows() != n) {
+    ones_.resize(n, 1);
+    ones_.fill(1.0);
+  }
+}
+
+const TrainStats& DdpgAgent::train_step(ReplayInterface& replay, Rng& rng) {
+  GNFV_REQUIRE(replay.size() >= config_.batch_size,
+               "DDPG::train_step: replay underfilled");
+  replay.sample_into(config_.batch_size, rng, batch_);
+  const std::size_t n = batch_.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const std::size_t s = config_.state_dim;
+  const std::size_t a = config_.action_dim;
+  ensure_train_scratch(n);
+
+  stats_.td_errors.clear();
+  stats_.indices.assign(batch_.indices.begin(), batch_.indices.end());
+
+  // --- gather transitions straight into the batch matrices ------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = batch_.transitions[i];
+    GNFV_ASSERT(t.state.size() == s && t.action.size() == a &&
+                    t.next_state.size() == s,
+                "train_step: transition dims disagree with config");
+    double* xs = actor_ws_.input.data() + i * s;
+    double* xn = target_actor_ws_.input.data() + i * s;
+    double* ci = critic_ws_.input.data() + i * (s + a);
+    for (std::size_t d = 0; d < s; ++d) {
+      xs[d] = t.state[d];
+      xn[d] = t.next_state[d];
+      ci[d] = t.state[d];
+    }
+    for (std::size_t d = 0; d < a; ++d) ci[s + d] = t.action[d];
+  }
+
+  // --- passes 1+2: targets give y = r + γ·Q'(x', μ'(x')) --------------------
+  // (Algorithm 2 line 5; done rows keep y = r, exactly the reference's
+  // zero bootstrap at terminal.)
+  const Matrix& next_actions = target_actor_.forward_batch(target_actor_ws_);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* tc = target_critic_ws_.input.data() + i * (s + a);
+    const double* xn = target_actor_ws_.input.data() + i * s;
+    const double* na = next_actions.data() + i * a;
+    for (std::size_t d = 0; d < s; ++d) tc[d] = xn[d];
+    for (std::size_t d = 0; d < a; ++d) tc[s + d] = na[d];
+  }
+  const Matrix& next_q = target_critic_.forward_batch(target_critic_ws_);
+  for (std::size_t i = 0; i < n; ++i) {
+    double y = batch_.transitions[i].reward;
+    if (!batch_.transitions[i].done) y += config_.gamma * next_q(i, 0);
+    y_[i] = y;
+  }
+
+  // --- pass 3: critic fwd+bwd (Algorithm 2 lines 4-6) -----------------------
+  const Matrix& q = critic_.forward_batch(critic_ws_);
+  double critic_loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double td = q(i, 0) - y_[i];
+    critic_loss += td * td;
+    td = math_util::clamp(td, -config_.td_error_clip, config_.td_error_clip);
+    stats_.td_errors.push_back(std::fabs(td));
+    // dL/dq for 0.5·w·td² (importance weight from PER).
+    dq_(i, 0) = td * batch_.weights[i] * inv_n;
+  }
+  stats_.critic_loss = critic_loss * inv_n;
+  (void)critic_.backward_batch(dq_, critic_ws_, critic_grads_);
+  critic_opt_.step(critic_, critic_grads_);
+
+  // --- pass 4: actor fwd+bwd via the critic's ∂Q/∂a slice (lines 7-8) -------
+  const Matrix& policy_actions = actor_.forward_batch(actor_ws_);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ci = critic_pol_ws_.input.data() + i * (s + a);
+    const double* xs = actor_ws_.input.data() + i * s;
+    const double* pa = policy_actions.data() + i * a;
+    for (std::size_t d = 0; d < s; ++d) ci[d] = xs[d];
+    for (std::size_t d = 0; d < a; ++d) ci[s + d] = pa[d];
+  }
+  const Matrix& q_policy = critic_.forward_batch(critic_pol_ws_);
+  double objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) objective += q_policy(i, 0);
+  stats_.actor_objective = objective * inv_n;
+  const Matrix& input_grad =
+      critic_.backward_batch(ones_, critic_pol_ws_, critic_scratch_);
+  // Gradient *ascent* on Q -> descend on -Q.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < a; ++d)
+      dq_da_(i, d) = -input_grad(i, s + d) * inv_n;
+  (void)actor_.backward_batch(dq_da_, actor_ws_, actor_grads_);
+  actor_opt_.step(actor_, actor_grads_);
+
+  // --- target soft updates (Algorithm 2 lines 9-10) -------------------------
+  target_critic_.soft_update_from(critic_, config_.tau);
+  target_actor_.soft_update_from(actor_, config_.tau);
+
+  ++train_steps_;
+  return stats_;
+}
+
+TrainStats DdpgAgent::train_step_reference(ReplayInterface& replay,
+                                           Rng& rng) {
   GNFV_REQUIRE(replay.size() >= config_.batch_size,
                "DDPG::train_step: replay underfilled");
   const Minibatch batch = replay.sample(config_.batch_size, rng);

@@ -43,24 +43,53 @@ struct TrainStats {
 
 class DdpgAgent {
  public:
+  /// Inference scratch owned by the caller: one per rollout thread, so
+  /// concurrent Ape-X actors and schedulers each act allocation-free
+  /// against const agents without sharing mutable state.
+  struct ActScratch {
+    Mlp::Workspace ws;
+    std::vector<double> noise;
+  };
+
   DdpgAgent(DdpgConfig config, std::uint64_t seed);
 
   /// Deterministic policy μ(x) in [-1,1]^action_dim.
   [[nodiscard]] std::vector<double> act(std::span<const double> state) const;
+
+  /// Allocation-free μ(x): writes the action into `action` (size
+  /// action_dim) through caller-owned scratch — the per-env-step path.
+  void act_into(std::span<const double> state, ActScratch& scratch,
+                std::span<double> action) const;
 
   /// Behaviour policy: μ(x) + noise, clamped to [-1,1].
   [[nodiscard]] std::vector<double> act_noisy(std::span<const double> state,
                                               NoiseProcess& noise, Rng& rng)
       const;
 
+  /// Allocation-free behaviour policy (act_into + noise, clamped).
+  void act_noisy_into(std::span<const double> state, NoiseProcess& noise,
+                      Rng& rng, ActScratch& scratch,
+                      std::span<double> action) const;
+
   /// Critic value Q(x, a).
   [[nodiscard]] double q_value(std::span<const double> state,
                                std::span<const double> action) const;
 
-  /// One minibatch update from `replay` (critic + actor + target sync).
-  /// Returns stats incl. per-sample TD errors, which the caller pushes
-  /// back into prioritized replay.
-  TrainStats train_step(ReplayInterface& replay, Rng& rng);
+  /// One minibatch update from `replay` (critic + actor + target sync),
+  /// executed as four batched GEMM passes (target-actor, target-critic,
+  /// critic fwd+bwd, actor fwd+bwd chained through the critic's ∂Q/∂a
+  /// slice) over transitions gathered straight into reusable batch
+  /// matrices — zero allocations after the first call. Returns stats incl.
+  /// per-sample TD errors (a reference to persistent storage, valid until
+  /// the next train step), which the caller pushes back into prioritized
+  /// replay.
+  const TrainStats& train_step(ReplayInterface& replay, Rng& rng);
+
+  /// The original per-sample implementation (6·N matvec passes per
+  /// minibatch). Numerically equivalent to train_step — kept as the
+  /// reference the batched-equivalence suite and bench_train compare
+  /// against; not a hot path.
+  TrainStats train_step_reference(ReplayInterface& replay, Rng& rng);
 
   [[nodiscard]] const DdpgConfig& config() const { return config_; }
   [[nodiscard]] const Mlp& actor() const { return actor_; }
@@ -92,10 +121,29 @@ class DdpgAgent {
   AdamOptimizer critic_opt_;
   std::int64_t train_steps_ = 0;
 
+  // --- batched-training scratch (persists across steps) --------------------
+  // Resized on the first train_step and reused thereafter: the training
+  // hot loop performs no heap allocations at steady state.
+  Minibatch batch_;
+  TrainStats stats_;
+  Mlp::BatchWorkspace target_actor_ws_;
+  Mlp::BatchWorkspace target_critic_ws_;
+  Mlp::BatchWorkspace critic_ws_;       ///< critic fwd/bwd on replay actions
+  Mlp::BatchWorkspace critic_pol_ws_;   ///< critic fwd/bwd on policy actions
+  Mlp::BatchWorkspace actor_ws_;
+  Mlp::Gradients critic_grads_;
+  Mlp::Gradients actor_grads_;
+  Mlp::Gradients critic_scratch_;       ///< discarded ∂Q/∂θ of the actor pass
+  std::vector<double> y_;               ///< TD targets
+  Matrix dq_;                           ///< batch×1 critic loss gradient
+  Matrix ones_;                         ///< batch×1, dQ seed for ∂Q/∂a
+  Matrix dq_da_;                        ///< batch×action_dim actor seed
+
   [[nodiscard]] static Mlp build_actor(const DdpgConfig& config, Rng& rng);
   [[nodiscard]] static Mlp build_critic(const DdpgConfig& config, Rng& rng);
   [[nodiscard]] std::vector<double> critic_input(
       std::span<const double> state, std::span<const double> action) const;
+  void ensure_train_scratch(std::size_t n);
 };
 
 }  // namespace greennfv::rl

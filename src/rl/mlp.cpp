@@ -95,8 +95,8 @@ std::vector<double> Mlp::forward(std::span<const double> input) const {
   return forward(input, ws);
 }
 
-std::vector<double> Mlp::forward(std::span<const double> input,
-                                 Workspace& ws) const {
+void Mlp::run_forward(std::span<const double> input, Workspace& ws,
+                      bool fast) const {
   GNFV_REQUIRE(input.size() == input_dim_, "Mlp::forward: input dim");
   ws.input.assign(input.begin(), input.end());
   ws.pre.resize(weights_.size());
@@ -105,12 +105,49 @@ std::vector<double> Mlp::forward(std::span<const double> input,
   std::span<const double> x = ws.input;
   for (std::size_t l = 0; l < weights_.size(); ++l) {
     ws.pre[l].assign(weights_[l].rows(), 0.0);
-    matvec(weights_[l], x, biases_[l], ws.pre[l]);
+    (fast ? matvec4 : matvec)(weights_[l], x, biases_[l], ws.pre[l]);
     ws.post[l] = ws.pre[l];
     apply_activation(activations_[l], ws.post[l]);
     x = ws.post[l];
   }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input,
+                                 Workspace& ws) const {
+  run_forward(input, ws, /*fast=*/false);
   return ws.post.back();
+}
+
+void Mlp::forward_into(std::span<const double> input, Workspace& ws,
+                       std::span<double> out) const {
+  GNFV_REQUIRE(out.size() == output_dim(), "Mlp::forward_into: output dim");
+  run_forward(input, ws, /*fast=*/true);
+  const std::vector<double>& y = ws.post.back();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = y[i];
+}
+
+const Matrix& Mlp::forward_batch(BatchWorkspace& ws) const {
+  GNFV_REQUIRE(ws.input.cols() == input_dim_,
+               "Mlp::forward_batch: input dim");
+  GNFV_REQUIRE(ws.input.rows() > 0, "Mlp::forward_batch: empty batch");
+  const std::size_t n = ws.input.rows();
+  ws.pre.resize(weights_.size());
+  ws.post.resize(weights_.size());
+
+  const Matrix* x = &ws.input;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    ws.pre[l].resize(n, weights_[l].rows());
+    gemm_nt(*x, weights_[l], ws.pre[l], biases_[l]);
+    ws.post[l] = ws.pre[l];
+    apply_activation(activations_[l], ws.post[l].flat());
+    x = &ws.post[l];
+  }
+  return ws.post.back();
+}
+
+const Matrix& Mlp::forward_batch(const Matrix& x, BatchWorkspace& ws) const {
+  ws.input = x;
+  return forward_batch(ws);
 }
 
 std::vector<double> Mlp::backward(std::span<const double> output_grad,
@@ -140,6 +177,46 @@ std::vector<double> Mlp::backward(std::span<const double> output_grad,
     delta = std::move(prev_grad);
   }
   return delta;  // dL/d(input)
+}
+
+const Matrix& Mlp::backward_batch(const Matrix& output_grad,
+                                  BatchWorkspace& ws,
+                                  Gradients& grads) const {
+  const std::size_t n = ws.input.rows();
+  GNFV_REQUIRE(output_grad.rows() == n &&
+                   output_grad.cols() == output_dim(),
+               "Mlp::backward_batch: dY shape");
+  GNFV_REQUIRE(ws.pre.size() == weights_.size(),
+               "Mlp::backward_batch: stale workspace");
+  GNFV_REQUIRE(grads.dw.size() == weights_.size(),
+               "Mlp::backward_batch: gradient shape");
+  ws.delta.resize(weights_.size());
+  ws.dx.resize(n, input_dim_);
+
+  for (std::size_t li = weights_.size(); li-- > 0;) {
+    Matrix& delta = ws.delta[li];
+    if (li + 1 == weights_.size()) {
+      delta = output_grad;
+    }  // else: filled by the gemm of layer li+1 below.
+    // delta holds dL/d(post[li]); convert to dL/d(pre[li]).
+    {
+      auto d = delta.flat();
+      const auto pre = ws.pre[li].flat();
+      const auto post = ws.post[li].flat();
+      for (std::size_t u = 0; u < d.size(); ++u)
+        d[u] *= activation_grad(activations_[li], pre[u], post[u]);
+    }
+    const Matrix& layer_input = li == 0 ? ws.input : ws.post[li - 1];
+    gemm_tn(delta, layer_input, grads.dw[li], /*accumulate=*/false);
+    std::vector<double>& db = grads.db[li];
+    db.assign(db.size(), 0.0);
+    add_col_sums(delta, db);
+
+    Matrix& downstream = li == 0 ? ws.dx : ws.delta[li - 1];
+    downstream.resize(n, weights_[li].cols());
+    gemm(delta, weights_[li], downstream);
+  }
+  return ws.dx;
 }
 
 Mlp::Gradients Mlp::make_gradients() const {

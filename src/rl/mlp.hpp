@@ -50,6 +50,19 @@ class Mlp {
     std::vector<double> input;
   };
 
+  /// Minibatch-granularity workspace: one row per sample. `input` doubles
+  /// as the staging buffer — callers gather sampled transitions straight
+  /// into it, then run forward_batch/backward_batch. All matrices are
+  /// resized on first use and reused thereafter, so the batched hot path
+  /// performs zero allocations once shapes stabilize.
+  struct BatchWorkspace {
+    Matrix input;               ///< batch × input_dim
+    std::vector<Matrix> pre;    ///< batch × units[l]
+    std::vector<Matrix> post;   ///< batch × units[l]
+    std::vector<Matrix> delta;  ///< backward scratch, batch × units[l]
+    Matrix dx;                  ///< batch × input_dim (dL/dX)
+  };
+
   /// Builds the network. Hidden layers get Xavier init; the output layer
   /// gets small-uniform init (DDPG convention, |w| <= 3e-3).
   Mlp(std::size_t input_dim, const std::vector<LayerSpec>& layers, Rng& rng);
@@ -67,12 +80,38 @@ class Mlp {
   std::vector<double> forward(std::span<const double> input,
                               Workspace& ws) const;
 
+  /// Allocation-free inference: runs the forward pass through `ws` and
+  /// writes the output into `out` (size output_dim()). After the first
+  /// call with a given workspace no memory is touched — this is the
+  /// per-env-step rollout path for trainers, schedulers, and Ape-X actors.
+  void forward_into(std::span<const double> input, Workspace& ws,
+                    std::span<double> out) const;
+
+  /// Batched training forward over ws.input (batch × input_dim), recording
+  /// per-layer activations in `ws`. Returns the output activations
+  /// (batch × output_dim) — a reference into `ws`, valid until the next
+  /// forward_batch on the same workspace.
+  const Matrix& forward_batch(BatchWorkspace& ws) const;
+
+  /// Convenience overload: copies `x` into ws.input first.
+  const Matrix& forward_batch(const Matrix& x, BatchWorkspace& ws) const;
+
   /// Backpropagates dL/d(output) through the pass recorded in `ws`,
   /// accumulating parameter gradients into `grads` and returning
   /// dL/d(input) — needed by DDPG's actor update, which chains the critic's
   /// input gradient into the actor.
   std::vector<double> backward(std::span<const double> output_grad,
                                const Workspace& ws, Gradients& grads) const;
+
+  /// Batched backprop of dY (batch × output_dim) through the pass recorded
+  /// in `ws`, overwriting `grads` with the minibatch-summed parameter
+  /// gradients (no pre-zeroing needed — each element's sum starts at 0 and
+  /// accumulates the batch in order, exactly as zeroed-then-accumulated
+  /// per-sample backward() calls would). Returns dL/dX (batch ×
+  /// input_dim) — a reference to ws.dx. Gradient buffers and workspace
+  /// scratch persist across steps: zero steady-state allocations.
+  const Matrix& backward_batch(const Matrix& output_grad, BatchWorkspace& ws,
+                               Gradients& grads) const;
 
   [[nodiscard]] Gradients make_gradients() const;
 
@@ -98,6 +137,12 @@ class Mlp {
 
   static void apply_activation(Activation act, std::span<double> v);
   static double activation_grad(Activation act, double pre, double post);
+  /// Runs the forward pass into `ws` without materializing a return value.
+  /// `fast` selects the ILP-friendly matvec4 kernel (bit-identical output);
+  /// the reference training path keeps the plain kernel it is benchmarked
+  /// against.
+  void run_forward(std::span<const double> input, Workspace& ws,
+                   bool fast) const;
 };
 
 /// Adam (Kingma & Ba) with per-parameter first/second moments.

@@ -16,12 +16,14 @@ OuNoise::OuNoise(std::size_t dim, double theta, double sigma, double dt,
                "OuNoise: bad parameters");
 }
 
-std::vector<double> OuNoise::sample(Rng& rng) {
+void OuNoise::sample_into(Rng& rng, std::span<double> out) {
+  GNFV_ASSERT(out.size() == dim_, "OuNoise: output dimension mismatch");
   const double sqrt_dt = std::sqrt(dt_);
-  for (double& x : state_) {
-    x += theta_ * (mu_ - x) * dt_ + sigma_ * sqrt_dt * rng.normal();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    state_[i] +=
+        theta_ * (mu_ - state_[i]) * dt_ + sigma_ * sqrt_dt * rng.normal();
+    out[i] = state_[i];
   }
-  return state_;
 }
 
 void OuNoise::reset() { state_.assign(dim_, mu_); }
@@ -35,11 +37,10 @@ GaussianNoise::GaussianNoise(std::size_t dim, double sigma, double decay,
                "GaussianNoise: bad parameters");
 }
 
-std::vector<double> GaussianNoise::sample(Rng& rng) {
-  std::vector<double> noise(dim_);
-  for (double& x : noise) x = rng.normal(0.0, sigma_);
+void GaussianNoise::sample_into(Rng& rng, std::span<double> out) {
+  GNFV_ASSERT(out.size() == dim_, "GaussianNoise: output dimension mismatch");
+  for (double& x : out) x = rng.normal(0.0, sigma_);
   sigma_ = std::max(sigma_min_, sigma_ * decay_);
-  return noise;
 }
 
 void GaussianNoise::reset() { sigma_ = sigma0_; }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -15,8 +16,16 @@ namespace greennfv::rl {
 class NoiseProcess {
  public:
   virtual ~NoiseProcess() = default;
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+  /// Writes the next noise vector into `out` (size dim()) without
+  /// allocating — the per-env-step rollout path.
+  virtual void sample_into(Rng& rng, std::span<double> out) = 0;
   /// Next noise vector (one component per action dimension).
-  [[nodiscard]] virtual std::vector<double> sample(Rng& rng) = 0;
+  [[nodiscard]] std::vector<double> sample(Rng& rng) {
+    std::vector<double> out(dim());
+    sample_into(rng, out);
+    return out;
+  }
   virtual void reset() = 0;
 };
 
@@ -26,7 +35,8 @@ class OuNoise final : public NoiseProcess {
   OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
           double dt = 1.0, double mu = 0.0);
 
-  [[nodiscard]] std::vector<double> sample(Rng& rng) override;
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  void sample_into(Rng& rng, std::span<double> out) override;
   void reset() override;
 
  private:
@@ -44,7 +54,8 @@ class GaussianNoise final : public NoiseProcess {
   GaussianNoise(std::size_t dim, double sigma = 0.2, double decay = 1.0,
                 double sigma_min = 0.01);
 
-  [[nodiscard]] std::vector<double> sample(Rng& rng) override;
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  void sample_into(Rng& rng, std::span<double> out) override;
   void reset() override;
 
   [[nodiscard]] double sigma() const { return sigma_; }

@@ -76,14 +76,12 @@ void PrioritizedReplay::add(Transition t, double priority) {
   next_ = (next_ + 1) % config_.capacity;
 }
 
-Minibatch PrioritizedReplay::sample(std::size_t n, Rng& rng) {
+void PrioritizedReplay::sample_into(std::size_t n, Rng& rng,
+                                    Minibatch& out) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t current = size_locked();
   GNFV_REQUIRE(current >= n && n > 0, "PER::sample: not enough data");
-  Minibatch batch;
-  batch.transitions.reserve(n);
-  batch.indices.reserve(n);
-  batch.weights.reserve(n);
+  out.reset(n);
 
   const double beta = current_beta();
   ++sample_steps_;
@@ -100,16 +98,15 @@ Minibatch PrioritizedReplay::sample(std::size_t n, Rng& rng) {
     const double p = tree_.get(idx) / total;
     const double weight =
         std::pow(static_cast<double>(current) * std::max(p, 1e-12), -beta);
-    batch.transitions.push_back(storage_[idx]);
-    batch.indices.push_back(idx);
-    batch.weights.push_back(weight);
+    out.assign(i, storage_[idx]);
+    out.indices.push_back(idx);
+    out.weights.push_back(weight);
     max_weight = std::max(max_weight, weight);
   }
   // Normalize by max weight so IS correction only scales updates down.
   if (max_weight > 0.0) {
-    for (double& w : batch.weights) w /= max_weight;
+    for (double& w : out.weights) w /= max_weight;
   }
-  return batch;
 }
 
 void PrioritizedReplay::update_priorities(

@@ -53,7 +53,7 @@ class PrioritizedReplay final : public ReplayInterface {
   explicit PrioritizedReplay(PerConfig config);
 
   void add(Transition t, double priority) override;
-  [[nodiscard]] Minibatch sample(std::size_t n, Rng& rng) override;
+  void sample_into(std::size_t n, Rng& rng, Minibatch& out) override;
   void update_priorities(const std::vector<std::uint64_t>& indices,
                          const std::vector<double>& priorities) override;
   [[nodiscard]] std::size_t size() const override;

@@ -20,18 +20,15 @@ void UniformReplay::add(Transition t, double priority) {
   next_ = (next_ + 1) % capacity_;
 }
 
-Minibatch UniformReplay::sample(std::size_t n, Rng& rng) {
+void UniformReplay::sample_into(std::size_t n, Rng& rng, Minibatch& out) {
   GNFV_REQUIRE(size() >= n && n > 0, "UniformReplay::sample: not enough data");
-  Minibatch batch;
-  batch.transitions.reserve(n);
-  batch.indices.reserve(n);
-  batch.weights.assign(n, 1.0);
+  out.reset(n);
+  out.weights.assign(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto idx = rng.uniform_u64(size());
-    batch.transitions.push_back(storage_[idx]);
-    batch.indices.push_back(idx);
+    out.assign(i, storage_[idx]);
+    out.indices.push_back(idx);
   }
-  return batch;
 }
 
 void UniformReplay::update_priorities(

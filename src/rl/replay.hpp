@@ -33,6 +33,25 @@ struct Minibatch {
   std::vector<double> weights;
 
   [[nodiscard]] std::size_t size() const { return transitions.size(); }
+
+  /// Reshapes for `n` transitions, keeping every buffer's capacity. With a
+  /// stable batch geometry the minibatch becomes a fixed arena: repeated
+  /// sample_into calls copy transition payloads without allocating.
+  void reset(std::size_t n) {
+    transitions.resize(n);
+    indices.clear();
+    weights.clear();
+  }
+
+  /// Field-wise copy into slot `i` (vector assigns reuse capacity).
+  void assign(std::size_t i, const Transition& t) {
+    Transition& dst = transitions[i];
+    dst.state.assign(t.state.begin(), t.state.end());
+    dst.action.assign(t.action.begin(), t.action.end());
+    dst.next_state.assign(t.next_state.begin(), t.next_state.end());
+    dst.reward = t.reward;
+    dst.done = t.done;
+  }
 };
 
 class ReplayInterface {
@@ -42,8 +61,18 @@ class ReplayInterface {
   /// Stores a transition (evicting the oldest when full).
   virtual void add(Transition t, double priority) = 0;
 
-  /// Samples a minibatch of `n`. Requires size() >= n.
-  [[nodiscard]] virtual Minibatch sample(std::size_t n, Rng& rng) = 0;
+  /// Samples a minibatch of `n` into `out`, reusing its buffers — the
+  /// training hot path is copy-once into pinned storage. Requires
+  /// size() >= n.
+  virtual void sample_into(std::size_t n, Rng& rng, Minibatch& out) = 0;
+
+  /// Convenience wrapper returning a fresh minibatch (draws the same RNG
+  /// sequence as sample_into).
+  [[nodiscard]] Minibatch sample(std::size_t n, Rng& rng) {
+    Minibatch batch;
+    sample_into(n, rng, batch);
+    return batch;
+  }
 
   /// Updates priorities after a train step (no-op for uniform replay).
   virtual void update_priorities(const std::vector<std::uint64_t>& indices,
@@ -59,7 +88,7 @@ class UniformReplay final : public ReplayInterface {
   explicit UniformReplay(std::size_t capacity);
 
   void add(Transition t, double priority) override;
-  [[nodiscard]] Minibatch sample(std::size_t n, Rng& rng) override;
+  void sample_into(std::size_t n, Rng& rng, Minibatch& out) override;
   void update_priorities(const std::vector<std::uint64_t>& indices,
                          const std::vector<double>& priorities) override;
   [[nodiscard]] std::size_t size() const override;

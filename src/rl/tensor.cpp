@@ -31,6 +31,48 @@ void matvec(const Matrix& w, std::span<const double> x,
   }
 }
 
+double dot(std::span<const double> a, std::span<const double> b) {
+  GNFV_ASSERT(a.size() == b.size(), "dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void matvec4(const Matrix& w, std::span<const double> x,
+             std::span<const double> b, std::span<double> y) {
+  GNFV_ASSERT(x.size() == w.cols(), "matvec4: x dimension mismatch");
+  GNFV_ASSERT(y.size() == w.rows(), "matvec4: y dimension mismatch");
+  GNFV_ASSERT(b.size() == w.rows(), "matvec4: b dimension mismatch");
+  const double* wd = w.data();
+  const std::size_t rows = w.rows();
+  const std::size_t cols = w.cols();
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* r0 = wd + r * cols;
+    const double* r1 = r0 + cols;
+    const double* r2 = r1 + cols;
+    const double* r3 = r2 + cols;
+    double a0 = b[r], a1 = b[r + 1], a2 = b[r + 2], a3 = b[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xv = x[c];
+      a0 += r0[c] * xv;
+      a1 += r1[c] * xv;
+      a2 += r2[c] * xv;
+      a3 += r3[c] * xv;
+    }
+    y[r] = a0;
+    y[r + 1] = a1;
+    y[r + 2] = a2;
+    y[r + 3] = a3;
+  }
+  for (; r < rows; ++r) {
+    const double* row = wd + r * cols;
+    double acc = b[r];
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
 void matvec_transpose(const Matrix& w, std::span<const double> y_grad,
                       std::span<double> x_grad) {
   GNFV_ASSERT(y_grad.size() == w.rows(), "matvec_T: y dimension mismatch");
@@ -60,11 +102,177 @@ void accumulate_outer(Matrix& dw, std::span<const double> y_grad,
   }
 }
 
-double dot(std::span<const double> a, std::span<const double> b) {
-  GNFV_ASSERT(a.size() == b.size(), "dot: dimension mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+namespace {
+
+/// Register-tile geometry for the shared GEMM core: kMR×kNR output
+/// elements accumulate in registers while the reduction streams past, so
+/// the adds form kMR·kNR independent chains (latency hidden) and the kNR
+/// axis vectorizes — SIMD across *outputs*, never across the reduction,
+/// which keeps every element's k-order fixed.
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 16;
+
+/// Packs a kMR-row slab of A reduction-major: pan[t·kMR + ii] = a(ii, t),
+/// where a(ii, t) = ap[ii·si + t·st]. One O(kMR·k) pass per slab makes the
+/// micro-kernel's four per-t loads contiguous — the layout the compiler
+/// turns into a single vector load + broadcasts — for both the normal
+/// (si=k, st=1) and transposed (si=1, st=m) left operands.
+inline void pack_a_panel(const double* ap, std::size_t si, std::size_t st,
+                         std::size_t kk, double* pan) {
+  for (std::size_t t = 0; t < kk; ++t)
+    for (std::size_t ii = 0; ii < kMR; ++ii)
+      pan[t * kMR + ii] = ap[ii * si + t * st];
+}
+
+/// The micro-kernel: a kMR×kNR block of C accumulates in registers while
+/// the packed A panel and B stream past. The four accumulator rows are
+/// separate fixed-size arrays (not one 2-D array) so the compiler reliably
+/// keeps each in vector registers. C carries the accumulator seed (bias /
+/// zero / running sum), which keeps this body branch-free — variants that
+/// seeded the registers directly measurably pessimized the codegen.
+inline void tile_4x16(const double* pan, const double* bp, std::size_t ldb,
+                      double* cp, std::size_t ldc, std::size_t kk) {
+  double* c0 = cp;
+  double* c1 = cp + ldc;
+  double* c2 = cp + 2 * ldc;
+  double* c3 = cp + 3 * ldc;
+  double x0[kNR], x1[kNR], x2[kNR], x3[kNR];
+  for (std::size_t jj = 0; jj < kNR; ++jj) {
+    x0[jj] = c0[jj];
+    x1[jj] = c1[jj];
+    x2[jj] = c2[jj];
+    x3[jj] = c3[jj];
+  }
+  for (std::size_t t = 0; t < kk; ++t) {
+    const double* brow = bp + t * ldb;
+    const double* av = pan + t * kMR;
+    const double v0 = av[0];
+    const double v1 = av[1];
+    const double v2 = av[2];
+    const double v3 = av[3];
+    for (std::size_t jj = 0; jj < kNR; ++jj) x0[jj] += v0 * brow[jj];
+    for (std::size_t jj = 0; jj < kNR; ++jj) x1[jj] += v1 * brow[jj];
+    for (std::size_t jj = 0; jj < kNR; ++jj) x2[jj] += v2 * brow[jj];
+    for (std::size_t jj = 0; jj < kNR; ++jj) x3[jj] += v3 * brow[jj];
+  }
+  for (std::size_t jj = 0; jj < kNR; ++jj) {
+    c0[jj] = x0[jj];
+    c1[jj] = x1[jj];
+    c2[jj] = x2[jj];
+    c3[jj] = x3[jj];
+  }
+}
+
+/// Edge tiles (mr < kMR or nr < kNR): plain loops, same per-element order.
+inline void edge_update(const double* ap, std::size_t si, std::size_t st,
+                        const double* bp, std::size_t ldb, double* cp,
+                        std::size_t ldc, std::size_t mr, std::size_t nr,
+                        std::size_t kk) {
+  for (std::size_t t = 0; t < kk; ++t) {
+    const double* brow = bp + t * ldb;
+    for (std::size_t ii = 0; ii < mr; ++ii) {
+      const double av = ap[ii * si + t * st];
+      if (av == 0.0) continue;
+      double* crow = cp + ii * ldc;
+      for (std::size_t jj = 0; jj < nr; ++jj) crow[jj] += av * brow[jj];
+    }
+  }
+}
+
+/// C(m×n) += Σ_t a(·, t)·B[t][·] over an already-initialized C (the init
+/// pass carries the accumulator seed: zero, bias, or a running sum). B
+/// must be reduction-major (row t contiguous, leading dimension n).
+void gemm_core(const double* ap, std::size_t si, std::size_t st,
+               const double* bp, double* cp, std::size_t m, std::size_t n,
+               std::size_t kk) {
+  const std::size_t m_main = m - m % kMR;
+  const std::size_t n_main = n - n % kNR;
+  static thread_local std::vector<double> panel;
+  panel.resize(kMR * kk);
+  for (std::size_t i0 = 0; i0 < m_main; i0 += kMR) {
+    pack_a_panel(ap + i0 * si, si, st, kk, panel.data());
+    double* c = cp + i0 * n;
+    for (std::size_t j0 = 0; j0 < n_main; j0 += kNR)
+      tile_4x16(panel.data(), bp + j0, n, c + j0, n, kk);
+    if (n_main < n)
+      edge_update(panel.data(), 1, kMR, bp + n_main, n, c + n_main, n, kMR,
+                  n - n_main, kk);
+  }
+  if (m_main < m)
+    edge_update(ap + m_main * si, si, st, bp, n, cp + m_main * n, n,
+                m - m_main, n, kk);
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  GNFV_ASSERT(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+  GNFV_ASSERT(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm: output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  double* cd = c.data();
+  if (!accumulate) {
+    for (std::size_t i = 0; i < m * n; ++i) cd[i] = 0.0;
+  }
+  // B is already reduction-major (k×n); A rows are walked t-contiguously.
+  gemm_core(a.data(), /*si=*/k, /*st=*/1, b.data(), cd, m, n, k);
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  GNFV_ASSERT(a.rows() == b.rows(), "gemm_tn: batch dimension mismatch");
+  GNFV_ASSERT(c.rows() == a.cols() && c.cols() == b.cols(),
+              "gemm_tn: output shape mismatch");
+  const std::size_t kk = a.rows(), m = a.cols(), n = b.cols();
+  double* cd = c.data();
+  if (!accumulate) {
+    for (std::size_t i = 0; i < m * n; ++i) cd[i] = 0.0;
+  }
+  // Aᵀ: element (ii, t) lives at ad[t·m + ii] — si=1, st=m. The batch
+  // index t advances in increasing order for every output element, so the
+  // rank-1 updates land exactly as per-sample accumulate_outer would.
+  gemm_core(a.data(), /*si=*/1, /*st=*/m, b.data(), cd, m, n, kk);
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c,
+             std::span<const double> bias) {
+  GNFV_ASSERT(a.cols() == b.cols(), "gemm_nt: inner dimension mismatch");
+  GNFV_ASSERT(c.rows() == a.rows() && c.cols() == b.rows(),
+              "gemm_nt: output shape mismatch");
+  GNFV_ASSERT(bias.empty() || bias.size() == b.rows(),
+              "gemm_nt: bias dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const double* bd = b.data();
+  double* cd = c.data();
+  // Dot-product form would serialize each output element on a k-long add
+  // chain (add-latency bound, no legal SIMD over the reduction). Instead
+  // pack Bᵀ once — O(k·n) against O(m·k·n) math — and run the tiled core;
+  // each element still accumulates k in increasing order, seeded with its
+  // bias exactly like matvec seeds its accumulator.
+  static thread_local std::vector<double> packed;
+  packed.resize(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* brow = bd + j * k;
+    for (std::size_t t = 0; t < k; ++t) packed[t * n + j] = brow[t];
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = cd + i * n;
+    if (bias.empty()) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    } else {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = bias[j];
+    }
+  }
+  gemm_core(a.data(), /*si=*/k, /*st=*/1, packed.data(), cd, m, n, k);
+}
+
+void add_col_sums(const Matrix& a, std::span<double> y) {
+  GNFV_ASSERT(y.size() == a.cols(), "add_col_sums: dimension mismatch");
+  const double* ad = a.data();
+  const std::size_t n = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = ad + i * n;
+    for (std::size_t j = 0; j < n; ++j) y[j] += row[j];
+  }
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {

@@ -8,9 +8,17 @@
 #include "common/rng.hpp"
 
 /// \file tensor.hpp
-/// Dense row-major matrix and the handful of BLAS-1/2 kernels the MLP
-/// needs. Kept deliberately small: the networks in GreenNFV are a few
-/// hundred units wide, where simple unrolled loops beat any dependency.
+/// Dense row-major matrix, the handful of BLAS-1/2 kernels the per-sample
+/// reference path needs, and the blocked BLAS-3 (GEMM) kernels behind the
+/// batched training engine. Kept deliberately small: the networks in
+/// GreenNFV are a few hundred units wide, where cache blocking pays but a
+/// full BLAS dependency would not.
+///
+/// Determinism contract: every GEMM accumulates each output element over
+/// the reduction index k in strictly increasing order — blocking only ever
+/// tiles the non-reduced dimensions. A given seed therefore produces
+/// bit-identical results run to run, and the batched path reproduces the
+/// per-sample reference path's floating-point sums.
 
 namespace greennfv::rl {
 
@@ -46,6 +54,15 @@ class Matrix {
 
   void fill(double value) { data_.assign(data_.size(), value); }
 
+  /// Reshapes in place. Shrinking or same-size reshapes never release or
+  /// acquire memory, so workspaces resized to a stable geometry are
+  /// allocation-free after warm-up. New elements are zero.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols, 0.0);
+  }
+
   /// Xavier/Glorot uniform initialization (the standard for tanh nets,
   /// also what DDPG's reference implementation uses for hidden layers).
   void xavier_init(Rng& rng);
@@ -64,6 +81,13 @@ class Matrix {
 void matvec(const Matrix& w, std::span<const double> x,
             std::span<const double> b, std::span<double> y);
 
+/// Bit-identical to matvec (same per-row accumulation order) but computes
+/// four output rows at a time so the add chains overlap — the inference
+/// hot path (Mlp::forward_into). matvec stays as the reference kernel the
+/// per-sample training path is benchmarked against.
+void matvec4(const Matrix& w, std::span<const double> x,
+             std::span<const double> b, std::span<double> y);
+
 /// x_grad = W^T y_grad (backprop through the linear map).
 void matvec_transpose(const Matrix& w, std::span<const double> y_grad,
                       std::span<double> x_grad);
@@ -71,6 +95,36 @@ void matvec_transpose(const Matrix& w, std::span<const double> y_grad,
 /// dW += y_grad x^T (outer-product gradient accumulation).
 void accumulate_outer(Matrix& dw, std::span<const double> y_grad,
                       std::span<const double> x);
+
+// --- batched (BLAS-3) kernels ----------------------------------------------
+//
+// All three are row-major and blocked over the non-reduced dimensions only
+// (see the determinism contract above). `accumulate` selects C += ... over
+// C = ...; shapes are asserted.
+
+/// C = A·B (or C += A·B). A: m×k, B: k×n, C: m×n. Backprop's dX = dY·W.
+/// Inner structure streams B rows (contiguous) against register-tiled
+/// blocks of C. (Only the edge tiles skip zero A elements; the branch-free
+/// main tile multiplies them through — same values, ±0 sign aside.)
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          bool accumulate = false);
+
+/// C = Aᵀ·B (or C += Aᵀ·B). A: k×m, B: k×n, C: m×n. The minibatch weight
+/// gradient dW += dYᵀ·X, where k is the batch dimension: the rank-1 updates
+/// land in batch order, matching per-sample accumulate_outer bit for bit.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c,
+             bool accumulate = false);
+
+/// C = A·Bᵀ (+ per-column bias). A: m×k, B: n×k, C: m×n. The batched
+/// forward Y = X·Wᵀ + b: each output element's accumulator is seeded with
+/// bias[j] (when given) and then accumulates k in increasing order — the
+/// same sum matvec computes per sample.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c,
+             std::span<const double> bias = {});
+
+/// y[j] += Σ_i a(i, j) — minibatch bias gradient, accumulated over rows in
+/// increasing order (matches the per-sample axpy sequence).
+void add_col_sums(const Matrix& a, std::span<double> y);
 
 /// Dot product.
 [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);

@@ -50,6 +50,28 @@ TEST(Determinism, SameSeedSameTrainResult) {
   }
 }
 
+TEST(Determinism, SameSeedSameTrainResultUniformReplay) {
+  // Same pin with uniform replay: the batched train_step gathers through
+  // UniformReplay::sample_into, which must draw the same RNG sequence on
+  // every run.
+  TrainerConfig config = small_config(99);
+  config.prioritized_replay = false;
+  telemetry::Recorder curves_a;
+  telemetry::Recorder curves_b;
+  GreenNfvTrainer trainer_a(config);
+  GreenNfvTrainer trainer_b(config);
+  const TrainResult a = trainer_a.train(&curves_a);
+  const TrainResult b = trainer_b.train(&curves_b);
+
+  EXPECT_EQ(a.train_steps, b.train_steps);
+  EXPECT_EQ(a.tail_gbps, b.tail_gbps);
+  EXPECT_EQ(a.tail_reward, b.tail_reward);
+  for (const std::string& name : curves_a.series_names()) {
+    EXPECT_EQ(curves_a.series(name).values(), curves_b.series(name).values())
+        << "series " << name;
+  }
+}
+
 TEST(Determinism, DifferentSeedDifferentTrajectory) {
   GreenNfvTrainer trainer_a(small_config(42));
   GreenNfvTrainer trainer_b(small_config(43));

@@ -1,0 +1,220 @@
+#include "rl/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+/// Units for the batched GEMM kernel set against naive triple loops. The
+/// naive references accumulate the reduction index in increasing order —
+/// the same order the blocked kernels guarantee — so comparisons are exact
+/// (EXPECT_DOUBLE_EQ), not approximate. Shapes deliberately include
+/// non-square and non-multiple-of-block cases (the row block is 8).
+
+namespace greennfv::rl {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.flat()) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+Matrix naive_gemm_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.rows(); ++k) acc += a(k, i) * b(k, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+Matrix naive_gemm_nt(const Matrix& a, const Matrix& b,
+                     std::span<const double> bias) {
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double acc = bias.empty() ? 0.0 : bias[j];
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(j, k);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+void expect_equal(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i)
+    for (std::size_t j = 0; j < got.cols(); ++j)
+      EXPECT_DOUBLE_EQ(got(i, j), want(i, j)) << "at (" << i << "," << j
+                                              << ")";
+}
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// 1x1, tiny, block-aligned, and ragged (non-multiple-of-8) shapes.
+const Shape kShapes[] = {{1, 1, 1},   {3, 5, 7},   {8, 8, 8},
+                         {16, 8, 24}, {17, 23, 9}, {13, 64, 5},
+                         {64, 37, 41}, {9, 300, 11}};
+
+TEST(Gemm, MatchesNaiveAcrossShapes) {
+  Rng rng(11);
+  for (const Shape& sh : kShapes) {
+    const Matrix a = random_matrix(sh.m, sh.k, rng);
+    const Matrix b = random_matrix(sh.k, sh.n, rng);
+    Matrix c(sh.m, sh.n);
+    gemm(a, b, c);
+    expect_equal(c, naive_gemm(a, b));
+  }
+}
+
+TEST(Gemm, AccumulateAddsOntoExisting) {
+  Rng rng(12);
+  const Matrix a = random_matrix(10, 6, rng);
+  const Matrix b = random_matrix(6, 14, rng);
+  Matrix c(10, 14);
+  gemm(a, b, c);
+  Matrix twice = c;
+  gemm(a, b, twice, /*accumulate=*/true);
+  // Accumulate mode continues each element's running sum in k order on top
+  // of the existing value (the gradient-accumulation semantics), so the
+  // expected value folds the second pass onto the first incrementally.
+  for (std::size_t i = 0; i < c.rows(); ++i)
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      double acc = c(i, j);
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      EXPECT_DOUBLE_EQ(twice(i, j), acc);
+    }
+}
+
+TEST(Gemm, SkipsZeroRowsWithoutChangingResult) {
+  // ReLU backprop produces many exact zeros in A; the kernel's skip must
+  // not change the sum.
+  Rng rng(13);
+  Matrix a = random_matrix(9, 12, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); k += 2) a(i, k) = 0.0;
+  const Matrix b = random_matrix(12, 7, rng);
+  Matrix c(9, 7);
+  gemm(a, b, c);
+  expect_equal(c, naive_gemm(a, b));
+}
+
+TEST(GemmTn, MatchesNaiveAcrossShapes) {
+  Rng rng(21);
+  for (const Shape& sh : kShapes) {
+    // A: k×m (batch-major), B: k×n, C: m×n.
+    const Matrix a = random_matrix(sh.k, sh.m, rng);
+    const Matrix b = random_matrix(sh.k, sh.n, rng);
+    Matrix c(sh.m, sh.n);
+    gemm_tn(a, b, c);
+    expect_equal(c, naive_gemm_tn(a, b));
+  }
+}
+
+TEST(GemmTn, AccumulateMatchesPerSampleOuterProducts) {
+  // The contract behind batched-equals-reference: gemm_tn in accumulate
+  // mode produces exactly the same floating-point sums as sample-by-sample
+  // accumulate_outer calls.
+  Rng rng(22);
+  const std::size_t batch = 19, out = 11, in = 13;
+  const Matrix dy = random_matrix(batch, out, rng);
+  const Matrix x = random_matrix(batch, in, rng);
+
+  Matrix dw_batched(out, in);
+  gemm_tn(dy, x, dw_batched, /*accumulate=*/true);
+
+  Matrix dw_reference(out, in);
+  for (std::size_t s = 0; s < batch; ++s)
+    accumulate_outer(dw_reference, dy.row(s), x.row(s));
+
+  for (std::size_t i = 0; i < out; ++i)
+    for (std::size_t j = 0; j < in; ++j)
+      EXPECT_DOUBLE_EQ(dw_batched(i, j), dw_reference(i, j));
+}
+
+TEST(GemmNt, MatchesNaiveAcrossShapes) {
+  Rng rng(31);
+  for (const Shape& sh : kShapes) {
+    // A: m×k, B: n×k, C: m×n.
+    const Matrix a = random_matrix(sh.m, sh.k, rng);
+    const Matrix b = random_matrix(sh.n, sh.k, rng);
+    Matrix c(sh.m, sh.n);
+    gemm_nt(a, b, c);
+    expect_equal(c, naive_gemm_nt(a, b, {}));
+  }
+}
+
+TEST(GemmNt, BiasSeedsEveryOutputElement) {
+  Rng rng(32);
+  const Matrix a = random_matrix(6, 10, rng);
+  const Matrix b = random_matrix(9, 10, rng);
+  std::vector<double> bias(9);
+  for (double& v : bias) v = rng.uniform(-2.0, 2.0);
+  Matrix c(6, 9);
+  gemm_nt(a, b, c, bias);
+  expect_equal(c, naive_gemm_nt(a, b, bias));
+}
+
+TEST(GemmNt, MatchesMatvecBitForBit) {
+  // The batched forward must reproduce the per-sample forward's sums
+  // exactly: same accumulator seed (the bias), same k order.
+  Rng rng(33);
+  const std::size_t batch = 5, in = 23, out = 17;
+  const Matrix x = random_matrix(batch, in, rng);
+  const Matrix w = random_matrix(out, in, rng);
+  std::vector<double> bias(out);
+  for (double& v : bias) v = rng.uniform(-1.0, 1.0);
+
+  Matrix y(batch, out);
+  gemm_nt(x, w, y, bias);
+
+  std::vector<double> y_row(out);
+  for (std::size_t s = 0; s < batch; ++s) {
+    matvec(w, x.row(s), bias, y_row);
+    for (std::size_t j = 0; j < out; ++j)
+      EXPECT_DOUBLE_EQ(y(s, j), y_row[j]);
+  }
+}
+
+TEST(ColSums, AccumulatesRowsInOrder) {
+  Rng rng(41);
+  const Matrix a = random_matrix(13, 6, rng);
+  std::vector<double> got(6, 0.5);
+  add_col_sums(a, got);
+
+  std::vector<double> want(6, 0.5);
+  for (std::size_t i = 0; i < a.rows(); ++i) axpy(1.0, a.row(i), want);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(got[j], want[j]);
+}
+
+TEST(MatrixResize, ReshapesWithoutLosingCapacity) {
+  Matrix m(8, 8);
+  m.fill(3.0);
+  const double* before = m.data();
+  m.resize(4, 4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.data(), before);  // shrink keeps the buffer
+  m.resize(8, 8);
+  EXPECT_EQ(m.size(), 64u);     // grow back within capacity
+  EXPECT_EQ(m.data(), before);
+}
+
+}  // namespace
+}  // namespace greennfv::rl

@@ -39,7 +39,11 @@ TEST(PerConcurrent, ParallelAddersAndSampler) {
   std::thread sampler([&] {
     Rng rng(1);
     std::uint64_t samples = 0;
-    while (!stop.load(std::memory_order_acquire)) {
+    // Run until stopped, but never finish with zero samples: under a
+    // loaded ctest -j the adders can complete before this thread is ever
+    // scheduled, and the point of the test is sampling *concurrent* with
+    // (or at least against the state produced by) the adders.
+    while (!stop.load(std::memory_order_acquire) || samples == 0) {
       if (replay.size() >= 64) {
         const Minibatch batch = replay.sample(64, rng);
         // Every sampled transition must be internally consistent.
