@@ -7,6 +7,8 @@
 ///   build/example_run_scenario scenario=heterogeneous-cluster
 ///       models=baseline,heuristics,ee-pstate        (one line)
 ///   build/example_run_scenario scenario_file=my.scenario episodes=200
+///   build/example_run_scenario scenario=fleet-smoke    # dynamic fleet
+///       models=baseline,ee-pstate                   (one line)
 ///   build/example_run_scenario list=1                  # preset table
 ///   build/example_run_scenario scenario=overload save=overload.scenario
 ///   build/example_run_scenario help=1                  # accepted keys
@@ -20,6 +22,7 @@
 
 #include "common/fs_util.hpp"
 #include "common/string_util.hpp"
+#include "orchestrator/fleet.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/presets.hpp"
 
@@ -59,14 +62,34 @@ int run(const Config& config) {
   if (const auto models = config.get("models"))
     roster = scenario::filter_roster(roster, *models);
 
-  scenario::ExperimentRunner runner(spec);
-  if (runner.idle_nodes() > 0)
-    std::printf("placement left %d node(s) idle (charged at %.0f W)\n",
-                runner.idle_nodes(), spec.node.p_idle_w);
-  const scenario::EvalReport report = runner.run(roster);
+  scenario::EvalReport report;
+  std::string fleet_summary;
+  if (spec.fleet.enabled) {
+    // Dynamic fleet: online arrivals/departures, migration, power gating.
+    orchestrator::FleetOrchestrator fleet(spec);
+    std::printf("fleet: %d window horizon, policy %s, %.2f arrivals/window,"
+                " migration %s, power gating %s\n",
+                fleet.horizon(), spec.fleet.policy.c_str(),
+                spec.fleet.arrival_rate,
+                spec.fleet.migration ? "on" : "off",
+                spec.fleet.power_gating ? "on" : "off");
+    orchestrator::FleetReport fleet_report = fleet.run(roster);
+    fleet_summary = fleet_report.fleet_summary();
+    report = std::move(fleet_report.report);
+  } else {
+    scenario::ExperimentRunner runner(spec);
+    if (runner.idle_nodes() > 0)
+      std::printf("placement left %d node(s) idle (charged at %.0f W)\n",
+                  runner.idle_nodes(), spec.node.p_idle_w);
+    report = runner.run(roster);
+  }
 
   std::printf("\n");
   std::fputs(report.table().c_str(), stdout);
+  if (!fleet_summary.empty()) {
+    std::printf("\n");
+    std::fputs(fleet_summary.c_str(), stdout);
+  }
 
   if (const auto csv = config.get("csv")) {
     // Bare filenames are routed under out/ with every other artifact;

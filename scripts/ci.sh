@@ -40,6 +40,24 @@ echo "=== [1c] campaign smoke: 2 presets x 2 seeds, jobs=2 ==="
   validate_manifest=out/ci-campaign-smoke/manifest.json
 
 echo
+echo "=== [1c2] fleet smoke: dynamic 3-node fleet through the orchestrator ==="
+# Online arrivals/departures, consolidation migrations, and power gating
+# end to end (the consolidate policy + reactive models keep it seconds).
+./build/example_run_scenario scenario=fleet-smoke models=baseline,ee-pstate
+
+echo
+echo "=== [1c3] placement-sweep smoke: 2 cells at jobs=2 ==="
+# A 2-cell expansion of the placement-sweep preset (one fleet size, two
+# placement policies) with CI-sized windows, then the manifest must parse
+# with every aggregate field finite — same contract as the campaign smoke.
+./build/example_run_campaign campaign=placement-sweep \
+  sweep.nodes=3 sweep.placement=least-loaded,energy-bestfit \
+  models=baseline eval_windows=3 sub_windows=2 window_s=2 \
+  jobs=2 fresh=1
+./build/example_run_campaign \
+  validate_manifest=out/placement-sweep/manifest.json
+
+echo
 echo "=== [1d] RL training microbench: smoke mode + baseline check ==="
 # Smoke-sized run of the batched training engine (train_steps/sec,
 # actions/sec -> out/BENCH_train.json). The baseline comparison warns —

@@ -44,6 +44,40 @@ CampaignSpec ablation() {
   return spec;
 }
 
+CampaignSpec placement_sweep() {
+  CampaignSpec spec;
+  spec.name = "placement-sweep";
+  spec.description =
+      "Fleet-size x placement-policy grid over the heterogeneous cluster:"
+      " where does least-loaded stop paying vs bin-packing?";
+  spec.scenarios = {"heterogeneous-cluster"};
+  // Reactive models keep a 3x3 grid tractable; the placement question is
+  // about idle-node power and balance, not about the learned policies.
+  spec.models = "baseline,ee-pstate";
+  spec.axes = {
+      {"nodes", {"2", "3", "4"}},
+      {"placement",
+       {"first-fit-decreasing", "least-loaded", "energy-bestfit"}}};
+  return spec;
+}
+
+CampaignSpec sla_frontier() {
+  CampaignSpec spec;
+  spec.name = "sla-frontier";
+  spec.description =
+      "SLA-tightness frontier: throughput_floor x energy_budget grid under"
+      " both constrained SLAs — Fig. 10 as a surface, Pareto front from"
+      " the aggregator";
+  spec.scenarios = {"paper-default"};
+  spec.models = "heuristics,ee-pstate";
+  // The mine cells trace the throughput floor, the maxt cells the energy
+  // budget; the cross-cell Pareto front reads the whole frontier at once.
+  spec.axes = {{"sla", {"mine", "maxt"}},
+               {"throughput_floor", {"6", "7.5", "9"}},
+               {"energy_budget", {"1200", "1800", "2400"}}};
+  return spec;
+}
+
 CampaignSpec ci_campaign_smoke() {
   CampaignSpec spec;
   spec.name = "ci-campaign-smoke";
@@ -61,7 +95,8 @@ CampaignSpec ci_campaign_smoke() {
 
 const std::vector<CampaignSpec>& registry() {
   static const std::vector<CampaignSpec> presets = {
-      fig9(), fig11_rates(), ablation(), ci_campaign_smoke()};
+      fig9(),       fig11_rates(),  ablation(),
+      placement_sweep(), sla_frontier(), ci_campaign_smoke()};
   return presets;
 }
 

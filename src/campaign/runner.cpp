@@ -5,6 +5,7 @@
 
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
+#include "orchestrator/fleet.hpp"
 
 namespace greennfv::campaign {
 
@@ -25,7 +26,6 @@ void CampaignRunner::set_roster_provider(RosterProvider provider) {
 
 RunResult CampaignRunner::execute(const RunSpec& run,
                                   const RosterProvider& roster) {
-  scenario::ExperimentRunner runner(run.scenario);
   RunResult result;
   result.index = run.index;
   result.run_id = run.run_id;
@@ -34,7 +34,16 @@ RunResult CampaignRunner::execute(const RunSpec& run,
   result.assignments = run.assignments;
   result.seed = run.seed;
   result.scenario_text = run.scenario.to_text();
-  result.report = runner.run(roster(run.scenario));
+  if (run.scenario.fleet.enabled) {
+    // Dynamic fleets run through the orchestrator; its EvalReport has the
+    // same shape (per-model means + telemetry series), so artifacts,
+    // resume, and aggregation work unchanged.
+    orchestrator::FleetOrchestrator fleet(run.scenario);
+    result.report = fleet.run(roster(run.scenario)).report;
+  } else {
+    scenario::ExperimentRunner runner(run.scenario);
+    result.report = runner.run(roster(run.scenario));
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@ std::string to_string(PlacementPolicy policy) {
   switch (policy) {
     case PlacementPolicy::kFirstFitDecreasing: return "first-fit-decreasing";
     case PlacementPolicy::kLeastLoaded:        return "least-loaded";
+    case PlacementPolicy::kEnergyBestFit:      return "energy-bestfit";
   }
   return "?";
 }
@@ -20,10 +21,20 @@ Placement place_chains(const std::vector<ChainDemand>& chains,
                        const std::vector<NodeCapacity>& nodes,
                        PlacementPolicy policy) {
   if (chains.empty()) throw std::invalid_argument("placement: no chains");
-  if (nodes.empty()) throw std::invalid_argument("placement: no nodes");
+  if (nodes.empty())
+    throw std::invalid_argument("placement: empty fleet (no nodes)");
   for (const auto& chain : chains) {
     if (chain.cores <= 0.0)
-      throw std::invalid_argument("placement: non-positive core demand");
+      throw std::invalid_argument("placement: chain '" + chain.name +
+                                  "' declares a non-positive core demand");
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    // A zero-capacity roster entry would divide 0/0 in the load ratios
+    // below — reject it loudly instead.
+    if (nodes[n].cores <= 0.0)
+      throw std::invalid_argument(
+          "placement: node " + std::to_string(n) +
+          " declares a non-positive core capacity");
   }
 
   Placement placement;
@@ -47,7 +58,7 @@ Placement place_chains(const std::vector<ChainDemand>& chains,
           break;
         }
       }
-    } else {
+    } else if (policy == PlacementPolicy::kLeastLoaded) {
       // Least-loaded among nodes with room.
       double best_load = 1e300;
       for (std::size_t n = 0; n < nodes.size(); ++n) {
@@ -58,6 +69,20 @@ Placement place_chains(const std::vector<ChainDemand>& chains,
         const double load = placement.node_cores[n] / nodes[n].cores;
         if (load < best_load) {
           best_load = load;
+          chosen = static_cast<int>(n);
+        }
+      }
+    } else {
+      // Energy-aware best fit: the node whose remaining capacity after the
+      // chain is smallest — demand concentrates on the fewest nodes, the
+      // rest stay empty and cheap (idle, or asleep under power gating).
+      double best_slack = 1e300;
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const double slack =
+            nodes[n].cores - placement.node_cores[n] - chains[c].cores;
+        if (slack < -1e-9) continue;
+        if (slack < best_slack - 1e-12) {
+          best_slack = slack;
           chosen = static_cast<int>(n);
         }
       }

@@ -13,9 +13,13 @@
 ///
 ///   * first-fit-decreasing on core demand — the bin-packing baseline
 ///   * least-loaded (balance) — spread demand evenly
+///   * energy-bestfit — tightest-fit bin-packing: fill already-committed
+///     nodes first so the fewest nodes carry load (the rest idle at
+///     p_idle_w, or sleep under the fleet orchestrator's power gating)
 ///
 /// Placement here is static (per deployment); the SDN controller handles
-/// the dynamic flow-level rebalancing.
+/// the dynamic flow-level rebalancing and src/orchestrator the online
+/// (arrival/departure/migration) case.
 
 namespace greennfv::cluster {
 
@@ -34,6 +38,7 @@ struct NodeCapacity {
 enum class PlacementPolicy {
   kFirstFitDecreasing,
   kLeastLoaded,
+  kEnergyBestFit,
 };
 
 [[nodiscard]] std::string to_string(PlacementPolicy policy);
@@ -50,8 +55,9 @@ struct Placement {
 };
 
 /// Places every chain on one of `nodes.size()` nodes. Throws
-/// std::invalid_argument when a chain cannot fit anywhere (its core demand
-/// exceeds every node's remaining capacity).
+/// std::invalid_argument when the fleet is empty, when any node declares a
+/// non-positive capacity, or when a chain cannot fit anywhere (its core
+/// demand exceeds every node's remaining capacity).
 [[nodiscard]] Placement place_chains(const std::vector<ChainDemand>& chains,
                                      const std::vector<NodeCapacity>& nodes,
                                      PlacementPolicy policy);

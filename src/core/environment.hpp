@@ -90,6 +90,13 @@ class NfvEnvironment final : public rl::Environment {
   /// so every model meets a non-steady profile at the same measured time.
   void align_rate_profile() { engine_->generator().anchor_rate_profile(); }
 
+  /// Phase variant: the profile clock currently reads `profile_time_s` —
+  /// how a node environment rebuilt mid-run (fleet membership change)
+  /// stays on the experiment's absolute load shape.
+  void align_rate_profile(double profile_time_s) {
+    engine_->generator().anchor_rate_profile(profile_time_s);
+  }
+
   /// Mean knob values across chains (what Figs 6-8 plot per episode).
   [[nodiscard]] nfvsim::ChainKnobs mean_knobs() const;
 

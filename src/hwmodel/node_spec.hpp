@@ -44,6 +44,15 @@ struct NodeSpec {
   // --- Power (Eq. 4 of the paper) -------------------------------------------
   double p_idle_w = 60.0;
   double p_max_w = 330.0;
+  /// Draw while power-gated (suspend-to-RAM keeps the BMC + DIMM refresh
+  /// alive — single-digit watts on server hardware). Only the fleet
+  /// orchestrator's node power-state machine uses this; a node hosting
+  /// chains never sleeps.
+  double p_sleep_w = 8.0;
+  /// Resume latency out of the sleep state. Charged as downtime against
+  /// the chain whose placement woke the node (SLA accounting), plus
+  /// p_idle_w draw for the duration.
+  double wake_latency_s = 3.0;
   /// Fan-model calibration parameter `h` (paper fits it against a Yokogawa
   /// WT210; we fit it against the synthetic meter in calibration.cpp).
   double fan_h = 1.4;

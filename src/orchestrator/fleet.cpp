@@ -1,0 +1,524 @@
+#include "orchestrator/fleet.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "core/nf_controller.hpp"
+#include "nfvsim/chain.hpp"
+#include "traffic/generator.hpp"
+
+namespace greennfv::orchestrator {
+
+namespace {
+
+/// Salt separating the fleet event stream (arrivals, holding times, flow
+/// shapes) from every other consumer of the scenario seed.
+constexpr std::uint64_t kTimelineSeedSalt = 0xF1EE7C0FFEEull;
+/// Per-epoch stride on the node evaluation seed: a node whose chain set
+/// changed re-seeds its environment on a fresh stream; epoch 0 IS
+/// scenario::node_eval_seed, which is what keeps the static fleet
+/// bit-identical to ExperimentRunner.
+constexpr std::uint64_t kEpochSeedStride = 0x9E3779B97F4A7C15ull;
+
+void copy_series(const telemetry::Recorder& from, telemetry::Recorder* to,
+                 const std::string& prefix) {
+  if (to == nullptr) return;
+  for (const std::string& name : from.series_names()) {
+    const TimeSeries& s = from.series(name);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      to->record(prefix + name, s.times()[i], s.values()[i]);
+  }
+}
+
+}  // namespace
+
+FleetOrchestrator::FleetOrchestrator(scenario::ScenarioSpec spec)
+    : spec_(std::move(spec)) {
+  spec_.validate();
+  if (!spec_.fleet.enabled) {
+    throw std::invalid_argument(
+        "orchestrator: scenario '" + spec_.name +
+        "' has fleet.enabled=0 — run it through ExperimentRunner");
+  }
+  horizon_ = spec_.fleet.horizon_windows > 0 ? spec_.fleet.horizon_windows
+                                             : spec_.eval_windows;
+  static_fleet_ = spec_.fleet.arrival_rate == 0.0;
+  capacity_cores_ = static_cast<double>(spec_.node.total_cores) -
+                    spec_.node.controller_cores;
+  if (capacity_cores_ <= 0.0) {
+    throw std::invalid_argument(
+        "orchestrator: node has no schedulable cores (total_cores minus"
+        " controller_cores must be positive)");
+  }
+  build_timeline();
+}
+
+void FleetOrchestrator::build_timeline() {
+  const int num_nodes = spec_.num_nodes;
+  const double window_s = spec_.window_s;
+  Rng rng(spec_.seed ^ kTimelineSeedSalt);
+  const std::unique_ptr<FleetPolicy> policy =
+      make_fleet_policy(spec_.fleet.policy);
+  const PowerStateConfig ps_config{
+      spec_.node.p_idle_w, spec_.node.p_sleep_w, spec_.node.wake_latency_s,
+      spec_.fleet.sleep_after_windows, spec_.fleet.power_gating};
+  std::vector<NodePowerStateMachine> power(
+      static_cast<std::size_t>(num_nodes), NodePowerStateMachine(ps_config));
+  std::vector<std::vector<int>> hosted(static_cast<std::size_t>(num_nodes));
+  std::vector<double> committed(static_cast<std::size_t>(num_nodes), 0.0);
+
+  // --- the initial chain set (the scenario's static topology) -------------
+  const auto comps = scenario::resolved_chain_nfs(spec_);
+  timeline_.flows = scenario::resolved_flows(spec_);
+  for (int c = 0; c < spec_.num_chains; ++c) {
+    ChainInstance chain;
+    chain.id = c;
+    chain.nfs = comps[static_cast<std::size_t>(c)];
+    // Algorithm 1 line 1 allocates one core per NF.
+    chain.cores = static_cast<double>(chain.nfs.size());
+    for (const auto& flow : timeline_.flows) {
+      if (flow.chain_index != c) continue;
+      chain.flows.push_back(flow);
+      chain.offered_gbps += flow.mean_rate_gbps();
+      chain.offered_pps += flow.mean_rate_pps;
+    }
+    if (chain.flows.empty()) {
+      throw std::invalid_argument(format(
+          "orchestrator: initial chain %d receives no flows (fleet runs"
+          " need traffic on every initial chain)",
+          c));
+    }
+    timeline_.chains.push_back(std::move(chain));
+  }
+
+  const auto fleet_view = [&]() {
+    FleetView view;
+    for (int n = 0; n < num_nodes; ++n) {
+      NodeView node;
+      node.capacity_cores = capacity_cores_;
+      node.committed_cores = committed[static_cast<std::size_t>(n)];
+      node.asleep = power[static_cast<std::size_t>(n)].asleep();
+      for (const int id : hosted[static_cast<std::size_t>(n)]) {
+        const ChainInstance& chain =
+            timeline_.chains[static_cast<std::size_t>(id)];
+        node.chains.push_back({id, chain.cores, chain.offered_gbps});
+      }
+      view.nodes.push_back(std::move(node));
+    }
+    return view;
+  };
+
+  // Minimum one window of residency; exponential holding beyond that.
+  const auto draw_holding = [&]() {
+    return 1 + static_cast<int>(
+                   rng.exponential(1.0 / spec_.fleet.mean_holding_windows));
+  };
+
+  const auto place = [&](int id, FleetTimeline::Window& win) {
+    ChainInstance& chain = timeline_.chains[static_cast<std::size_t>(id)];
+    const int node = policy->choose(fleet_view(), chain.cores);
+    if (node < 0) {
+      ++win.rejected;
+      ++timeline_.rejected;
+      chain.first_node = -1;
+      return;
+    }
+    const auto charge = power[static_cast<std::size_t>(node)].activate();
+    if (charge.woke) {
+      ++timeline_.wakeups;
+      win.charges.push_back({id, charge.downtime_s, charge.energy_j, false});
+      timeline_.wake_energy_j += charge.energy_j;
+      timeline_.downtime_s += charge.downtime_s;
+    }
+    hosted[static_cast<std::size_t>(node)].push_back(id);
+    committed[static_cast<std::size_t>(node)] += chain.cores;
+    win.arrivals.push_back(id);
+    ++timeline_.arrivals;
+    chain.first_node = node;
+  };
+
+  timeline_.windows.resize(static_cast<std::size_t>(horizon_));
+  int next_id = spec_.num_chains;
+
+  for (int w = 0; w < horizon_; ++w) {
+    FleetTimeline::Window& win =
+        timeline_.windows[static_cast<std::size_t>(w)];
+
+    // 1. Departures: chains whose holding time expired leave at the
+    //    window edge (static fleets never depart).
+    if (!static_fleet_) {
+      for (int n = 0; n < num_nodes; ++n) {
+        auto& chains_here = hosted[static_cast<std::size_t>(n)];
+        for (std::size_t i = 0; i < chains_here.size();) {
+          const int id = chains_here[i];
+          const ChainInstance& chain =
+              timeline_.chains[static_cast<std::size_t>(id)];
+          if (chain.departure_window == w) {
+            win.departures.push_back(id);
+            committed[static_cast<std::size_t>(n)] -= chain.cores;
+            chains_here.erase(chains_here.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          } else {
+            ++i;
+          }
+        }
+      }
+      std::sort(win.departures.begin(), win.departures.end());
+      timeline_.departures += static_cast<int>(win.departures.size());
+    }
+
+    // 2. Arrivals. The initial chain set lands at w=0 through the same
+    //    policy; dynamic arrivals are Poisson with the scenario's
+    //    RateProfile as the fleet-level load envelope.
+    if (w == 0) {
+      for (int c = 0; c < spec_.num_chains; ++c) {
+        if (!static_fleet_) {
+          timeline_.chains[static_cast<std::size_t>(c)].departure_window =
+              draw_holding();
+        }
+        place(c, win);
+      }
+    }
+    if (!static_fleet_) {
+      const double mean =
+          spec_.fleet.arrival_rate *
+          spec_.profile.multiplier(w * window_s);
+      const std::uint64_t count = mean > 0.0 ? rng.poisson(mean) : 0;
+      for (std::uint64_t a = 0; a < count; ++a) {
+        ChainInstance chain;
+        chain.id = next_id++;
+        chain.nfs = nfvsim::standard_chain_nfs(chain.id);
+        chain.cores = static_cast<double>(chain.nfs.size());
+        chain.flows = traffic::make_eval_flows(
+            spec_.fleet.flows_per_chain, /*num_chains=*/1,
+            spec_.fleet.chain_offered_gbps, rng.next_u64());
+        for (auto& flow : chain.flows) {
+          flow.chain_index = chain.id;
+          chain.offered_gbps += flow.mean_rate_gbps();
+          chain.offered_pps += flow.mean_rate_pps;
+        }
+        chain.arrival_window = w;
+        chain.departure_window = w + draw_holding();
+        timeline_.chains.push_back(std::move(chain));
+        ChainInstance& arrived = timeline_.chains.back();
+        place(arrived.id, win);
+        // A rejected chain never joins the flow pool — its flows would
+        // otherwise be dead weight re-scanned on every node-env rebuild.
+        if (arrived.first_node >= 0) {
+          timeline_.flows.insert(timeline_.flows.end(),
+                                 arrived.flows.begin(),
+                                 arrived.flows.end());
+        }
+      }
+    }
+
+    // 3. Consolidation: the policy may drain underutilized nodes so power
+    //    gating can put them to sleep. Each move costs downtime + energy.
+    if (!static_fleet_ && spec_.fleet.migration) {
+      const std::vector<Migration> plan = policy->consolidate(
+          fleet_view(), spec_.fleet.consolidate_below);
+      for (const Migration& move : plan) {
+        const ChainInstance& chain =
+            timeline_.chains[static_cast<std::size_t>(move.chain)];
+        auto& from = hosted[static_cast<std::size_t>(move.from)];
+        from.erase(std::find(from.begin(), from.end(), move.chain));
+        committed[static_cast<std::size_t>(move.from)] -= chain.cores;
+        const auto charge =
+            power[static_cast<std::size_t>(move.to)].activate();
+        if (charge.woke) {
+          // The policies never wake a node to consolidate into, but a
+          // custom policy could — account for it either way.
+          ++timeline_.wakeups;
+          win.charges.push_back(
+              {move.chain, charge.downtime_s, charge.energy_j, false});
+          timeline_.wake_energy_j += charge.energy_j;
+          timeline_.downtime_s += charge.downtime_s;
+        }
+        hosted[static_cast<std::size_t>(move.to)].push_back(move.chain);
+        committed[static_cast<std::size_t>(move.to)] += chain.cores;
+        win.migrations.push_back(move);
+        ++timeline_.migrations;
+        win.charges.push_back({move.chain, spec_.fleet.migration_downtime_s,
+                               spec_.fleet.migration_energy_j, true});
+        timeline_.migration_energy_j += spec_.fleet.migration_energy_j;
+        timeline_.downtime_s += spec_.fleet.migration_downtime_s;
+      }
+    }
+
+    // 4. Membership snapshot, occupancy, and power-state accounting.
+    win.membership.resize(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n) {
+      auto& chains_here = hosted[static_cast<std::size_t>(n)];
+      std::sort(chains_here.begin(), chains_here.end());
+      win.membership[static_cast<std::size_t>(n)] = chains_here;
+      timeline_.occupancy.add(chains_here.size());
+      win.live_chains += static_cast<int>(chains_here.size());
+
+      const bool occupied = !chains_here.empty();
+      if (occupied) {
+        ++win.active_nodes;
+      } else if (power[static_cast<std::size_t>(n)].asleep()) {
+        ++win.asleep_nodes;
+      } else {
+        ++win.idle_nodes;
+      }
+      win.standby_energy_j +=
+          power[static_cast<std::size_t>(n)].advance(occupied, window_s);
+    }
+    timeline_.standby_energy_j += win.standby_energy_j;
+  }
+}
+
+scenario::ModelReport FleetOrchestrator::run_model(
+    const scenario::SchedulerFactory& entry,
+    telemetry::Recorder* recorder) {
+  scenario::ModelReport report;
+  report.prefix = scenario::series_prefix(entry.name);
+  telemetry::Recorder local;
+
+  const int num_nodes = spec_.num_nodes;
+  const double window_s = spec_.window_s;
+  const core::Sla sla = spec_.sla();
+
+  std::vector<std::vector<std::string>> comps;
+  comps.reserve(timeline_.chains.size());
+  for (const ChainInstance& chain : timeline_.chains)
+    comps.push_back(chain.nfs);
+
+  // The static single-node fleet takes the exact ExperimentRunner path:
+  // the whole-deployment EnvConfig (flows resolved inside the environment
+  // at the node evaluation seed), warmup, profile alignment, then one
+  // NfController window per fleet window — same seeds, same loop, same
+  // numbers, bit for bit.
+  const bool degenerate =
+      num_nodes == 1 && static_fleet_ &&
+      timeline_.windows.front().rejected == 0;
+
+  // Per-node runtime: rebuilt whenever the hosted chain set changes.
+  struct NodeRuntime {
+    std::unique_ptr<core::NfvEnvironment> env;
+    std::unique_ptr<core::NfController> controller;
+    std::vector<int> chains;
+    int epochs = 0;
+  };
+  std::vector<NodeRuntime> nodes(static_cast<std::size_t>(num_nodes));
+  // Trained policies are tied to the chain count (state/action dims), so
+  // each node reuses its scheduler across epochs with the same shape —
+  // mirroring ExperimentRunner's "train once, run many" per shape.
+  std::map<std::pair<int, int>, std::unique_ptr<core::Scheduler>>
+      schedulers;
+
+  core::EvalResult& result = report.result;
+  result.scheduler = entry.name;
+  result.windows = horizon_;
+
+  for (int w = 0; w < horizon_; ++w) {
+    const FleetTimeline::Window& win =
+        timeline_.windows[static_cast<std::size_t>(w)];
+    const double t = w * window_s;
+
+    // (Re)build runtimes whose membership changed at this window edge.
+    for (int n = 0; n < num_nodes; ++n) {
+      NodeRuntime& rt = nodes[static_cast<std::size_t>(n)];
+      const std::vector<int>& members =
+          win.membership[static_cast<std::size_t>(n)];
+      const bool unchanged =
+          rt.chains == members && (rt.env != nullptr || members.empty());
+      if (unchanged) continue;
+      rt.controller.reset();
+      rt.env.reset();
+      rt.chains = members;
+      if (members.empty()) continue;
+
+      core::EnvConfig env_config =
+          degenerate ? spec_.env_config()
+                     : scenario::partition_node_env(
+                           spec_, comps, timeline_.flows, members, n);
+      const std::uint64_t env_seed =
+          scenario::node_eval_seed(spec_, static_cast<std::size_t>(n)) +
+          kEpochSeedStride * static_cast<std::uint64_t>(rt.epochs);
+      ++rt.epochs;
+
+      const std::pair<int, int> key{n, env_config.num_chains};
+      auto it = schedulers.find(key);
+      if (it == schedulers.end()) {
+        it = schedulers.emplace(key, entry.make(env_config, spec_.seed))
+                 .first;
+      }
+      core::Scheduler& scheduler = *it->second;
+      scheduler.reset();
+      rt.env = std::make_unique<core::NfvEnvironment>(env_config, env_seed);
+      rt.controller =
+          std::make_unique<core::NfController>(*rt.env, scheduler);
+      if (w == 0) {
+        // Deployment settling, exactly evaluate_scheduler's preamble:
+        // warmup windows unmeasured, then the rate-profile clock re-zeroed
+        // so every model meets a non-steady envelope at the same measured
+        // time. Mid-run epochs get no free settling — reconfiguration
+        // transients are real and measured.
+        if (entry.warmup > 0) (void)rt.controller->run(entry.warmup);
+        rt.env->align_rate_profile();
+      } else {
+        // A node rebuilt mid-run starts a fresh environment whose clock
+        // reads 0 — re-phase its rate-profile onto fleet time so the
+        // whole fleet keeps tracking one absolute load shape (the same
+        // clock the arrival envelope runs on).
+        rt.env->align_rate_profile(t);
+      }
+    }
+
+    // Advance every occupied node one window.
+    double gbps = 0.0;
+    double energy = win.standby_energy_j;
+    double offered_pps = 0.0;
+    double drop_weighted = 0.0;
+    int active = 0;
+    const core::NfvEnvironment::WindowOutcome* solo = nullptr;
+    for (int n = 0; n < num_nodes; ++n) {
+      NodeRuntime& rt = nodes[static_cast<std::size_t>(n)];
+      if (rt.env == nullptr) continue;
+      (void)rt.controller->run(1);
+      const auto& outcome = rt.env->last_outcome();
+      ++active;
+      solo = &outcome;
+      gbps += outcome.throughput_gbps;
+      energy += outcome.energy_j;
+      offered_pps += outcome.offered_pps;
+      // Drops are a fraction of *offered* load (see ExperimentRunner).
+      drop_weighted += outcome.drop_fraction * outcome.offered_pps;
+      local.record(format("node%d_throughput_gbps", n), t,
+                   outcome.throughput_gbps);
+      local.record(format("node%d_energy_j", n), t, outcome.energy_j);
+    }
+
+    // Migration downtime and wake latency: the affected chain's traffic
+    // is lost for `downtime_s` of the window (counted as dropped), and
+    // the transfer/boot energy lands on the fleet bill.
+    double lost_gbps = 0.0;
+    double lost_pps = 0.0;
+    double charge_energy_j = 0.0;
+    for (const DowntimeCharge& charge : win.charges) {
+      const ChainInstance& chain =
+          timeline_.chains[static_cast<std::size_t>(charge.chain)];
+      const double fraction =
+          std::min(charge.downtime_s, window_s) / window_s;
+      lost_gbps += chain.offered_gbps * fraction;
+      lost_pps += chain.offered_pps * fraction;
+      charge_energy_j += charge.energy_j;
+    }
+
+    double w_gbps;
+    double w_energy;
+    double w_efficiency;
+    double w_drop;
+    double w_sla;
+    if (active == 1 && win.standby_energy_j == 0.0 && win.charges.empty()) {
+      // One node, no fleet overheads: use its window outcome verbatim —
+      // this is the branch that keeps the single-node degeneration
+      // bit-identical (no re-derivation through fleet formulas).
+      w_gbps = solo->throughput_gbps;
+      w_energy = solo->energy_j;
+      w_efficiency = solo->efficiency;
+      w_drop = solo->drop_fraction;
+      w_sla = solo->sla_satisfied ? 1.0 : 0.0;
+    } else {
+      w_gbps = std::max(0.0, gbps - lost_gbps);
+      w_energy = energy + charge_energy_j;
+      w_efficiency = core::Sla::efficiency(w_gbps, w_energy);
+      const double dropped_pps = drop_weighted + lost_pps;
+      w_drop = offered_pps > 0.0
+                   ? std::min(1.0, dropped_pps / offered_pps)
+                   : 0.0;
+      w_sla = sla.satisfied(w_gbps, w_energy) ? 1.0 : 0.0;
+    }
+
+    result.mean_gbps += w_gbps;
+    result.mean_energy_j += w_energy;
+    result.mean_power_w += w_energy / window_s;
+    result.mean_efficiency += w_efficiency;
+    result.sla_satisfaction += w_sla;
+    result.drop_fraction += w_drop;
+
+    local.record("throughput_gbps", t, w_gbps);
+    local.record("energy_j", t, w_energy);
+    local.record("power_w", t, w_energy / window_s);
+    local.record("efficiency", t, w_efficiency);
+    local.record("drop_fraction", t, w_drop);
+    local.record("offered_pps", t, offered_pps);
+    local.record("active_nodes", t, win.active_nodes);
+    local.record("asleep_nodes", t, win.asleep_nodes);
+    local.record("live_chains", t, win.live_chains);
+    local.record("arrivals", t,
+                 static_cast<double>(win.arrivals.size()));
+    local.record("departures", t,
+                 static_cast<double>(win.departures.size()));
+    local.record("migrations", t,
+                 static_cast<double>(win.migrations.size()));
+    local.record("rejected", t, win.rejected);
+  }
+
+  const auto n = static_cast<double>(horizon_);
+  result.mean_gbps /= n;
+  result.mean_energy_j /= n;
+  result.mean_power_w /= n;
+  result.mean_efficiency /= n;
+  result.sla_satisfaction /= n;
+  result.drop_fraction /= n;
+
+  copy_series(local, recorder, report.prefix);
+  return report;
+}
+
+FleetReport FleetOrchestrator::run(
+    const std::vector<scenario::SchedulerFactory>& roster) {
+  FleetReport fleet;
+  fleet.report.scenario = spec_.name;
+  fleet.report.nodes = spec_.num_nodes;
+  for (const auto& entry : roster)
+    fleet.report.models.push_back(run_model(entry, &fleet.report.series));
+
+  fleet.arrivals = timeline_.arrivals;
+  fleet.departures = timeline_.departures;
+  fleet.rejected = timeline_.rejected;
+  fleet.migrations = timeline_.migrations;
+  fleet.wakeups = timeline_.wakeups;
+  fleet.standby_energy_j = timeline_.standby_energy_j;
+  fleet.wake_energy_j = timeline_.wake_energy_j;
+  fleet.migration_energy_j = timeline_.migration_energy_j;
+  fleet.occupancy_fractions = timeline_.occupancy.fractions();
+  for (const FleetTimeline::Window& win : timeline_.windows) {
+    fleet.mean_active_nodes += win.active_nodes;
+    fleet.mean_asleep_nodes += win.asleep_nodes;
+    fleet.mean_live_chains += win.live_chains;
+  }
+  const auto n = static_cast<double>(timeline_.windows.size());
+  fleet.mean_active_nodes /= n;
+  fleet.mean_asleep_nodes /= n;
+  fleet.mean_live_chains /= n;
+  return fleet;
+}
+
+std::string FleetReport::fleet_summary() const {
+  std::string out;
+  out += format(
+      "fleet: %d arrival(s) (%d rejected), %d departure(s), %d"
+      " migration(s), %d wake-up(s)\n",
+      arrivals, rejected, departures, migrations, wakeups);
+  out += format(
+      "fleet: mean %.2f active / %.2f asleep node(s), %.2f live chain(s)\n",
+      mean_active_nodes, mean_asleep_nodes, mean_live_chains);
+  out += format(
+      "fleet: standby energy %.0f J, wake %.0f J, migration %.0f J\n",
+      standby_energy_j, wake_energy_j, migration_energy_j);
+  out += "fleet: node occupancy";
+  for (std::size_t k = 0; k < occupancy_fractions.size(); ++k)
+    out += format(" %zu:%.0f%%", k, occupancy_fractions[k] * 100.0);
+  out += "\n";
+  return out;
+}
+
+}  // namespace greennfv::orchestrator

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "orchestrator/policy.hpp"
+#include "orchestrator/power_state.hpp"
+#include "scenario/experiment.hpp"
+#include "telemetry/stats.hpp"
+
+/// \file fleet.hpp
+/// The fleet orchestrator: an event-driven multi-node simulation in which
+/// service chains arrive and depart online, a pluggable policy places
+/// (and consolidates) them, nodes power-gate when drained, and migrations
+/// cost downtime + energy charged against the fleet SLA. The fleet
+/// *history* (arrivals, placements, migrations, power states) depends
+/// only on the scenario — it is pre-computed once as a FleetTimeline and
+/// replayed identically for every roster model, so models are compared
+/// against the same sequence of events. Per-node scheduling runs through
+/// the existing per-node evaluation path (NfvEnvironment + NfController),
+/// which is what keeps a static single-node fleet bit-identical to
+/// ExperimentRunner.
+
+namespace greennfv::orchestrator {
+
+/// One service chain over its fleet lifetime.
+struct ChainInstance {
+  int id = 0;
+  std::vector<std::string> nfs;
+  double cores = 0.0;
+  /// This chain's flows (FlowSpec::chain_index == id).
+  std::vector<traffic::FlowSpec> flows;
+  double offered_gbps = 0.0;
+  double offered_pps = 0.0;
+  int arrival_window = 0;
+  /// Window at whose start the chain leaves; -1 = stays to the end.
+  int departure_window = -1;
+  /// Node hosting the chain at arrival (-1 = rejected).
+  int first_node = -1;
+};
+
+/// A downtime/energy charge (wake latency or migration) against one chain
+/// in one window.
+struct DowntimeCharge {
+  int chain = 0;
+  double downtime_s = 0.0;
+  double energy_j = 0.0;
+  bool is_migration = false;  ///< false = wake-up
+};
+
+/// The model-independent fleet history.
+struct FleetTimeline {
+  struct Window {
+    std::vector<int> arrivals;    ///< chain ids placed this window
+    std::vector<int> departures;  ///< chain ids gone at window start
+    int rejected = 0;
+    std::vector<Migration> migrations;
+    std::vector<DowntimeCharge> charges;
+    /// Idle + sleep draw of every unoccupied node this window.
+    double standby_energy_j = 0.0;
+    int active_nodes = 0;
+    int idle_nodes = 0;
+    int asleep_nodes = 0;
+    int live_chains = 0;
+    /// Per node: sorted chain ids hosted during this window.
+    std::vector<std::vector<int>> membership;
+  };
+
+  std::vector<Window> windows;
+  /// Every chain ever seen, indexed by id.
+  std::vector<ChainInstance> chains;
+  /// Fleet-wide flow list in arrival order (chain_index = chain id) —
+  /// the form scenario::partition_node_env consumes.
+  std::vector<traffic::FlowSpec> flows;
+
+  int arrivals = 0;
+  int departures = 0;
+  int rejected = 0;
+  int migrations = 0;
+  int wakeups = 0;
+  double standby_energy_j = 0.0;
+  double wake_energy_j = 0.0;
+  double migration_energy_j = 0.0;
+  double downtime_s = 0.0;
+  /// Chains-per-node over every (node, window) cell.
+  telemetry::CountHistogram occupancy;
+};
+
+/// A fleet evaluation: the uniform EvalReport (per-model means + telemetry
+/// series, campaign/artifact compatible) plus the fleet history summary.
+struct FleetReport {
+  scenario::EvalReport report;
+  // Shared fleet history (identical for every model by construction):
+  int arrivals = 0;
+  int departures = 0;
+  int rejected = 0;
+  int migrations = 0;
+  int wakeups = 0;
+  double standby_energy_j = 0.0;
+  double wake_energy_j = 0.0;
+  double migration_energy_j = 0.0;
+  double mean_active_nodes = 0.0;
+  double mean_asleep_nodes = 0.0;
+  double mean_live_chains = 0.0;
+  /// Fraction of node-windows hosting k chains, index = k.
+  std::vector<double> occupancy_fractions;
+
+  /// Printable fleet-history block (under the EvalReport table).
+  [[nodiscard]] std::string fleet_summary() const;
+};
+
+class FleetOrchestrator {
+ public:
+  /// Validates the spec (must have fleet.enabled) and pre-computes the
+  /// fleet timeline. Throws std::invalid_argument on bad specs — before
+  /// anything trains or runs.
+  explicit FleetOrchestrator(scenario::ScenarioSpec spec);
+
+  [[nodiscard]] const scenario::ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] const FleetTimeline& timeline() const { return timeline_; }
+  /// Measured windows (fleet.horizon, or the scenario's eval_windows).
+  [[nodiscard]] int horizon() const { return horizon_; }
+
+  /// Evaluates every roster model against the identical fleet history.
+  FleetReport run(const std::vector<scenario::SchedulerFactory>& roster);
+
+  /// One model: per-window fleet series recorded under
+  /// scenario::series_prefix(entry.name) into `recorder` (may be null).
+  scenario::ModelReport run_model(const scenario::SchedulerFactory& entry,
+                                  telemetry::Recorder* recorder);
+
+ private:
+  scenario::ScenarioSpec spec_;
+  int horizon_ = 0;
+  /// arrival_rate == 0 freezes the fleet: no arrivals, no departures, no
+  /// migrations — the ExperimentRunner degeneration case.
+  bool static_fleet_ = true;
+  double capacity_cores_ = 0.0;
+  FleetTimeline timeline_;
+
+  void build_timeline();
+};
+
+}  // namespace greennfv::orchestrator

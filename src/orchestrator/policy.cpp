@@ -1,0 +1,165 @@
+#include "orchestrator/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace greennfv::orchestrator {
+
+namespace {
+
+class FirstFitPolicy final : public FleetPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "first-fit"; }
+
+  [[nodiscard]] int choose(const FleetView& view,
+                           double cores) const override {
+    for (std::size_t n = 0; n < view.nodes.size(); ++n)
+      if (view.nodes[n].fits(cores)) return static_cast<int>(n);
+    return -1;
+  }
+};
+
+class LeastLoadedPolicy final : public FleetPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "least-loaded"; }
+
+  [[nodiscard]] int choose(const FleetView& view,
+                           double cores) const override {
+    int chosen = -1;
+    double best_load = 1e300;
+    for (std::size_t n = 0; n < view.nodes.size(); ++n) {
+      const NodeView& node = view.nodes[n];
+      if (!node.fits(cores)) continue;
+      if (node.utilization() < best_load - 1e-12) {
+        best_load = node.utilization();
+        chosen = static_cast<int>(n);
+      }
+    }
+    return chosen;
+  }
+};
+
+/// Tightest fit among *awake* nodes; a sleeping node is woken only when no
+/// awake node has room — the fewest nodes burn more than sleep power.
+int energy_bestfit_choose(const FleetView& view, double cores,
+                          bool allow_wake) {
+  int chosen = -1;
+  double best_slack = 1e300;
+  for (std::size_t n = 0; n < view.nodes.size(); ++n) {
+    const NodeView& node = view.nodes[n];
+    if (node.asleep || !node.fits(cores)) continue;
+    const double slack = node.free_cores() - cores;
+    if (slack < best_slack - 1e-12) {
+      best_slack = slack;
+      chosen = static_cast<int>(n);
+    }
+  }
+  if (chosen >= 0 || !allow_wake) return chosen;
+  for (std::size_t n = 0; n < view.nodes.size(); ++n)
+    if (view.nodes[n].asleep && view.nodes[n].fits(cores))
+      return static_cast<int>(n);
+  return -1;
+}
+
+class EnergyBestFitPolicy final : public FleetPolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "energy-bestfit";
+  }
+
+  [[nodiscard]] int choose(const FleetView& view,
+                           double cores) const override {
+    return energy_bestfit_choose(view, cores, /*allow_wake=*/true);
+  }
+};
+
+class ConsolidatePolicy final : public FleetPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "consolidate"; }
+
+  [[nodiscard]] int choose(const FleetView& view,
+                           double cores) const override {
+    return energy_bestfit_choose(view, cores, /*allow_wake=*/true);
+  }
+
+  [[nodiscard]] std::vector<Migration> consolidate(
+      const FleetView& view, double below) const override {
+    // Candidate donors, least-utilized first (the cheapest node to empty).
+    std::vector<std::size_t> donors;
+    for (std::size_t n = 0; n < view.nodes.size(); ++n) {
+      const NodeView& node = view.nodes[n];
+      if (node.occupied() && !node.asleep && node.utilization() < below)
+        donors.push_back(n);
+    }
+    std::sort(donors.begin(), donors.end(),
+              [&view](std::size_t a, std::size_t b) {
+                const double ua = view.nodes[a].utilization();
+                const double ub = view.nodes[b].utilization();
+                if (ua != ub) return ua < ub;
+                return a < b;
+              });
+
+    for (const std::size_t donor : donors) {
+      // Drain-or-nothing: a partial move keeps the donor awake and saves
+      // nothing. Try to best-fit every chain onto the other awake occupied
+      // nodes (never wake a sleeping node to consolidate into).
+      std::vector<double> free(view.nodes.size());
+      for (std::size_t n = 0; n < view.nodes.size(); ++n)
+        free[n] = view.nodes[n].free_cores();
+
+      std::vector<Migration> plan;
+      bool drained = true;
+      for (const ChainLoad& chain : view.nodes[donor].chains) {
+        int target = -1;
+        double best_slack = 1e300;
+        for (std::size_t n = 0; n < view.nodes.size(); ++n) {
+          if (n == donor) continue;
+          const NodeView& node = view.nodes[n];
+          if (node.asleep || !node.occupied()) continue;
+          const double slack = free[n] - chain.cores;
+          if (slack < -1e-9) continue;
+          if (slack < best_slack - 1e-12) {
+            best_slack = slack;
+            target = static_cast<int>(n);
+          }
+        }
+        if (target < 0) {
+          drained = false;
+          break;
+        }
+        free[static_cast<std::size_t>(target)] -= chain.cores;
+        plan.push_back(
+            {chain.id, static_cast<int>(donor), target});
+      }
+      // One drained donor per window keeps churn (and migration downtime)
+      // bounded; the next window picks up the next candidate.
+      if (drained && !plan.empty()) return plan;
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& fleet_policy_names() {
+  static const std::vector<std::string> names = {
+      "first-fit", "least-loaded", "energy-bestfit", "consolidate"};
+  return names;
+}
+
+std::unique_ptr<FleetPolicy> make_fleet_policy(const std::string& name) {
+  if (name == "first-fit") return std::make_unique<FirstFitPolicy>();
+  if (name == "least-loaded") return std::make_unique<LeastLoadedPolicy>();
+  if (name == "energy-bestfit")
+    return std::make_unique<EnergyBestFitPolicy>();
+  if (name == "consolidate") return std::make_unique<ConsolidatePolicy>();
+  std::string known;
+  for (const auto& entry : fleet_policy_names()) {
+    if (!known.empty()) known += ", ";
+    known += entry;
+  }
+  throw std::invalid_argument("orchestrator: unknown fleet policy '" +
+                              name + "' (known: " + known + ")");
+}
+
+}  // namespace greennfv::orchestrator

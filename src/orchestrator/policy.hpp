@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file policy.hpp
+/// Online placement policies for the fleet orchestrator. Unlike
+/// `cluster::place_chains` (one-shot, whole chain set known up front),
+/// these decide per *arrival* against the live fleet state — committed
+/// cores, power states — and the consolidating policy additionally
+/// proposes migrations that drain underutilized nodes so power gating can
+/// put them to sleep. This is the joint placement + allocation lever the
+/// related work (Tajiki et al., Sang et al.) identifies as where the
+/// energy/QoS trade-off is decided.
+
+namespace greennfv::orchestrator {
+
+/// One hosted chain from the policy's perspective.
+struct ChainLoad {
+  int id = 0;
+  double cores = 0.0;
+  double offered_gbps = 0.0;
+};
+
+/// Live state of one node as the policies see it.
+struct NodeView {
+  double capacity_cores = 0.0;
+  double committed_cores = 0.0;
+  bool asleep = false;
+  std::vector<ChainLoad> chains;
+
+  [[nodiscard]] bool occupied() const { return !chains.empty(); }
+  [[nodiscard]] double free_cores() const {
+    return capacity_cores - committed_cores;
+  }
+  [[nodiscard]] double utilization() const {
+    return capacity_cores > 0.0 ? committed_cores / capacity_cores : 0.0;
+  }
+  [[nodiscard]] bool fits(double cores) const {
+    return committed_cores + cores <= capacity_cores + 1e-9;
+  }
+};
+
+struct FleetView {
+  std::vector<NodeView> nodes;
+};
+
+/// One proposed chain move (consolidation).
+struct Migration {
+  int chain = 0;
+  int from = 0;
+  int to = 0;
+};
+
+class FleetPolicy {
+ public:
+  virtual ~FleetPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Node to host a `cores`-wide arrival, or -1 when nothing fits (the
+  /// chain is rejected). Choosing a sleeping node wakes it (the caller
+  /// charges the wake latency/energy).
+  [[nodiscard]] virtual int choose(const FleetView& view,
+                                   double cores) const = 0;
+
+  /// Consolidation pass: migrations that drain nodes whose utilization
+  /// sits below `below` when their chains fit on other awake occupied
+  /// nodes. Default: none (only the consolidating policy migrates).
+  [[nodiscard]] virtual std::vector<Migration> consolidate(
+      const FleetView& view, double below) const {
+    (void)view;
+    (void)below;
+    return {};
+  }
+};
+
+/// Registry lookup by name ("first-fit", "least-loaded", "energy-bestfit",
+/// "consolidate"); throws std::invalid_argument listing the registry on
+/// unknown names. The accepted names are mirrored by
+/// scenario::FleetSpec::policy_names() so campaign expansion validates
+/// fleet.policy before anything runs.
+[[nodiscard]] std::unique_ptr<FleetPolicy> make_fleet_policy(
+    const std::string& name);
+
+[[nodiscard]] const std::vector<std::string>& fleet_policy_names();
+
+}  // namespace greennfv::orchestrator

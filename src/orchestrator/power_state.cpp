@@ -1,0 +1,37 @@
+#include "orchestrator/power_state.hpp"
+
+namespace greennfv::orchestrator {
+
+NodePowerStateMachine::WakeCharge NodePowerStateMachine::activate() {
+  WakeCharge charge;
+  if (state_ == NodePowerState::kAsleep) {
+    charge.woke = true;
+    charge.downtime_s = config_.wake_latency_s;
+    charge.energy_j = config_.p_idle_w * config_.wake_latency_s;
+  }
+  state_ = NodePowerState::kActive;
+  empty_windows_ = 0;
+  return charge;
+}
+
+double NodePowerStateMachine::advance(bool occupied, double window_s) {
+  if (occupied) {
+    state_ = NodePowerState::kActive;
+    empty_windows_ = 0;
+    return 0.0;
+  }
+  // Unoccupied: count this empty window, gate after the threshold.
+  if (state_ == NodePowerState::kAsleep) {
+    return config_.p_sleep_w * window_s;
+  }
+  state_ = NodePowerState::kIdle;
+  ++empty_windows_;
+  if (config_.gating && empty_windows_ >= config_.sleep_after_windows) {
+    state_ = NodePowerState::kAsleep;
+    // The gating transition happens at the window edge; this window was
+    // still spent idling.
+  }
+  return config_.p_idle_w * window_s;
+}
+
+}  // namespace greennfv::orchestrator

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file power_state.hpp
+/// Per-node power-state machine for the fleet orchestrator:
+///
+///   Active --last chain departs--> Idle --`sleep_after` empty windows-->
+///   Asleep --placement--> Active (wake latency charged as downtime)
+///
+/// Active nodes are billed by their simulation environment; idle nodes
+/// draw p_idle_w, sleeping nodes p_sleep_w (NodeSpec constants). Waking
+/// costs `wake_latency_s` of downtime for the chain whose placement woke
+/// the node — charged against the fleet SLA — plus p_idle_w draw for the
+/// latency (the node boots, serves nothing).
+
+namespace greennfv::orchestrator {
+
+enum class NodePowerState { kActive, kIdle, kAsleep };
+
+struct PowerStateConfig {
+  double p_idle_w = 60.0;
+  double p_sleep_w = 8.0;
+  double wake_latency_s = 3.0;
+  /// Consecutive empty windows before an idle node is gated.
+  int sleep_after_windows = 2;
+  /// Master switch; when false the node never leaves Active/Idle.
+  bool gating = true;
+};
+
+class NodePowerStateMachine {
+ public:
+  explicit NodePowerStateMachine(PowerStateConfig config)
+      : config_(config) {}
+
+  [[nodiscard]] NodePowerState state() const { return state_; }
+  [[nodiscard]] bool asleep() const {
+    return state_ == NodePowerState::kAsleep;
+  }
+
+  /// Result of activating a node for a chain placement.
+  struct WakeCharge {
+    bool woke = false;
+    double downtime_s = 0.0;  ///< wake latency the placed chain eats
+    double energy_j = 0.0;    ///< idle draw burned during the wake
+  };
+
+  /// A chain lands on the node: leaves Idle/Asleep. Returns the wake
+  /// charge (zero unless the node was asleep).
+  WakeCharge activate();
+
+  /// Advances one window with the node's occupancy known; maintains the
+  /// idle counter and the Idle -> Asleep transition. Returns the standby
+  /// energy the node burned this window — 0 when occupied (the node's
+  /// environment bills its own power).
+  double advance(bool occupied, double window_s);
+
+ private:
+  PowerStateConfig config_;
+  NodePowerState state_ = NodePowerState::kIdle;
+  int empty_windows_ = 0;
+};
+
+}  // namespace greennfv::orchestrator

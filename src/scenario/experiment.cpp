@@ -49,10 +49,6 @@ constexpr std::uint64_t kQlearningSeedOffset = 3;
 constexpr std::uint64_t kEvalSeedOffset = 77;
 constexpr std::uint64_t kNodeSeedStride = 9973;
 
-std::uint64_t eval_seed(const ScenarioSpec& spec, std::size_t node) {
-  return spec.seed + kEvalSeedOffset + kNodeSeedStride * node;
-}
-
 SchedulerFactory greennfv_factory(const ScenarioSpec& spec,
                                   const std::string& label,
                                   core::SlaKind sla_kind,
@@ -81,6 +77,59 @@ SchedulerFactory greennfv_factory(const ScenarioSpec& spec,
 
 std::string series_prefix(const std::string& model_name) {
   return sanitize(model_name) + "_";
+}
+
+std::uint64_t node_eval_seed(const ScenarioSpec& spec, std::size_t node) {
+  return spec.seed + kEvalSeedOffset + kNodeSeedStride * node;
+}
+
+std::vector<traffic::FlowSpec> resolved_flows(const ScenarioSpec& spec) {
+  return spec.flows.empty()
+             ? traffic::make_eval_flows(spec.num_flows, spec.num_chains,
+                                        spec.total_offered_gbps, spec.seed)
+             : spec.flows;
+}
+
+std::vector<std::vector<std::string>> resolved_chain_nfs(
+    const ScenarioSpec& spec) {
+  std::vector<std::vector<std::string>> comps;
+  for (int c = 0; c < spec.num_chains; ++c) {
+    comps.push_back(spec.chain_nfs.empty()
+                        ? nfvsim::standard_chain_nfs(c)
+                        : spec.chain_nfs[static_cast<std::size_t>(c)]);
+  }
+  return comps;
+}
+
+core::EnvConfig partition_node_env(
+    const ScenarioSpec& spec,
+    const std::vector<std::vector<std::string>>& comps,
+    const std::vector<traffic::FlowSpec>& flows,
+    const std::vector<int>& local_chains, int node) {
+  core::EnvConfig env = spec.env_config();
+  env.num_chains = static_cast<int>(local_chains.size());
+  env.chain_nfs.clear();
+  for (const int c : local_chains)
+    env.chain_nfs.push_back(comps.at(static_cast<std::size_t>(c)));
+  env.flows.clear();
+  env.total_offered_gbps = 0.0;
+  for (const auto& flow : flows) {
+    for (std::size_t local = 0; local < local_chains.size(); ++local) {
+      if (flow.chain_index != local_chains[local]) continue;
+      traffic::FlowSpec remapped = flow;
+      remapped.id = static_cast<int>(env.flows.size());
+      remapped.chain_index = static_cast<int>(local);
+      env.total_offered_gbps += remapped.mean_rate_gbps();
+      env.flows.push_back(std::move(remapped));
+    }
+  }
+  if (env.flows.empty()) {
+    throw std::invalid_argument(format(
+        "scenario: node %d hosts %d chain(s) but receives no flows", node,
+        env.num_chains));
+  }
+  env.num_flows = static_cast<int>(env.flows.size());
+  return env;
 }
 
 std::vector<SchedulerFactory> untrained_roster(const ScenarioSpec&) {
@@ -182,23 +231,21 @@ std::string EvalReport::table() const {
 ExperimentRunner::ExperimentRunner(ScenarioSpec spec)
     : spec_(std::move(spec)) {
   spec_.validate();
+  if (spec_.fleet.enabled) {
+    throw std::invalid_argument(
+        "scenario: '" + spec_.name +
+        "' enables fleet.* dynamics — run it through"
+        " orchestrator::FleetOrchestrator, not ExperimentRunner");
+  }
   if (spec_.num_nodes == 1) {
     node_envs_.push_back(spec_.env_config());
     return;
   }
 
   // --- cluster: place chains, partition the traffic ----------------------
-  const std::vector<traffic::FlowSpec> flows =
-      spec_.flows.empty()
-          ? traffic::make_eval_flows(spec_.num_flows, spec_.num_chains,
-                                     spec_.total_offered_gbps, spec_.seed)
-          : spec_.flows;
-  std::vector<std::vector<std::string>> comps;
-  for (int c = 0; c < spec_.num_chains; ++c) {
-    comps.push_back(spec_.chain_nfs.empty()
-                        ? nfvsim::standard_chain_nfs(c)
-                        : spec_.chain_nfs[static_cast<std::size_t>(c)]);
-  }
+  const std::vector<traffic::FlowSpec> flows = resolved_flows(spec_);
+  const std::vector<std::vector<std::string>> comps =
+      resolved_chain_nfs(spec_);
 
   std::vector<cluster::ChainDemand> demands;
   for (int c = 0; c < spec_.num_chains; ++c) {
@@ -227,31 +274,8 @@ ExperimentRunner::ExperimentRunner(ScenarioSpec spec)
       ++idle_nodes_;
       continue;
     }
-
-    core::EnvConfig env = spec_.env_config();
-    env.num_chains = static_cast<int>(local_chains.size());
-    env.chain_nfs.clear();
-    for (const int c : local_chains)
-      env.chain_nfs.push_back(comps[static_cast<std::size_t>(c)]);
-    env.flows.clear();
-    env.total_offered_gbps = 0.0;
-    for (const auto& flow : flows) {
-      for (std::size_t local = 0; local < local_chains.size(); ++local) {
-        if (flow.chain_index != local_chains[local]) continue;
-        traffic::FlowSpec remapped = flow;
-        remapped.id = static_cast<int>(env.flows.size());
-        remapped.chain_index = static_cast<int>(local);
-        env.total_offered_gbps += remapped.mean_rate_gbps();
-        env.flows.push_back(std::move(remapped));
-      }
-    }
-    if (env.flows.empty()) {
-      throw std::invalid_argument(format(
-          "scenario: node %d hosts %d chain(s) but receives no flows", n,
-          env.num_chains));
-    }
-    env.num_flows = static_cast<int>(env.flows.size());
-    node_envs_.push_back(std::move(env));
+    node_envs_.push_back(
+        partition_node_env(spec_, comps, flows, local_chains, n));
   }
 }
 
@@ -275,7 +299,7 @@ ModelReport ExperimentRunner::run_model(const SchedulerFactory& entry,
     // same warmup, same loop -> same numbers).
     report.result = core::evaluate_scheduler(
         node_envs_[0], *by_shape[node_envs_[0].num_chains],
-        spec_.eval_windows, eval_seed(spec_, 0), entry.warmup, &local, "");
+        spec_.eval_windows, node_eval_seed(spec_, 0), entry.warmup, &local, "");
     report.result.scheduler = entry.name;
     copy_series(local, recorder, report.prefix);
     return report;
@@ -288,7 +312,7 @@ ModelReport ExperimentRunner::run_model(const SchedulerFactory& entry,
     const core::EnvConfig& env = node_envs_[n];
     node_results.push_back(core::evaluate_scheduler(
         env, *by_shape[env.num_chains], spec_.eval_windows,
-        eval_seed(spec_, n), entry.warmup, &local, format("node%zu_", n)));
+        node_eval_seed(spec_, n), entry.warmup, &local, format("node%zu_", n)));
   }
 
   const double idle_energy_j =

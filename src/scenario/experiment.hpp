@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -55,6 +56,35 @@ struct SchedulerFactory {
 /// The telemetry prefix a model's per-window series are recorded under
 /// ("GreenNFV(MaxT)" -> "greennfv_maxt_").
 [[nodiscard]] std::string series_prefix(const std::string& model_name);
+
+// --- deployment plumbing shared with orchestrator::FleetOrchestrator -------
+
+/// Fig. 9's evaluation-seed discipline: the seed a node's evaluation
+/// environment is built from (base + eval offset + per-node stride, so
+/// cluster nodes run independent traffic realizations).
+[[nodiscard]] std::uint64_t node_eval_seed(const ScenarioSpec& spec,
+                                           std::size_t node);
+
+/// The scenario's resolved flow list: explicit `flows`, or the §5 workload
+/// generator over num_flows/total_offered_gbps at the scenario seed (the
+/// form the cluster partition consumes).
+[[nodiscard]] std::vector<traffic::FlowSpec> resolved_flows(
+    const ScenarioSpec& spec);
+
+/// The scenario's resolved per-chain NF compositions (explicit chain_nfs,
+/// or the standard heterogeneous rotation).
+[[nodiscard]] std::vector<std::vector<std::string>> resolved_chain_nfs(
+    const ScenarioSpec& spec);
+
+/// Builds the evaluation EnvConfig of one node hosting `local_chains`
+/// (indices into `comps`; flows are matched by FlowSpec::chain_index and
+/// remapped to node-local chain indices in flow-list order). Throws
+/// std::invalid_argument when the node would host chains without traffic.
+[[nodiscard]] core::EnvConfig partition_node_env(
+    const ScenarioSpec& spec,
+    const std::vector<std::vector<std::string>>& comps,
+    const std::vector<traffic::FlowSpec>& flows,
+    const std::vector<int>& local_chains, int node);
 
 struct ModelReport {
   core::EvalResult result;

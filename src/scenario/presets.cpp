@@ -126,10 +126,39 @@ ScenarioSpec ci_smoke() {
   return spec;
 }
 
+ScenarioSpec fleet_smoke() {
+  ScenarioSpec spec;
+  spec.name = "fleet-smoke";
+  spec.description =
+      "Tiny dynamic fleet: 3 nodes, online chain arrivals/departures,"
+      " consolidation migrations, power gating — seconds, not minutes";
+  spec.num_nodes = 3;
+  spec.num_chains = 3;
+  spec.num_flows = 6;
+  spec.total_offered_gbps = 9.0;
+  spec.window_s = 2.0;
+  spec.sub_windows = 2;
+  spec.steps_per_episode = 4;
+  spec.eval_windows = 3;
+  spec.episodes = 6;
+  spec.q_episodes = 6;
+  spec.candidates = 1;
+  spec.fleet.enabled = true;
+  spec.fleet.horizon_windows = 10;
+  spec.fleet.arrival_rate = 0.7;
+  spec.fleet.mean_holding_windows = 5.0;
+  spec.fleet.flows_per_chain = 2;
+  spec.fleet.chain_offered_gbps = 3.0;
+  spec.fleet.policy = "consolidate";
+  spec.fleet.sleep_after_windows = 1;
+  return spec;
+}
+
 const std::vector<ScenarioSpec>& registry() {
   static const std::vector<ScenarioSpec> presets = {
       paper_default(), overload(),  diurnal(),  flash_crowd(),
       heterogeneous_cluster(),      tcp_heavy(), ci_smoke(),
+      fleet_smoke(),
   };
   return presets;
 }

@@ -1,5 +1,6 @@
 #include "scenario/scenario_spec.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -81,9 +82,11 @@ cluster::PlacementPolicy placement_from_string(const std::string& name) {
     return cluster::PlacementPolicy::kLeastLoaded;
   if (name == "first-fit-decreasing" || name == "ffd")
     return cluster::PlacementPolicy::kFirstFitDecreasing;
+  if (name == "energy-bestfit" || name == "bestfit")
+    return cluster::PlacementPolicy::kEnergyBestFit;
   throw std::invalid_argument(
       "scenario: unknown placement '" + name +
-      "' (expected least-loaded|first-fit-decreasing)");
+      "' (expected least-loaded|first-fit-decreasing|energy-bestfit)");
 }
 
 std::string flow_to_text(const traffic::FlowSpec& flow) {
@@ -123,6 +126,12 @@ traffic::FlowSpec flow_from_text(const std::string& text, int id) {
   if (fields.size() > 6)
     flow.dwell_s = parse_double(fields[6], "flow dwell_s");
   return flow;
+}
+
+const std::vector<std::string>& FleetSpec::policy_names() {
+  static const std::vector<std::string> names = {
+      "first-fit", "least-loaded", "energy-bestfit", "consolidate"};
+  return names;
 }
 
 core::Sla ScenarioSpec::sla() const { return sla(sla_kind); }
@@ -184,6 +193,34 @@ void ScenarioSpec::apply(const Config& config) {
       config.get_double("node_line_rate_gbps", node.line_rate_gbps);
   node.p_idle_w = config.get_double("node_p_idle_w", node.p_idle_w);
   node.p_max_w = config.get_double("node_p_max_w", node.p_max_w);
+  node.p_sleep_w = config.get_double("node_p_sleep_w", node.p_sleep_w);
+  node.wake_latency_s =
+      config.get_double("node_wake_latency_s", node.wake_latency_s);
+
+  // --- fleet (dynamic multi-node simulation) -------------------------------
+  fleet.enabled = config.get_bool("fleet.enabled", fleet.enabled);
+  fleet.horizon_windows = static_cast<int>(
+      config.get_int("fleet.horizon", fleet.horizon_windows));
+  fleet.arrival_rate =
+      config.get_double("fleet.arrival_rate", fleet.arrival_rate);
+  fleet.mean_holding_windows =
+      config.get_double("fleet.mean_holding", fleet.mean_holding_windows);
+  fleet.flows_per_chain = static_cast<int>(
+      config.get_int("fleet.flows_per_chain", fleet.flows_per_chain));
+  fleet.chain_offered_gbps =
+      config.get_double("fleet.chain_gbps", fleet.chain_offered_gbps);
+  fleet.policy = config.get_string("fleet.policy", fleet.policy);
+  fleet.migration = config.get_bool("fleet.migration", fleet.migration);
+  fleet.migration_downtime_s = config.get_double(
+      "fleet.migration_downtime_s", fleet.migration_downtime_s);
+  fleet.migration_energy_j = config.get_double("fleet.migration_energy_j",
+                                               fleet.migration_energy_j);
+  fleet.consolidate_below =
+      config.get_double("fleet.consolidate_below", fleet.consolidate_below);
+  fleet.power_gating =
+      config.get_bool("fleet.power_gating", fleet.power_gating);
+  fleet.sleep_after_windows = static_cast<int>(
+      config.get_int("fleet.sleep_after", fleet.sleep_after_windows));
 
   // Scalar counts first: an explicit count without indexed entries reverts
   // the family to its generated/standard form.
@@ -284,6 +321,26 @@ std::string ScenarioSpec::to_text() const {
   out << "node_line_rate_gbps=" << fmt_double(node.line_rate_gbps) << "\n";
   out << "node_p_idle_w=" << fmt_double(node.p_idle_w) << "\n";
   out << "node_p_max_w=" << fmt_double(node.p_max_w) << "\n";
+  out << "node_p_sleep_w=" << fmt_double(node.p_sleep_w) << "\n";
+  out << "node_wake_latency_s=" << fmt_double(node.wake_latency_s) << "\n";
+  out << "fleet.enabled=" << (fleet.enabled ? 1 : 0) << "\n";
+  out << "fleet.horizon=" << fleet.horizon_windows << "\n";
+  out << "fleet.arrival_rate=" << fmt_double(fleet.arrival_rate) << "\n";
+  out << "fleet.mean_holding=" << fmt_double(fleet.mean_holding_windows)
+      << "\n";
+  out << "fleet.flows_per_chain=" << fleet.flows_per_chain << "\n";
+  out << "fleet.chain_gbps=" << fmt_double(fleet.chain_offered_gbps)
+      << "\n";
+  out << "fleet.policy=" << fleet.policy << "\n";
+  out << "fleet.migration=" << (fleet.migration ? 1 : 0) << "\n";
+  out << "fleet.migration_downtime_s="
+      << fmt_double(fleet.migration_downtime_s) << "\n";
+  out << "fleet.migration_energy_j=" << fmt_double(fleet.migration_energy_j)
+      << "\n";
+  out << "fleet.consolidate_below=" << fmt_double(fleet.consolidate_below)
+      << "\n";
+  out << "fleet.power_gating=" << (fleet.power_gating ? 1 : 0) << "\n";
+  out << "fleet.sleep_after=" << fleet.sleep_after_windows << "\n";
   out << "chains=" << num_chains << "\n";
   for (std::size_t c = 0; c < chain_nfs.size(); ++c) {
     out << "chain" << c << "=";
@@ -415,9 +472,56 @@ void ScenarioSpec::validate() const {
       throughput_floor_gbps <= 0.0)
     throw std::invalid_argument(
         "scenario: throughput_floor must be positive for the mine SLA");
-  if (num_nodes > 1 && num_chains < num_nodes)
+  if (num_nodes > 1 && num_chains < num_nodes && !fleet.enabled)
     throw std::invalid_argument(
         "scenario: cluster runs need at least one chain per node");
+
+  // --- fleet block ---------------------------------------------------------
+  if (node.p_sleep_w < 0.0)
+    throw std::invalid_argument("scenario: node_p_sleep_w must be >= 0");
+  // Sleep draw above idle draw only matters (and only makes gating
+  // nonsensical) when the orchestrator actually gates nodes — a plain
+  // scenario with a tiny node_p_idle_w must stay valid as before.
+  if (fleet.enabled && node.p_sleep_w > node.p_idle_w)
+    throw std::invalid_argument(
+        "scenario: node_p_sleep_w must be <= node_p_idle_w for fleet runs");
+  if (node.wake_latency_s < 0.0)
+    throw std::invalid_argument(
+        "scenario: node_wake_latency_s must be >= 0");
+  const auto& policies = FleetSpec::policy_names();
+  if (std::find(policies.begin(), policies.end(), fleet.policy) ==
+      policies.end()) {
+    std::string known;
+    for (const auto& name : policies) {
+      if (!known.empty()) known += "|";
+      known += name;
+    }
+    throw std::invalid_argument("scenario: unknown fleet.policy '" +
+                                fleet.policy + "' (expected " + known + ")");
+  }
+  if (fleet.horizon_windows < 0)
+    throw std::invalid_argument("scenario: fleet.horizon must be >= 0");
+  if (fleet.arrival_rate < 0.0)
+    throw std::invalid_argument(
+        "scenario: fleet.arrival_rate must be >= 0");
+  if (fleet.mean_holding_windows <= 0.0)
+    throw std::invalid_argument(
+        "scenario: fleet.mean_holding must be positive");
+  if (fleet.flows_per_chain < 1)
+    throw std::invalid_argument(
+        "scenario: fleet.flows_per_chain must be >= 1");
+  if (fleet.chain_offered_gbps <= 0.0)
+    throw std::invalid_argument(
+        "scenario: fleet.chain_gbps must be positive");
+  if (fleet.migration_downtime_s < 0.0 || fleet.migration_energy_j < 0.0)
+    throw std::invalid_argument(
+        "scenario: fleet migration costs must be >= 0");
+  if (fleet.consolidate_below < 0.0 || fleet.consolidate_below > 1.0)
+    throw std::invalid_argument(
+        "scenario: fleet.consolidate_below must be in [0, 1]");
+  if (fleet.sleep_after_windows < 1)
+    throw std::invalid_argument(
+        "scenario: fleet.sleep_after must be >= 1");
 }
 
 const std::vector<std::string>& ScenarioSpec::known_keys() {
@@ -427,7 +531,15 @@ const std::vector<std::string>& ScenarioSpec::known_keys() {
       "placement",      "node_cores",
       "node_fmin_ghz",  "node_fmax_ghz",
       "node_line_rate_gbps", "node_p_idle_w",
-      "node_p_max_w",   "chains",
+      "node_p_max_w",   "node_p_sleep_w",
+      "node_wake_latency_s",
+      "fleet.enabled",  "fleet.horizon",
+      "fleet.arrival_rate", "fleet.mean_holding",
+      "fleet.flows_per_chain", "fleet.chain_gbps",
+      "fleet.policy",   "fleet.migration",
+      "fleet.migration_downtime_s", "fleet.migration_energy_j",
+      "fleet.consolidate_below", "fleet.power_gating",
+      "fleet.sleep_after", "chains",
       "flows",          "offered_gbps",
       "profile",        "profile_period_s",
       "profile_amplitude", "profile_surge_start_s",

@@ -21,6 +21,47 @@
 
 namespace greennfv::scenario {
 
+/// Dynamic-fleet block of a scenario (the `fleet.*` key family): online
+/// chain arrivals/departures, the placement/consolidation policy, the
+/// migration cost model, and node power gating. Consumed by
+/// `orchestrator::FleetOrchestrator`; a spec with `enabled == false` runs
+/// the static `ExperimentRunner` path untouched.
+struct FleetSpec {
+  bool enabled = false;  ///< fleet.enabled
+  /// Simulated (measured) windows. 0 -> the scenario's eval_windows.
+  int horizon_windows = 0;  ///< fleet.horizon
+  /// Mean chain arrivals per window (Poisson, modulated by the scenario's
+  /// RateProfile envelope — the fleet-level load shape). 0 freezes the
+  /// fleet: no arrivals and no departures, the static degeneration case.
+  double arrival_rate = 0.0;  ///< fleet.arrival_rate
+  /// Mean chain holding time in windows (exponential, min one window).
+  double mean_holding_windows = 20.0;  ///< fleet.mean_holding
+  /// Traffic carried by each arriving chain.
+  int flows_per_chain = 2;        ///< fleet.flows_per_chain
+  double chain_offered_gbps = 4.0;  ///< fleet.chain_gbps
+  /// Online placement policy (orchestrator registry name): first-fit,
+  /// least-loaded, energy-bestfit, consolidate.
+  std::string policy = "least-loaded";  ///< fleet.policy
+  /// Master switch for consolidation migrations (the consolidate policy
+  /// proposes them; this gate applies them).
+  bool migration = true;  ///< fleet.migration
+  /// Per migrated chain: downtime charged against its traffic/SLA, and
+  /// the state-transfer energy added to the fleet bill.
+  double migration_downtime_s = 0.5;  ///< fleet.migration_downtime_s
+  double migration_energy_j = 25.0;   ///< fleet.migration_energy_j
+  /// Consolidation trigger: drain a node whose core utilization sits
+  /// below this fraction (when its chains fit elsewhere).
+  double consolidate_below = 0.35;  ///< fleet.consolidate_below
+  /// Power gating: an idle node falls asleep after this many consecutive
+  /// empty windows (p_sleep_w draw; waking costs node wake_latency_s).
+  bool power_gating = true;   ///< fleet.power_gating
+  int sleep_after_windows = 2;  ///< fleet.sleep_after
+
+  /// The policy names the orchestrator registry accepts (validated here so
+  /// a typo'd fleet.policy fails at expansion, before anything runs).
+  [[nodiscard]] static const std::vector<std::string>& policy_names();
+};
+
 struct ScenarioSpec {
   std::string name = "custom";
   /// Human-readable one-liner (preset listings only; not serialized).
@@ -33,6 +74,9 @@ struct ScenarioSpec {
   int num_nodes = 1;
   cluster::PlacementPolicy placement = cluster::PlacementPolicy::kLeastLoaded;
   hwmodel::NodeSpec node;
+  /// Dynamic-fleet simulation (arrivals, migration, power gating). Off by
+  /// default — every pre-fleet scenario is bit-identical to before.
+  FleetSpec fleet;
 
   // --- chain topology ------------------------------------------------------
   int num_chains = 3;

@@ -80,6 +80,38 @@ void Ewma::reset() {
   primed_ = false;
 }
 
+void CountHistogram::add(std::size_t bin, std::size_t weight) {
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0);
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+std::size_t CountHistogram::count(std::size_t bin) const {
+  return bin < counts_.size() ? counts_[bin] : 0;
+}
+
+std::vector<double> CountHistogram::fractions() const {
+  std::vector<double> fractions(counts_.size(), 0.0);
+  if (total_ == 0) return fractions;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    fractions[i] = static_cast<double>(counts_[i]) /
+                   static_cast<double>(total_);
+  return fractions;
+}
+
+double CountHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    weighted += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  return weighted / static_cast<double>(total_);
+}
+
+void CountHistogram::reset() {
+  counts_.clear();
+  total_ = 0;
+}
+
 double quantile(std::vector<double> samples, double q) {
   GNFV_REQUIRE(!samples.empty(), "quantile: empty sample set");
   GNFV_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");

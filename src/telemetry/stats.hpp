@@ -55,4 +55,29 @@ class Ewma {
 /// `q` in [0,1]. The input is copied and sorted.
 [[nodiscard]] double quantile(std::vector<double> samples, double q);
 
+/// Histogram over small non-negative integer bins (node-occupancy counts:
+/// how many node-windows hosted k chains). Grows on demand.
+class CountHistogram {
+ public:
+  void add(std::size_t bin, std::size_t weight = 1);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Count in one bin (0 beyond the populated range).
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  /// All populated bins, index = bin value.
+  [[nodiscard]] const std::vector<std::size_t>& counts() const {
+    return counts_;
+  }
+  /// counts()/total() — empty when nothing was added.
+  [[nodiscard]] std::vector<double> fractions() const;
+  /// Weighted mean bin value (0 when empty).
+  [[nodiscard]] double mean() const;
+
+  void reset();
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
 }  // namespace greennfv::telemetry

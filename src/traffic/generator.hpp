@@ -66,6 +66,14 @@ class TrafficGenerator {
   /// recorded t for all of them).
   void anchor_rate_profile() { profile_t0_s_ = time_s_; }
 
+  /// Declares that the envelope clock currently reads `profile_time_s`
+  /// (instead of 0): a node environment rebuilt mid-experiment keeps
+  /// tracking the workload's absolute load shape — the fleet orchestrator
+  /// re-phases rebuilt nodes onto fleet time with this.
+  void anchor_rate_profile(double profile_time_s) {
+    profile_t0_s_ = time_s_ - profile_time_s;
+  }
+
  private:
   std::vector<FlowSpec> flows_;
   RateProfile profile_;

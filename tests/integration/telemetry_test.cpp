@@ -67,6 +67,34 @@ TEST(Quantile, OrderStatistics) {
   EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
 }
 
+TEST(CountHistogram, CountsFractionsAndMean) {
+  telemetry::CountHistogram hist;
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_TRUE(hist.fractions().empty());
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+
+  hist.add(0);
+  hist.add(2);
+  hist.add(2);
+  hist.add(4, /*weight=*/2);
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 0u);
+  EXPECT_EQ(hist.count(2), 2u);
+  EXPECT_EQ(hist.count(4), 2u);
+  EXPECT_EQ(hist.count(99), 0u);  // beyond the populated range
+  const auto fractions = hist.fractions();
+  ASSERT_EQ(fractions.size(), 5u);
+  EXPECT_DOUBLE_EQ(fractions[2], 0.4);
+  EXPECT_DOUBLE_EQ(fractions[4], 0.4);
+  // (0*1 + 2*2 + 4*2) / 5
+  EXPECT_DOUBLE_EQ(hist.mean(), 2.4);
+
+  hist.reset();
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_TRUE(hist.counts().empty());
+}
+
 TEST(Recorder, RecordAndSummarize) {
   Recorder recorder;
   recorder.record("gbps", 0.0, 2.0);

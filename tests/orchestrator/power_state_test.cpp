@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "orchestrator/power_state.hpp"
+
+/// Node power-state machine contract: Active/Idle/Asleep transitions, the
+/// sleep_after threshold, standby power accounting (idle vs sleep draw),
+/// and the wake charge (latency billed to the SLA, boot energy billed to
+/// the fleet) when a placement lands on a gated node.
+
+namespace greennfv::orchestrator {
+namespace {
+
+PowerStateConfig config() {
+  PowerStateConfig cfg;
+  cfg.p_idle_w = 60.0;
+  cfg.p_sleep_w = 8.0;
+  cfg.wake_latency_s = 3.0;
+  cfg.sleep_after_windows = 2;
+  cfg.gating = true;
+  return cfg;
+}
+
+TEST(PowerState, GatesAfterTheIdleThreshold) {
+  NodePowerStateMachine psm(config());
+  EXPECT_EQ(psm.state(), NodePowerState::kIdle);
+  // Two empty windows idle at p_idle, gating at the second window's edge.
+  EXPECT_DOUBLE_EQ(psm.advance(false, 10.0), 600.0);
+  EXPECT_EQ(psm.state(), NodePowerState::kIdle);
+  EXPECT_DOUBLE_EQ(psm.advance(false, 10.0), 600.0);
+  EXPECT_EQ(psm.state(), NodePowerState::kAsleep);
+  // From the third empty window on the node draws sleep power.
+  EXPECT_DOUBLE_EQ(psm.advance(false, 10.0), 80.0);
+  EXPECT_EQ(psm.state(), NodePowerState::kAsleep);
+}
+
+TEST(PowerState, OccupancyResetsTheIdleCounter) {
+  NodePowerStateMachine psm(config());
+  (void)psm.advance(false, 10.0);
+  // A hosted window in between: the idle streak starts over.
+  EXPECT_DOUBLE_EQ(psm.advance(true, 10.0), 0.0);
+  EXPECT_EQ(psm.state(), NodePowerState::kActive);
+  (void)psm.advance(false, 10.0);
+  EXPECT_EQ(psm.state(), NodePowerState::kIdle);  // 1 < sleep_after
+  (void)psm.advance(false, 10.0);
+  EXPECT_EQ(psm.state(), NodePowerState::kAsleep);
+}
+
+TEST(PowerState, WakeChargesLatencyAndBootEnergy) {
+  NodePowerStateMachine psm(config());
+  (void)psm.advance(false, 10.0);
+  (void)psm.advance(false, 10.0);
+  ASSERT_TRUE(psm.asleep());
+  const auto charge = psm.activate();
+  EXPECT_TRUE(charge.woke);
+  EXPECT_DOUBLE_EQ(charge.downtime_s, 3.0);  // wake_latency_s
+  EXPECT_DOUBLE_EQ(charge.energy_j, 180.0);  // p_idle_w * latency
+  EXPECT_EQ(psm.state(), NodePowerState::kActive);
+}
+
+TEST(PowerState, ActivatingAnAwakeNodeIsFree) {
+  NodePowerStateMachine psm(config());
+  const auto idle_charge = psm.activate();
+  EXPECT_FALSE(idle_charge.woke);
+  EXPECT_DOUBLE_EQ(idle_charge.downtime_s, 0.0);
+  EXPECT_DOUBLE_EQ(idle_charge.energy_j, 0.0);
+  (void)psm.advance(true, 10.0);
+  const auto active_charge = psm.activate();
+  EXPECT_FALSE(active_charge.woke);
+}
+
+TEST(PowerState, GatingOffNeverSleeps) {
+  PowerStateConfig cfg = config();
+  cfg.gating = false;
+  NodePowerStateMachine psm(cfg);
+  for (int w = 0; w < 10; ++w) {
+    EXPECT_DOUBLE_EQ(psm.advance(false, 10.0), 600.0);  // always idle draw
+    EXPECT_EQ(psm.state(), NodePowerState::kIdle);
+  }
+}
+
+}  // namespace
+}  // namespace greennfv::orchestrator

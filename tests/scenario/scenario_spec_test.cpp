@@ -193,5 +193,96 @@ TEST(ScenarioSpecApply, RejectsIndexGapsInChainAndFlowFamilies) {
       std::invalid_argument);
 }
 
+// --- the fleet.* key family --------------------------------------------------
+
+TEST(FleetSpec, KeysApplySerializeAndRoundTrip) {
+  ScenarioSpec spec;
+  spec.apply(Config::from_string(
+      "fleet.enabled=1 fleet.horizon=24 fleet.arrival_rate=0.8"
+      " fleet.mean_holding=12 fleet.flows_per_chain=3 fleet.chain_gbps=5"
+      " fleet.policy=consolidate fleet.migration=0"
+      " fleet.migration_downtime_s=0.25 fleet.migration_energy_j=40"
+      " fleet.consolidate_below=0.5 fleet.power_gating=0"
+      " fleet.sleep_after=4 node_p_sleep_w=5 node_wake_latency_s=2"));
+  EXPECT_TRUE(spec.fleet.enabled);
+  EXPECT_EQ(spec.fleet.horizon_windows, 24);
+  EXPECT_DOUBLE_EQ(spec.fleet.arrival_rate, 0.8);
+  EXPECT_DOUBLE_EQ(spec.fleet.mean_holding_windows, 12.0);
+  EXPECT_EQ(spec.fleet.flows_per_chain, 3);
+  EXPECT_DOUBLE_EQ(spec.fleet.chain_offered_gbps, 5.0);
+  EXPECT_EQ(spec.fleet.policy, "consolidate");
+  EXPECT_FALSE(spec.fleet.migration);
+  EXPECT_DOUBLE_EQ(spec.fleet.migration_downtime_s, 0.25);
+  EXPECT_DOUBLE_EQ(spec.fleet.migration_energy_j, 40.0);
+  EXPECT_DOUBLE_EQ(spec.fleet.consolidate_below, 0.5);
+  EXPECT_FALSE(spec.fleet.power_gating);
+  EXPECT_EQ(spec.fleet.sleep_after_windows, 4);
+  EXPECT_DOUBLE_EQ(spec.node.p_sleep_w, 5.0);
+  EXPECT_DOUBLE_EQ(spec.node.wake_latency_s, 2.0);
+  EXPECT_NO_THROW(spec.validate());
+
+  // Lossless round trip through the serialized form.
+  ScenarioSpec reparsed;
+  reparsed.apply(Config::from_string(spec.to_text()));
+  EXPECT_EQ(reparsed.to_text(), spec.to_text());
+}
+
+TEST(FleetSpec, ValidationNamesTheOffendingField) {
+  const auto rejects = [](const std::string& overrides) {
+    ScenarioSpec spec;
+    spec.apply(Config::from_string(overrides));
+    EXPECT_THROW(spec.validate(), std::invalid_argument) << overrides;
+  };
+  rejects("fleet.policy=round-robin");
+  rejects("fleet.horizon=-1");
+  rejects("fleet.arrival_rate=-0.5");
+  rejects("fleet.mean_holding=0");
+  rejects("fleet.flows_per_chain=0");
+  rejects("fleet.chain_gbps=0");
+  rejects("fleet.migration_downtime_s=-1");
+  rejects("fleet.consolidate_below=1.5");
+  rejects("fleet.sleep_after=0");
+  rejects("node_p_sleep_w=-1");
+  rejects("fleet.enabled=1 node_p_sleep_w=100");  // above p_idle_w
+  rejects("node_wake_latency_s=-1");
+}
+
+TEST(FleetSpec, SleepAboveIdleOnlyBindsFleetRuns) {
+  // A pre-fleet scenario with a tiny idle draw (below the new 8 W sleep
+  // default it never asked for) must stay valid — the cross-field check
+  // binds only when the orchestrator actually gates nodes.
+  ScenarioSpec spec;
+  spec.apply(Config::from_string("node_p_idle_w=5"));
+  EXPECT_NO_THROW(spec.validate());
+  spec.fleet.enabled = true;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(FleetSpec, MistypedFleetKeysAreAHardError) {
+  // The fleet.* vocabulary is enumerated in known_keys, so check_known
+  // (the machinery every scenario-driven CLI runs) rejects typos.
+  const Config config = Config::from_string("fleet.polcy=consolidate");
+  EXPECT_THROW(config.check_known(ScenarioSpec::known_keys(),
+                                  ScenarioSpec::known_prefixes()),
+               std::invalid_argument);
+  const std::string path = "/tmp/gnfv_fleet_typo.scenario";
+  std::ofstream out(path);
+  out << "fleet.arival_rate=1\n";
+  out.close();
+  EXPECT_THROW((void)ScenarioSpec::load(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(FleetSpec, ClusterChainFloorIsRelaxedForDynamicFleets) {
+  // Static cluster runs need a chain per node; a dynamic fleet may start
+  // smaller and fill up through arrivals.
+  ScenarioSpec spec;
+  spec.num_nodes = 4;
+  spec.num_chains = 2;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.fleet.enabled = true;
+  EXPECT_NO_THROW(spec.validate());
+}
+
 }  // namespace
 }  // namespace greennfv::scenario

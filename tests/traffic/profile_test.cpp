@@ -125,6 +125,30 @@ TEST(TrafficGenerator, AnchorRealignsEnvelopeClockToMeasurementStart) {
   EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 2e6);
 }
 
+TEST(TrafficGenerator, PhasedAnchorJoinsAnExperimentMidway) {
+  FlowSpec flow;
+  flow.mean_rate_pps = 1e6;
+  flow.arrival = ArrivalKind::kCbr;
+
+  RateProfile crowd;
+  crowd.kind = RateProfile::Kind::kFlashCrowd;
+  crowd.surge_start_s = 10.0;
+  crowd.surge_duration_s = 5.0;
+  crowd.surge_factor = 2.0;
+
+  // A freshly built generator (a fleet node rebuilt mid-run) whose
+  // envelope clock is declared to read 11 s: its very first window sits
+  // inside the surge — it joined the absolute load shape, not a private
+  // restart of it.
+  TrafficGenerator generator({flow}, 7);
+  generator.set_rate_profile(crowd);
+  generator.anchor_rate_profile(11.0);
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 2e6);  // t=11.5
+  for (int i = 0; i < 3; ++i) (void)generator.next_window(1.0);
+  // ...and leaves the surge when the experiment does (t=15.5).
+  EXPECT_DOUBLE_EQ(generator.next_window(1.0).total_pps, 1e6);
+}
+
 TEST(TrafficGenerator, SetRateProfileValidates) {
   TrafficGenerator generator({FlowSpec{}}, 7);
   RateProfile bad;
