@@ -1,0 +1,218 @@
+#include "orchestrator/timeline_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/string_util.hpp"
+
+namespace greennfv::orchestrator {
+
+MembershipReplay::MembershipReplay(const FleetTimeline& timeline,
+                                   int num_nodes)
+    : timeline_(&timeline),
+      members_(static_cast<std::size_t>(num_nodes)),
+      chain_node_(timeline.chains.size(), -1) {
+  GNFV_REQUIRE(num_nodes > 0, "MembershipReplay: num_nodes must be > 0");
+}
+
+void MembershipReplay::move_chain(int chain, int to) {
+  auto& node = chain_node_[static_cast<std::size_t>(chain)];
+  if (node >= 0) {
+    auto& hosted = members_[static_cast<std::size_t>(node)];
+    hosted.erase(std::find(hosted.begin(), hosted.end(), chain));
+    dirty_.push_back(node);
+    if (hosted.empty()) {
+      occupied_.erase(
+          std::lower_bound(occupied_.begin(), occupied_.end(), node));
+    }
+  }
+  node = to;
+  if (to >= 0) {
+    auto& hosted = members_[static_cast<std::size_t>(to)];
+    if (hosted.empty()) {
+      occupied_.insert(
+          std::lower_bound(occupied_.begin(), occupied_.end(), to), to);
+    }
+    hosted.push_back(chain);
+    dirty_.push_back(to);
+  }
+}
+
+const std::vector<int>& MembershipReplay::advance() {
+  GNFV_REQUIRE(
+      cursor_ < static_cast<int>(timeline_->windows.size()),
+      "MembershipReplay::advance: past the end of the timeline");
+  const auto& win = timeline_->windows[static_cast<std::size_t>(cursor_)];
+  ++cursor_;
+  dirty_.clear();
+  // Builder order: departures leave at window start, arrivals land on
+  // their recorded first_node, then consolidation migrations move chains.
+  for (int chain : win.departures) move_chain(chain, -1);
+  for (int chain : win.arrivals) {
+    move_chain(chain,
+               timeline_->chains[static_cast<std::size_t>(chain)].first_node);
+  }
+  for (const auto& mig : win.migrations) move_chain(mig.chain, mig.to);
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  // End-of-window discipline: perturbed hosted lists are kept sorted, so
+  // every window starts (and serializes) with sorted membership.
+  for (int node : dirty_)
+    std::sort(members_[static_cast<std::size_t>(node)].begin(),
+              members_[static_cast<std::size_t>(node)].end());
+  return dirty_;
+}
+
+std::string double_bits(double value) {
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, &value, sizeof raw);
+  return format("%.17g/%016llx", value,
+                static_cast<unsigned long long>(raw));
+}
+
+namespace {
+
+std::string join_ints(const std::vector<int>& ids) {
+  std::string text;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) text += ',';
+    text += std::to_string(ids[i]);
+  }
+  return text;
+}
+
+void append_chain(std::string& text, const ChainInstance& chain) {
+  std::string nfs;
+  for (std::size_t i = 0; i < chain.nfs.size(); ++i) {
+    if (i) nfs += '+';
+    nfs += chain.nfs[i];
+  }
+  text += format("chain %d: nfs=%s cores=%s arrival=%d departure=%d"
+                 " first_node=%d offered_gbps=%s offered_pps=%s\n",
+                 chain.id, nfs.c_str(), double_bits(chain.cores).c_str(),
+                 chain.arrival_window, chain.departure_window,
+                 chain.first_node, double_bits(chain.offered_gbps).c_str(),
+                 double_bits(chain.offered_pps).c_str());
+  for (const auto& flow : chain.flows) {
+    text += format(
+        "  flow %d: proto=%d arrival=%d rate_pps=%s pkt=%u p2m=%s"
+        " dwell=%s chain_index=%d\n",
+        flow.id, static_cast<int>(flow.proto),
+        static_cast<int>(flow.arrival),
+        double_bits(flow.mean_rate_pps).c_str(), flow.pkt_bytes,
+        double_bits(flow.peak_to_mean).c_str(),
+        double_bits(flow.dwell_s).c_str(), flow.chain_index);
+  }
+}
+
+}  // namespace
+
+std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
+  std::string text = "# greennfv fleet timeline v1\n";
+  text += format("nodes=%d windows=%d chains=%d flows=%d\n", num_nodes,
+                 static_cast<int>(timeline.windows.size()),
+                 static_cast<int>(timeline.chains.size()),
+                 static_cast<int>(timeline.flows.size()));
+  text += format("arrivals=%d departures=%d rejected=%d migrations=%d"
+                 " wakeups=%d\n",
+                 timeline.arrivals, timeline.departures, timeline.rejected,
+                 timeline.migrations, timeline.wakeups);
+  text += format("standby_energy_j=%s\n",
+                 double_bits(timeline.standby_energy_j).c_str());
+  text += format("wake_energy_j=%s\n",
+                 double_bits(timeline.wake_energy_j).c_str());
+  text += format("migration_energy_j=%s\n",
+                 double_bits(timeline.migration_energy_j).c_str());
+  text += format("downtime_s=%s\n", double_bits(timeline.downtime_s).c_str());
+  text += format("occupancy_total=%llu counts=",
+                 static_cast<unsigned long long>(timeline.occupancy.total()));
+  const auto& counts = timeline.occupancy.counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i) text += ',';
+    text += std::to_string(counts[i]);
+  }
+  text += '\n';
+  for (const auto& chain : timeline.chains) append_chain(text, chain);
+
+  MembershipReplay replay(timeline, num_nodes);
+  for (std::size_t w = 0; w < timeline.windows.size(); ++w) {
+    const auto& win = timeline.windows[w];
+    replay.advance();
+    text += format(
+        "window %d: rejected=%d active=%d idle=%d asleep=%d live=%d"
+        " standby=%s\n",
+        static_cast<int>(w), win.rejected, win.active_nodes, win.idle_nodes,
+        win.asleep_nodes, win.live_chains,
+        double_bits(win.standby_energy_j).c_str());
+    if (!win.arrivals.empty())
+      text += format("  arrivals=%s\n", join_ints(win.arrivals).c_str());
+    if (!win.departures.empty())
+      text += format("  departures=%s\n", join_ints(win.departures).c_str());
+    for (const auto& mig : win.migrations)
+      text += format("  migration %d: %d->%d\n", mig.chain, mig.from, mig.to);
+    for (const auto& charge : win.charges) {
+      text += format("  charge %d: %s downtime=%s energy=%s\n", charge.chain,
+                     charge.is_migration ? "migration" : "wake",
+                     double_bits(charge.downtime_s).c_str(),
+                     double_bits(charge.energy_j).c_str());
+    }
+    for (int node : replay.occupied()) {
+      text += format("  members %d: %s\n", node,
+                     join_ints(replay.members(node)).c_str());
+    }
+  }
+  return text;
+}
+
+std::string eval_to_text(const FleetReport& report) {
+  std::string text = "# greennfv fleet eval v1\n";
+  text += format("scenario=%s nodes=%d models=%d\n",
+                 report.report.scenario.c_str(), report.report.nodes,
+                 static_cast<int>(report.report.models.size()));
+  text += format("fleet arrivals=%d departures=%d rejected=%d migrations=%d"
+                 " wakeups=%d\n",
+                 report.arrivals, report.departures, report.rejected,
+                 report.migrations, report.wakeups);
+  text += format("fleet standby=%s wake=%s migration=%s\n",
+                 double_bits(report.standby_energy_j).c_str(),
+                 double_bits(report.wake_energy_j).c_str(),
+                 double_bits(report.migration_energy_j).c_str());
+  text += format("fleet mean_active=%s mean_asleep=%s mean_live=%s\n",
+                 double_bits(report.mean_active_nodes).c_str(),
+                 double_bits(report.mean_asleep_nodes).c_str(),
+                 double_bits(report.mean_live_chains).c_str());
+  text += "occupancy_fractions=";
+  for (std::size_t i = 0; i < report.occupancy_fractions.size(); ++i) {
+    if (i) text += ',';
+    text += double_bits(report.occupancy_fractions[i]);
+  }
+  text += '\n';
+  for (const auto& model : report.report.models) {
+    const auto& r = model.result;
+    text += format(
+        "model %s: windows=%d mean_gbps=%s mean_energy_j=%s mean_power_w=%s"
+        " mean_efficiency=%s sla=%s drop=%s\n",
+        r.scheduler.c_str(), r.windows, double_bits(r.mean_gbps).c_str(),
+        double_bits(r.mean_energy_j).c_str(),
+        double_bits(r.mean_power_w).c_str(),
+        double_bits(r.mean_efficiency).c_str(),
+        double_bits(r.sla_satisfaction).c_str(),
+        double_bits(r.drop_fraction).c_str());
+  }
+  auto names = report.report.series.series_names();
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    const auto& series = report.report.series.series(name);
+    text += format("series %s: n=%d\n", name.c_str(),
+                   static_cast<int>(series.size()));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      text += format("  %s %s\n", double_bits(series.times()[i]).c_str(),
+                     double_bits(series.values()[i]).c_str());
+    }
+  }
+  return text;
+}
+
+}  // namespace greennfv::orchestrator

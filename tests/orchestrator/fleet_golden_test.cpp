@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fs_util.hpp"
+#include "common/string_util.hpp"
+#include "orchestrator/fleet.hpp"
+#include "orchestrator/timeline_io.hpp"
+#include "scenario/presets.hpp"
+
+/// Golden equivalence suite. The files under tests/orchestrator/golden/
+/// were captured from the PR 5 window-synchronous fleet engine BEFORE the
+/// discrete-event refactor; every cell here asserts the current engine
+/// reproduces that history bit-for-bit (doubles compared by raw IEEE-754
+/// bit pattern, not rounded text). Regenerate deliberately with
+///   GREENNFV_REGEN_GOLDEN=1 ./build/tests/orchestrator_fleet_golden_test
+/// — only after proving equivalence some other way (the reference-engine
+/// comparison in fleet_determinism_test covers live equivalence).
+
+namespace greennfv {
+namespace {
+
+using orchestrator::FleetOrchestrator;
+using orchestrator::FleetReport;
+using orchestrator::eval_to_text;
+using orchestrator::timeline_to_text;
+
+bool regen() { return std::getenv("GREENNFV_REGEN_GOLDEN") != nullptr; }
+
+std::string golden_path(const std::string& name) {
+  return std::string(GREENNFV_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+/// Compares against the checked-in golden, reporting the first divergent
+/// line (bit-exact text means any engine drift shows up here).
+void expect_matches_golden(const std::string& name, const std::string& text) {
+  const std::string path = golden_path(name);
+  if (regen()) {
+    write_file_atomic(path, text);
+    return;
+  }
+  ASSERT_TRUE(file_exists(path))
+      << "missing golden " << path
+      << " — run with GREENNFV_REGEN_GOLDEN=1 to capture it";
+  const std::string want = read_file(path);
+  if (text == want) return;
+  const auto got_lines = split(text, '\n');
+  const auto want_lines = split(want, '\n');
+  std::size_t line = 0;
+  while (line < got_lines.size() && line < want_lines.size() &&
+         got_lines[line] == want_lines[line]) {
+    ++line;
+  }
+  FAIL() << "golden mismatch for " << name << " at line " << line + 1
+         << "\n  golden: "
+         << (line < want_lines.size() ? want_lines[line] : "<eof>")
+         << "\n  engine: "
+         << (line < got_lines.size() ? got_lines[line] : "<eof>");
+}
+
+struct Cell {
+  std::string name;
+  scenario::ScenarioSpec spec;
+};
+
+/// The pinned cells: the fleet-smoke preset under all four policies, a
+/// churnier 5-node consolidation cell, and a wake-heavy cell that sleeps
+/// aggressively so migrations land on gated nodes.
+std::vector<Cell> timeline_cells() {
+  std::vector<Cell> cells;
+  cells.push_back({"fleet-smoke", scenario::preset("fleet-smoke")});
+  for (const char* policy : {"first-fit", "least-loaded", "energy-bestfit"}) {
+    Cell cell{std::string("fleet-smoke-") + policy,
+              scenario::preset("fleet-smoke")};
+    cell.spec.fleet.policy = policy;
+    cells.push_back(std::move(cell));
+  }
+  {
+    Cell cell{"fleet-churn", scenario::preset("fleet-smoke")};
+    cell.spec.seed = 7;
+    cell.spec.num_nodes = 5;
+    cell.spec.fleet.horizon_windows = 24;
+    cell.spec.fleet.arrival_rate = 1.5;
+    cell.spec.fleet.mean_holding_windows = 4.0;
+    cells.push_back(std::move(cell));
+  }
+  {
+    Cell cell{"fleet-wake", scenario::preset("fleet-smoke")};
+    cell.spec.seed = 3;
+    cell.spec.num_nodes = 4;
+    cell.spec.fleet.horizon_windows = 24;
+    cell.spec.fleet.arrival_rate = 1.6;
+    cell.spec.fleet.mean_holding_windows = 8.0;
+    cell.spec.fleet.consolidate_below = 0.5;
+    cell.spec.fleet.sleep_after_windows = 1;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+TEST(FleetGolden, TimelineMatchesWindowSynchronousEngine) {
+  for (const auto& cell : timeline_cells()) {
+    SCOPED_TRACE(cell.name);
+    FleetOrchestrator orchestrator(cell.spec);
+    expect_matches_golden(
+        "timeline_" + cell.name,
+        timeline_to_text(orchestrator.timeline(), cell.spec.num_nodes));
+  }
+}
+
+TEST(FleetGolden, WakeCellExercisesPowerTransitions) {
+  // Guards the fleet-wake golden against silently degenerating: it must
+  // actually sleep nodes, wake them, and migrate chains.
+  for (const auto& cell : timeline_cells()) {
+    if (cell.name != "fleet-wake") continue;
+    FleetOrchestrator orchestrator(cell.spec);
+    const auto& timeline = orchestrator.timeline();
+    EXPECT_GT(timeline.wakeups, 0);
+    EXPECT_GT(timeline.migrations, 0);
+    EXPECT_GT(timeline.standby_energy_j, 0.0);
+  }
+}
+
+TEST(FleetGolden, EvalMatchesWindowSynchronousEngine) {
+  // Full model evaluation over the pinned history: per-window series for
+  // untrained models, bit-exact. Covers run_model (membership rebuilds,
+  // standby accounting, downtime charges), not just the timeline builder.
+  scenario::ScenarioSpec spec = scenario::preset("fleet-smoke");
+  FleetOrchestrator orchestrator(spec);
+  const FleetReport report = orchestrator.run(scenario::filter_roster(
+      scenario::untrained_roster(spec), "baseline,ee-pstate"));
+  expect_matches_golden("eval_fleet-smoke", eval_to_text(report));
+}
+
+}  // namespace
+}  // namespace greennfv
