@@ -1,0 +1,155 @@
+/// Fleet-engine throughput benchmark: how fast the discrete-event engine
+/// builds a fleet history, in events/sec. The default scale is the
+/// mega-fleet preset (10k nodes, ~1.05M arrivals over 420 windows); the
+/// window-synchronous reference engine is timed on a reduced geometry
+/// (500 nodes, ~50k arrivals — it is O(nodes x windows x roster scans)
+/// and would take hours at mega scale), where the two engines are also
+/// checked bit-identical before any rate is reported. Writes
+/// out/BENCH_fleet.json with events/sec and speedup_vs_reference so the
+/// perf trajectory has a fleet data point PR over PR.
+///
+/// Keys:
+///   smoke=0         1 = CI-sized run: skip the mega build, report
+///                   events/sec from the 500-node comparison geometry
+///   baseline=<path> compare against a checked-in BENCH_fleet.json;
+///                   warns (exit 0) on >warn_pct% speedup regression
+///   warn_pct=30
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "orchestrator/fleet.hpp"
+#include "orchestrator/fleet_reference.hpp"
+#include "orchestrator/timeline_io.hpp"
+
+using namespace greennfv;
+using namespace greennfv::orchestrator;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Discrete events in a built history: every placement attempt, holding
+/// expiry, migration, wake-up, and per-window tick round.
+double events_of(const FleetTimeline& timeline) {
+  return static_cast<double>(timeline.arrivals) + timeline.rejected +
+         timeline.departures + timeline.migrations + timeline.wakeups +
+         static_cast<double>(timeline.windows.size());
+}
+
+double baseline_metric(const std::string& path, const std::string& key) {
+  try {
+    const Json json = Json::parse(read_file(path));
+    if (!json.has(key)) return 0.0;
+    return json.at(key).as_double();
+  } catch (const std::exception& e) {
+    std::printf("[baseline] unreadable (%s)\n", e.what());
+    return 0.0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  if (bench::handle_cli(config, {"smoke", "baseline", "warn_pct"})) return 0;
+  bench::banner("bench_fleet", "discrete-event fleet engine throughput",
+                config);
+  bench::Perf perf("fleet");
+
+  const bool smoke = config.get_bool("smoke", false);
+
+  // Comparison geometry: mega-fleet shape shrunk to where the reference
+  // engine is still timeable (~50k arrivals across 500 nodes).
+  scenario::ScenarioSpec small = scenario::preset("mega-fleet");
+  small.num_nodes = 500;
+  small.fleet.arrival_rate = 120.0;
+
+  // --- event engine vs window-synchronous reference (reduced scale) --------
+  const auto small_start = std::chrono::steady_clock::now();
+  FleetOrchestrator small_engine(small);
+  const double small_s = seconds_since(small_start);
+  const double small_events = events_of(small_engine.timeline());
+
+  const auto ref_start = std::chrono::steady_clock::now();
+  const FleetTimeline reference = build_reference_timeline(small);
+  const double ref_s = seconds_since(ref_start);
+
+  if (timeline_to_text(small_engine.timeline(), small.num_nodes) !=
+      timeline_to_text(reference, small.num_nodes)) {
+    std::fprintf(stderr,
+                 "FATAL: event engine diverged from the reference engine "
+                 "on the comparison geometry — throughput numbers would "
+                 "be meaningless; run the golden/determinism suites\n");
+    return 1;
+  }
+  const double speedup = ref_s / small_s;
+  std::printf("comparison (%d nodes, %.0f events): bit-identical; event "
+              "engine %.2f s vs reference %.2f s  (%.1fx)\n",
+              small.num_nodes, small_events, small_s, ref_s, speedup);
+
+  // --- headline scale -------------------------------------------------------
+  double wall_s = small_s;
+  double events = small_events;
+  scenario::ScenarioSpec spec = small;
+  if (!smoke) {
+    spec = scenario::preset("mega-fleet");
+    const auto start = std::chrono::steady_clock::now();
+    const FleetOrchestrator engine(spec);
+    wall_s = seconds_since(start);
+    events = events_of(engine.timeline());
+    const FleetTimeline& t = engine.timeline();
+    std::printf("mega-fleet: %d arrivals (%d rejected), %d departures, %d "
+                "migrations, %d wakeups over %zu windows\n",
+                t.arrivals, t.rejected, t.departures, t.migrations,
+                t.wakeups, t.windows.size());
+  }
+  const double rate = events / wall_s;
+  std::printf("%s: %.0f events in %.2f s  = %.0f events/s\n",
+              smoke ? "smoke geometry" : "mega-fleet", events, wall_s, rate);
+
+  perf.add_windows(static_cast<double>(spec.fleet.horizon_windows));
+  perf.add_metric("nodes", static_cast<double>(spec.num_nodes));
+  perf.add_metric("events", events);
+  perf.add_metric("events_per_sec", rate);
+  perf.add_metric("build_wall_s", wall_s);
+  perf.add_metric("reference_wall_s", ref_s);
+  perf.add_metric("speedup_vs_reference", speedup);
+
+  // --- baseline regression check (warn, never fail) -------------------------
+  // speedup_vs_reference is the comparison metric: both sides of the
+  // ratio run on the current host in the current binary, so it stays
+  // meaningful across machines. Absolute events/s are context only.
+  const std::string baseline = config.get_string("baseline", "");
+  if (!baseline.empty()) {
+    const double warn_pct = config.get_double("warn_pct", 30.0);
+    const double base_speedup =
+        baseline_metric(baseline, "speedup_vs_reference");
+    const double base_rate = baseline_metric(baseline, "events_per_sec");
+    if (base_speedup <= 0.0) {
+      std::printf("[baseline] %s has no speedup_vs_reference; skipping "
+                  "comparison\n",
+                  baseline.c_str());
+    } else {
+      const double delta_pct =
+          100.0 * (speedup - base_speedup) / base_speedup;
+      std::printf("[baseline] %s: %.1fx speedup (%.0f events/s); fresh "
+                  "run %.1fx (%+.1f%%)\n",
+                  baseline.c_str(), base_speedup, base_rate, speedup,
+                  delta_pct);
+      if (delta_pct < -warn_pct) {
+        std::printf("WARNING: event-vs-reference speedup regressed %.1f%% "
+                    "vs baseline (threshold %.0f%%) — the event engine is "
+                    "losing its win; investigate before merging\n",
+                    -delta_pct, warn_pct);
+      }
+    }
+  }
+  return 0;
+}

@@ -58,6 +58,16 @@ echo "=== [1c3] placement-sweep smoke: 2 cells at jobs=2 ==="
   validate_manifest=out/placement-sweep/manifest.json
 
 echo
+echo "=== [1c4] mega-fleet smoke: 500 nodes / ~50k arrivals + baseline check ==="
+# The discrete-event engine at CI scale: builds the shrunk mega-fleet
+# geometry, proves it bit-identical to the window-synchronous reference
+# engine (hard failure on divergence), and reports events/sec. The
+# baseline comparison warns — never fails — on a >30% regression of the
+# event-vs-reference speedup, so a future PR cannot silently lose the
+# event engine's win but a noisy machine cannot block the gate either.
+./build/bench_fleet smoke=1 baseline=bench/baselines/BENCH_fleet.json
+
+echo
 echo "=== [1d] RL training microbench: smoke mode + baseline check ==="
 # Smoke-sized run of the batched training engine (train_steps/sec,
 # actions/sec -> out/BENCH_train.json). The baseline comparison warns —
@@ -76,13 +86,16 @@ cmake -B build-asan -S . \
   -DGREENNFV_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$JOBS"
 
-# The threaded data path is the sanitizer-critical surface; run its suites
-# explicitly (pattern match keeps this in sync as nfvsim tests are added),
-# then the rest of the tree.
+# The threaded data path and the event engine's pooled allocators are the
+# sanitizer-critical surfaces; run their suites explicitly (pattern match
+# keeps this in sync as suites are added), then the rest of the tree.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -R '^nfvsim\.')
-(cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -E '^nfvsim\.')
+(cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
+  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetWakeRegression)\.')
+(cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
+  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetWakeRegression)\.')
 
 echo
 echo "ci.sh: all green"

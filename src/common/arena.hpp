@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/assert.hpp"
+
+/// \file arena.hpp
+/// Pool allocation for simulation hot paths. A fleet run churns through
+/// millions of tiny, identically-sized nodes (runqueue set nodes, hosted
+/// lists); the general-purpose allocator pays lock/metadata costs per
+/// node and scatters them across the heap. The Arena hands out memory by
+/// bumping a pointer through large chunks and recycles frees through
+/// per-size-class freelists, so steady-state churn (chain arrives /
+/// departs) allocates nothing new. Memory returns to the OS only when
+/// the arena dies — the right trade for engine-lifetime state.
+
+namespace greennfv {
+
+/// Chunked bump allocator with size-class freelists. Not thread-safe —
+/// one arena per engine, engines are single-threaded.
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` aligned to `align` (a power of two, <= 64).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    GNFV_ASSERT(align > 0 && (align & (align - 1)) == 0 && align <= 64,
+                "Arena: alignment must be a power of two <= 64");
+    if (align > 16) return bump(bytes, align);
+    const std::size_t cls = size_class(bytes);
+    if (cls < freelists_.size() && freelists_[cls] != nullptr) {
+      FreeNode* node = freelists_[cls];
+      freelists_[cls] = node->next;
+      ++reused_;
+      return node;
+    }
+    return bump(class_bytes(cls), align);
+  }
+
+  /// Returns a block to its size-class freelist for reuse. `bytes` and
+  /// `align` must match the allocate() call. Over-aligned blocks
+  /// (align > 16) bypass the freelists — a recycled block could not
+  /// guarantee their alignment — and are reclaimed only when the arena
+  /// dies; the hot-path containers never ask for them.
+  void deallocate(void* ptr, std::size_t bytes, std::size_t align) {
+    if (ptr == nullptr || align > 16) return;
+    const std::size_t cls = size_class(bytes);
+    if (cls >= freelists_.size()) freelists_.resize(cls + 1, nullptr);
+    auto* node = static_cast<FreeNode*>(ptr);
+    node->next = freelists_[cls];
+    freelists_[cls] = node;
+  }
+
+  /// Total bytes requested from the OS (chunk allocations).
+  [[nodiscard]] std::size_t reserved_bytes() const { return reserved_; }
+  /// Allocations served from a freelist instead of fresh memory.
+  [[nodiscard]] std::size_t reuse_count() const { return reused_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next = nullptr;
+  };
+
+  /// Classes are 16-byte steps: every block can hold a FreeNode, and any
+  /// alignment up to 16 comes free because bump addresses are 16-aligned.
+  static std::size_t size_class(std::size_t bytes) {
+    const std::size_t need =
+        bytes < sizeof(FreeNode) ? sizeof(FreeNode) : bytes;
+    return (need + 15) / 16;
+  }
+  static std::size_t class_bytes(std::size_t cls) { return cls * 16; }
+
+  void* bump(std::size_t bytes, std::size_t align) {
+    // Align the *address*, not the chunk offset — operator new[] only
+    // guarantees 16 bytes, so coarser requests need address arithmetic.
+    if (align < 16) align = 16;
+    auto aligned_offset = [&](const std::byte* base) {
+      const auto addr = reinterpret_cast<std::uintptr_t>(base) + cursor_;
+      return ((addr + align - 1) & ~(align - 1)) -
+             reinterpret_cast<std::uintptr_t>(base);
+    };
+    std::size_t offset =
+        chunks_.empty() ? 0 : aligned_offset(chunks_.back().get());
+    if (chunks_.empty() || offset + bytes > chunk_size_) {
+      const std::size_t need = bytes + align;
+      const std::size_t size = need > chunk_bytes_ ? need : chunk_bytes_;
+      chunks_.push_back(std::make_unique<std::byte[]>(size));
+      chunk_size_ = size;
+      reserved_ += size;
+      cursor_ = 0;
+      offset = aligned_offset(chunks_.back().get());
+    }
+    cursor_ = offset + bytes;
+    return chunks_.back().get() + offset;
+  }
+
+  std::size_t chunk_bytes_;
+  std::size_t chunk_size_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t reused_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<FreeNode*> freelists_;
+};
+
+/// Standard-allocator adapter so node-based containers (the runqueues'
+/// std::set) draw their tree nodes from an Arena. The arena must outlive
+/// every container using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* ptr, std::size_t n) {
+    arena_->deallocate(ptr, n * sizeof(T), alignof(T));
+  }
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace greennfv

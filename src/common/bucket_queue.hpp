@@ -1,0 +1,111 @@
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/assert.hpp"
+
+/// \file bucket_queue.hpp
+/// Occupancy-bucketed runqueues: ids (fleet nodes) grouped by an integral
+/// level (committed cores). Placement policies reduce to O(levels)
+/// queries — "lowest id in any fitting bucket" (first-fit), "lowest
+/// nonempty bucket" (least-loaded), "highest fitting bucket"
+/// (energy-bestfit) — instead of scanning every id. Levels are small
+/// (a node's core count), ids per bucket are kept in an ordered set so
+/// min-id tie-breaks are O(1) and in-bucket iteration is ordered, and
+/// set nodes come from an Arena so steady-state churn allocates nothing.
+
+namespace greennfv {
+
+class BucketQueue {
+ public:
+  using IdSet = std::set<int, std::less<int>, ArenaAllocator<int>>;
+
+  /// Buckets for levels 0..num_levels-1; `arena` must outlive the queue.
+  BucketQueue(std::size_t num_levels, Arena* arena)
+      : levels_(num_levels, IdSet(ArenaAllocator<int>(arena))) {}
+
+  void insert(std::size_t level, int id) {
+    const bool fresh = bucket(level).insert(id).second;
+    GNFV_ASSERT(fresh, "BucketQueue::insert: id already present");
+    (void)fresh;
+    ++size_;
+  }
+
+  void erase(std::size_t level, int id) {
+    const std::size_t removed = bucket(level).erase(id);
+    GNFV_ASSERT(removed == 1, "BucketQueue::erase: id not in bucket");
+    (void)removed;
+    --size_;
+  }
+
+  /// Reassigns `id` from bucket `from` to bucket `to`.
+  void move(std::size_t from, std::size_t to, int id) {
+    erase(from, id);
+    insert(to, id);
+  }
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t size(std::size_t level) const {
+    return at(level).size();
+  }
+  [[nodiscard]] bool empty(std::size_t level) const {
+    return at(level).empty();
+  }
+
+  /// Ordered ids at one level (for in-bucket iteration with skips).
+  [[nodiscard]] const IdSet& at(std::size_t level) const {
+    GNFV_ASSERT(level < levels_.size(), "BucketQueue: level out of range");
+    return levels_[level];
+  }
+
+  /// Smallest id at `level`, or -1 when the bucket is empty.
+  [[nodiscard]] int min_id(std::size_t level) const {
+    const IdSet& ids = at(level);
+    return ids.empty() ? -1 : *ids.begin();
+  }
+
+  /// Smallest id across levels [lo, hi] (inclusive, clamped), or -1.
+  [[nodiscard]] int min_id_in_range(std::size_t lo, std::size_t hi) const {
+    int best = -1;
+    for (std::size_t level = lo; level <= hi && level < levels_.size();
+         ++level) {
+      const int id = min_id(level);
+      if (id >= 0 && (best < 0 || id < best)) best = id;
+    }
+    return best;
+  }
+
+  /// Lowest level in [lo, hi] with any id, or -1.
+  [[nodiscard]] int lowest_nonempty(std::size_t lo, std::size_t hi) const {
+    for (std::size_t level = lo; level <= hi && level < levels_.size();
+         ++level) {
+      if (!levels_[level].empty()) return static_cast<int>(level);
+    }
+    return -1;
+  }
+
+  /// Highest level in [lo, hi] with any id, or -1.
+  [[nodiscard]] int highest_nonempty(std::size_t lo, std::size_t hi) const {
+    if (levels_.empty()) return -1;
+    std::size_t level = hi < levels_.size() ? hi : levels_.size() - 1;
+    for (;; --level) {
+      if (level < lo || level >= levels_.size()) return -1;
+      if (!levels_[level].empty()) return static_cast<int>(level);
+      if (level == 0) return -1;
+    }
+  }
+
+ private:
+  IdSet& bucket(std::size_t level) {
+    GNFV_ASSERT(level < levels_.size(), "BucketQueue: level out of range");
+    return levels_[level];
+  }
+
+  std::vector<IdSet> levels_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace greennfv

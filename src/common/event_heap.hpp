@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+/// \file event_heap.hpp
+/// The discrete-event scheduler's priority queue: a binary min-heap over
+/// (time, phase, seq) keys. `time` orders events chronologically, `phase`
+/// orders events sharing a timestamp (departures before arrivals before
+/// consolidation before accounting, in the fleet engine), and `seq` — a
+/// monotonically increasing counter stamped at push — makes pop order for
+/// equal (time, phase) keys FIFO. That stability is load-bearing: the
+/// fleet engine relies on same-window departure events popping in push
+/// (= chain id) order to reproduce the window-synchronous engine's sorted
+/// departure lists bit-for-bit.
+
+namespace greennfv {
+
+/// Min-heap of `Payload` events keyed by (Time, phase, insertion order).
+/// Time needs operator< and ==; Payload needs move construction. Not
+/// thread-safe — the simulation loop is single-threaded by design.
+template <typename Time, typename Payload>
+class EventHeap {
+ public:
+  struct Entry {
+    Time time{};
+    int phase = 0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  void push(Time time, int phase, Payload payload) {
+    heap_.push_back(
+        Entry{time, phase, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// The minimum entry. Undefined when empty (asserted in debug builds).
+  [[nodiscard]] const Entry& top() const {
+    GNFV_ASSERT(!heap_.empty(), "EventHeap::top on empty heap");
+    return heap_.front();
+  }
+
+  /// Removes and returns the minimum entry.
+  Entry pop() {
+    GNFV_ASSERT(!heap_.empty(), "EventHeap::pop on empty heap");
+    Entry out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  void clear() { heap_.clear(); }
+
+ private:
+  static bool less(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.phase != b.phase) return a.phase < b.phase;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace greennfv

@@ -5,11 +5,23 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/event_heap.hpp"
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
 #include "core/nf_controller.hpp"
 #include "nfvsim/chain.hpp"
+#include "orchestrator/fleet_index.hpp"
+#include "orchestrator/timeline_io.hpp"
 #include "traffic/generator.hpp"
+
+// The timeline builder here is a discrete-event engine: a binary event
+// heap drives departures, arrival ticks, consolidation ticks, and
+// accounting ticks in (window, phase) order, and a FleetIndex answers
+// placement queries from occupancy buckets in O(core levels). It is
+// proven bit-identical to the window-synchronous engine it replaced
+// (preserved in fleet_reference.cpp) by the golden suite and the live
+// equivalence tests: same RNG draw order, same floating-point
+// accumulation order, same policy tie-breaks.
 
 namespace greennfv::orchestrator {
 
@@ -24,6 +36,16 @@ constexpr std::uint64_t kTimelineSeedSalt = 0xF1EE7C0FFEEull;
 /// bit-identical to ExperimentRunner.
 constexpr std::uint64_t kEpochSeedStride = 0x9E3779B97F4A7C15ull;
 
+/// Event phases within one window, in the order the reference engine ran
+/// its per-window steps: departures leave, arrivals land, consolidation
+/// migrates, then occupancy/power accounting closes the window.
+enum EventPhase : int {
+  kDeparturePhase = 0,
+  kArrivalPhase = 1,
+  kConsolidatePhase = 2,
+  kAccountPhase = 3,
+};
+
 void copy_series(const telemetry::Recorder& from, telemetry::Recorder* to,
                  const std::string& prefix) {
   if (to == nullptr) return;
@@ -37,7 +59,11 @@ void copy_series(const telemetry::Recorder& from, telemetry::Recorder* to,
 }  // namespace
 
 FleetOrchestrator::FleetOrchestrator(scenario::ScenarioSpec spec)
-    : spec_(std::move(spec)) {
+    : FleetOrchestrator(std::move(spec), nullptr) {}
+
+FleetOrchestrator::FleetOrchestrator(scenario::ScenarioSpec spec,
+                                     std::unique_ptr<FleetPolicy> policy)
+    : spec_(std::move(spec)), policy_override_(std::move(policy)) {
   spec_.validate();
   if (!spec_.fleet.enabled) {
     throw std::invalid_argument(
@@ -60,16 +86,20 @@ FleetOrchestrator::FleetOrchestrator(scenario::ScenarioSpec spec)
 void FleetOrchestrator::build_timeline() {
   const int num_nodes = spec_.num_nodes;
   const double window_s = spec_.window_s;
+  timeline_.num_nodes = num_nodes;
   Rng rng(spec_.seed ^ kTimelineSeedSalt);
-  const std::unique_ptr<FleetPolicy> policy =
-      make_fleet_policy(spec_.fleet.policy);
+  const std::unique_ptr<FleetPolicy> owned_policy =
+      policy_override_ == nullptr ? make_fleet_policy(spec_.fleet.policy)
+                                  : nullptr;
+  const FleetPolicy* policy = policy_override_ != nullptr
+                                  ? policy_override_.get()
+                                  : owned_policy.get();
   const PowerStateConfig ps_config{
       spec_.node.p_idle_w, spec_.node.p_sleep_w, spec_.node.wake_latency_s,
       spec_.fleet.sleep_after_windows, spec_.fleet.power_gating};
   std::vector<NodePowerStateMachine> power(
       static_cast<std::size_t>(num_nodes), NodePowerStateMachine(ps_config));
-  std::vector<std::vector<int>> hosted(static_cast<std::size_t>(num_nodes));
-  std::vector<double> committed(static_cast<std::size_t>(num_nodes), 0.0);
+  FleetIndex index(num_nodes, capacity_cores_);
 
   // --- the initial chain set (the scenario's static topology) -------------
   const auto comps = scenario::resolved_chain_nfs(spec_);
@@ -95,32 +125,27 @@ void FleetOrchestrator::build_timeline() {
     timeline_.chains.push_back(std::move(chain));
   }
 
-  const auto fleet_view = [&]() {
-    FleetView view;
-    for (int n = 0; n < num_nodes; ++n) {
-      NodeView node;
-      node.capacity_cores = capacity_cores_;
-      node.committed_cores = committed[static_cast<std::size_t>(n)];
-      node.asleep = power[static_cast<std::size_t>(n)].asleep();
-      for (const int id : hosted[static_cast<std::size_t>(n)]) {
-        const ChainInstance& chain =
-            timeline_.chains[static_cast<std::size_t>(id)];
-        node.chains.push_back({id, chain.cores, chain.offered_gbps});
-      }
-      view.nodes.push_back(std::move(node));
-    }
-    return view;
-  };
-
   // Minimum one window of residency; exponential holding beyond that.
   const auto draw_holding = [&]() {
     return 1 + static_cast<int>(
                    rng.exponential(1.0 / spec_.fleet.mean_holding_windows));
   };
 
+  // --- the event heap ------------------------------------------------------
+  // Payload: the departing chain id for kDeparturePhase events, unused
+  // for the self-rescheduling ticks. Same-window departures pop in push
+  // order (chains are placed in ascending id order), which reproduces
+  // the reference engine's sorted departure lists without a sort.
+  EventHeap<int, int> events;
+
+  // Nodes perturbed since the last accounting tick: only these can have
+  // unsorted hosted lists (migration receivers) — everyone else keeps
+  // the sorted-at-window-edge invariant for free.
+  std::vector<int> dirty;
+
   const auto place = [&](int id, FleetTimeline::Window& win) {
     ChainInstance& chain = timeline_.chains[static_cast<std::size_t>(id)];
-    const int node = policy->choose(fleet_view(), chain.cores);
+    const int node = policy->choose_indexed(index, chain.cores);
     if (node < 0) {
       ++win.rejected;
       ++timeline_.rejected;
@@ -129,147 +154,175 @@ void FleetOrchestrator::build_timeline() {
     }
     const auto charge = power[static_cast<std::size_t>(node)].activate();
     if (charge.woke) {
+      index.wake(node);
       ++timeline_.wakeups;
       win.charges.push_back({id, charge.downtime_s, charge.energy_j, false});
       timeline_.wake_energy_j += charge.energy_j;
       timeline_.downtime_s += charge.downtime_s;
     }
-    hosted[static_cast<std::size_t>(node)].push_back(id);
-    committed[static_cast<std::size_t>(node)] += chain.cores;
+    index.place_chain(id, node, chain.cores, chain.offered_gbps);
     win.arrivals.push_back(id);
     ++timeline_.arrivals;
     chain.first_node = node;
+    dirty.push_back(node);
+    if (!static_fleet_ && chain.departure_window >= 0 &&
+        chain.departure_window < horizon_) {
+      events.push(chain.departure_window, kDeparturePhase, id);
+    }
   };
 
   timeline_.windows.resize(static_cast<std::size_t>(horizon_));
+
+  events.push(0, kArrivalPhase, -1);
+  if (!static_fleet_ && spec_.fleet.migration)
+    events.push(0, kConsolidatePhase, -1);
+  events.push(0, kAccountPhase, -1);
+
   int next_id = spec_.num_chains;
 
-  for (int w = 0; w < horizon_; ++w) {
+  while (!events.empty()) {
+    const auto event = events.pop();
+    const int w = event.time;
     FleetTimeline::Window& win =
         timeline_.windows[static_cast<std::size_t>(w)];
 
-    // 1. Departures: chains whose holding time expired leave at the
-    //    window edge (static fleets never depart).
-    if (!static_fleet_) {
-      for (int n = 0; n < num_nodes; ++n) {
-        auto& chains_here = hosted[static_cast<std::size_t>(n)];
-        for (std::size_t i = 0; i < chains_here.size();) {
-          const int id = chains_here[i];
-          const ChainInstance& chain =
-              timeline_.chains[static_cast<std::size_t>(id)];
-          if (chain.departure_window == w) {
-            win.departures.push_back(id);
-            committed[static_cast<std::size_t>(n)] -= chain.cores;
-            chains_here.erase(chains_here.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-          } else {
-            ++i;
+    switch (event.phase) {
+      case kDeparturePhase: {
+        // One chain's holding time expired at this window edge.
+        const int id = event.payload;
+        dirty.push_back(index.chain_node(id));
+        index.remove_chain(id);
+        win.departures.push_back(id);
+        ++timeline_.departures;
+        break;
+      }
+
+      case kArrivalPhase: {
+        // The initial chain set lands at w=0 through the same policy;
+        // dynamic arrivals are Poisson with the scenario's RateProfile
+        // as the fleet-level load envelope.
+        if (w == 0) {
+          for (int c = 0; c < spec_.num_chains; ++c) {
+            if (!static_fleet_) {
+              timeline_.chains[static_cast<std::size_t>(c)]
+                  .departure_window = draw_holding();
+            }
+            place(c, win);
           }
         }
-      }
-      std::sort(win.departures.begin(), win.departures.end());
-      timeline_.departures += static_cast<int>(win.departures.size());
-    }
-
-    // 2. Arrivals. The initial chain set lands at w=0 through the same
-    //    policy; dynamic arrivals are Poisson with the scenario's
-    //    RateProfile as the fleet-level load envelope.
-    if (w == 0) {
-      for (int c = 0; c < spec_.num_chains; ++c) {
         if (!static_fleet_) {
-          timeline_.chains[static_cast<std::size_t>(c)].departure_window =
-              draw_holding();
+          const double mean = spec_.fleet.arrival_rate *
+                              spec_.profile.multiplier(w * window_s);
+          const std::uint64_t count = mean > 0.0 ? rng.poisson(mean) : 0;
+          for (std::uint64_t a = 0; a < count; ++a) {
+            ChainInstance chain;
+            chain.id = next_id++;
+            chain.nfs = nfvsim::standard_chain_nfs(chain.id);
+            chain.cores = static_cast<double>(chain.nfs.size());
+            chain.flows = traffic::make_eval_flows(
+                spec_.fleet.flows_per_chain, /*num_chains=*/1,
+                spec_.fleet.chain_offered_gbps, rng.next_u64());
+            for (auto& flow : chain.flows) {
+              flow.chain_index = chain.id;
+              chain.offered_gbps += flow.mean_rate_gbps();
+              chain.offered_pps += flow.mean_rate_pps;
+            }
+            chain.arrival_window = w;
+            chain.departure_window = w + draw_holding();
+            timeline_.chains.push_back(std::move(chain));
+            ChainInstance& arrived = timeline_.chains.back();
+            place(arrived.id, win);
+            // A rejected chain never joins the flow pool — its flows
+            // would otherwise be dead weight re-scanned on every
+            // node-env rebuild.
+            if (arrived.first_node >= 0) {
+              timeline_.flows.insert(timeline_.flows.end(),
+                                     arrived.flows.begin(),
+                                     arrived.flows.end());
+            }
+          }
+          if (w + 1 < horizon_) events.push(w + 1, kArrivalPhase, -1);
         }
-        place(c, win);
+        break;
       }
-    }
-    if (!static_fleet_) {
-      const double mean =
-          spec_.fleet.arrival_rate *
-          spec_.profile.multiplier(w * window_s);
-      const std::uint64_t count = mean > 0.0 ? rng.poisson(mean) : 0;
-      for (std::uint64_t a = 0; a < count; ++a) {
-        ChainInstance chain;
-        chain.id = next_id++;
-        chain.nfs = nfvsim::standard_chain_nfs(chain.id);
-        chain.cores = static_cast<double>(chain.nfs.size());
-        chain.flows = traffic::make_eval_flows(
-            spec_.fleet.flows_per_chain, /*num_chains=*/1,
-            spec_.fleet.chain_offered_gbps, rng.next_u64());
-        for (auto& flow : chain.flows) {
-          flow.chain_index = chain.id;
-          chain.offered_gbps += flow.mean_rate_gbps();
-          chain.offered_pps += flow.mean_rate_pps;
-        }
-        chain.arrival_window = w;
-        chain.departure_window = w + draw_holding();
-        timeline_.chains.push_back(std::move(chain));
-        ChainInstance& arrived = timeline_.chains.back();
-        place(arrived.id, win);
-        // A rejected chain never joins the flow pool — its flows would
-        // otherwise be dead weight re-scanned on every node-env rebuild.
-        if (arrived.first_node >= 0) {
-          timeline_.flows.insert(timeline_.flows.end(),
-                                 arrived.flows.begin(),
-                                 arrived.flows.end());
-        }
-      }
-    }
 
-    // 3. Consolidation: the policy may drain underutilized nodes so power
-    //    gating can put them to sleep. Each move costs downtime + energy.
-    if (!static_fleet_ && spec_.fleet.migration) {
-      const std::vector<Migration> plan = policy->consolidate(
-          fleet_view(), spec_.fleet.consolidate_below);
-      for (const Migration& move : plan) {
-        const ChainInstance& chain =
-            timeline_.chains[static_cast<std::size_t>(move.chain)];
-        auto& from = hosted[static_cast<std::size_t>(move.from)];
-        from.erase(std::find(from.begin(), from.end(), move.chain));
-        committed[static_cast<std::size_t>(move.from)] -= chain.cores;
-        const auto charge =
-            power[static_cast<std::size_t>(move.to)].activate();
-        if (charge.woke) {
-          // The policies never wake a node to consolidate into, but a
-          // custom policy could — account for it either way.
-          ++timeline_.wakeups;
-          win.charges.push_back(
-              {move.chain, charge.downtime_s, charge.energy_j, false});
-          timeline_.wake_energy_j += charge.energy_j;
-          timeline_.downtime_s += charge.downtime_s;
+      case kConsolidatePhase: {
+        // The policy may drain underutilized nodes so power gating can
+        // put them to sleep. Each move costs downtime + energy.
+        const std::vector<Migration> plan = policy->consolidate_indexed(
+            index, spec_.fleet.consolidate_below);
+        for (const Migration& move : plan) {
+          const ChainInstance& chain =
+              timeline_.chains[static_cast<std::size_t>(move.chain)];
+          index.remove_chain(move.chain);
+          const auto charge =
+              power[static_cast<std::size_t>(move.to)].activate();
+          if (charge.woke) {
+            // The policies never wake a node to consolidate into, but a
+            // custom policy could — account for it either way.
+            index.wake(move.to);
+            ++timeline_.wakeups;
+            win.charges.push_back(
+                {move.chain, charge.downtime_s, charge.energy_j, false});
+            timeline_.wake_energy_j += charge.energy_j;
+            timeline_.downtime_s += charge.downtime_s;
+          }
+          index.place_chain(move.chain, move.to, chain.cores,
+                            chain.offered_gbps);
+          win.migrations.push_back(move);
+          ++timeline_.migrations;
+          win.charges.push_back({move.chain,
+                                 spec_.fleet.migration_downtime_s,
+                                 spec_.fleet.migration_energy_j, true});
+          timeline_.migration_energy_j += spec_.fleet.migration_energy_j;
+          timeline_.downtime_s += spec_.fleet.migration_downtime_s;
+          dirty.push_back(move.from);
+          dirty.push_back(move.to);
         }
-        hosted[static_cast<std::size_t>(move.to)].push_back(move.chain);
-        committed[static_cast<std::size_t>(move.to)] += chain.cores;
-        win.migrations.push_back(move);
-        ++timeline_.migrations;
-        win.charges.push_back({move.chain, spec_.fleet.migration_downtime_s,
-                               spec_.fleet.migration_energy_j, true});
-        timeline_.migration_energy_j += spec_.fleet.migration_energy_j;
-        timeline_.downtime_s += spec_.fleet.migration_downtime_s;
+        if (w + 1 < horizon_) events.push(w + 1, kConsolidatePhase, -1);
+        break;
       }
-    }
 
-    // 4. Membership snapshot, occupancy, and power-state accounting.
-    win.membership.resize(static_cast<std::size_t>(num_nodes));
-    for (int n = 0; n < num_nodes; ++n) {
-      auto& chains_here = hosted[static_cast<std::size_t>(n)];
-      std::sort(chains_here.begin(), chains_here.end());
-      win.membership[static_cast<std::size_t>(n)] = chains_here;
-      timeline_.occupancy.add(chains_here.size());
-      win.live_chains += static_cast<int>(chains_here.size());
+      case kAccountPhase: {
+        // Restore the sorted-hosted-list discipline on perturbed nodes
+        // (arrival appends keep lists sorted — ids grow monotonically —
+        // so only migration receivers actually reorder).
+        std::sort(dirty.begin(), dirty.end());
+        dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+        for (const int n : dirty) index.sort_hosted(n);
+        dirty.clear();
 
-      const bool occupied = !chains_here.empty();
-      if (occupied) {
-        ++win.active_nodes;
-      } else if (power[static_cast<std::size_t>(n)].asleep()) {
-        ++win.asleep_nodes;
-      } else {
-        ++win.idle_nodes;
+        // Occupancy and power accounting sweep every node in ascending
+        // order: the standby-energy floating-point accumulation order is
+        // part of the bit-identity contract, and every unoccupied node
+        // contributes draw each window — there is nothing to skip.
+        for (int n = 0; n < num_nodes; ++n) {
+          const std::size_t count = index.hosted(n).size();
+          timeline_.occupancy.add(count);
+          win.live_chains += static_cast<int>(count);
+
+          const bool occupied = count != 0;
+          auto& machine = power[static_cast<std::size_t>(n)];
+          if (occupied) {
+            ++win.active_nodes;
+          } else if (machine.asleep()) {
+            ++win.asleep_nodes;
+          } else {
+            ++win.idle_nodes;
+          }
+          win.standby_energy_j += machine.advance(occupied, window_s);
+          // Mirror a just-gated node into the index so next window's
+          // placement queries see it on the asleep list.
+          if (machine.asleep() && !index.asleep(n)) index.sleep(n);
+        }
+        timeline_.standby_energy_j += win.standby_energy_j;
+        if (w + 1 < horizon_) events.push(w + 1, kAccountPhase, -1);
+        break;
       }
-      win.standby_energy_j +=
-          power[static_cast<std::size_t>(n)].advance(occupied, window_s);
+
+      default:
+        throw std::logic_error("orchestrator: unknown event phase");
     }
-    timeline_.standby_energy_j += win.standby_energy_j;
   }
 }
 
@@ -283,6 +336,9 @@ scenario::ModelReport FleetOrchestrator::run_model(
   const int num_nodes = spec_.num_nodes;
   const double window_s = spec_.window_s;
   const core::Sla sla = spec_.sla();
+  // Per-node series are a per-node-per-window artifact — prohibitive at
+  // hyperscale, so they stop at 64 nodes (every paper-shaped fleet).
+  const bool node_series = num_nodes <= 64;
 
   std::vector<std::vector<std::string>> comps;
   comps.reserve(timeline_.chains.size());
@@ -316,16 +372,19 @@ scenario::ModelReport FleetOrchestrator::run_model(
   result.scheduler = entry.name;
   result.windows = horizon_;
 
+  // Membership is replayed from the timeline's deltas; only nodes the
+  // replay reports dirty can need a runtime rebuild this window.
+  MembershipReplay replay(timeline_, num_nodes);
+
   for (int w = 0; w < horizon_; ++w) {
     const FleetTimeline::Window& win =
         timeline_.windows[static_cast<std::size_t>(w)];
     const double t = w * window_s;
 
     // (Re)build runtimes whose membership changed at this window edge.
-    for (int n = 0; n < num_nodes; ++n) {
+    for (const int n : replay.advance()) {
       NodeRuntime& rt = nodes[static_cast<std::size_t>(n)];
-      const std::vector<int>& members =
-          win.membership[static_cast<std::size_t>(n)];
+      const std::vector<int>& members = replay.members(n);
       const bool unchanged =
           rt.chains == members && (rt.env != nullptr || members.empty());
       if (unchanged) continue;
@@ -371,16 +430,17 @@ scenario::ModelReport FleetOrchestrator::run_model(
       }
     }
 
-    // Advance every occupied node one window.
+    // Advance every occupied node one window, in ascending node order
+    // (the replay's occupied list is sorted — the accumulation order
+    // below is bit-identity-relevant).
     double gbps = 0.0;
     double energy = win.standby_energy_j;
     double offered_pps = 0.0;
     double drop_weighted = 0.0;
     int active = 0;
     const core::NfvEnvironment::WindowOutcome* solo = nullptr;
-    for (int n = 0; n < num_nodes; ++n) {
+    for (const int n : replay.occupied()) {
       NodeRuntime& rt = nodes[static_cast<std::size_t>(n)];
-      if (rt.env == nullptr) continue;
       (void)rt.controller->run(1);
       const auto& outcome = rt.env->last_outcome();
       ++active;
@@ -390,9 +450,11 @@ scenario::ModelReport FleetOrchestrator::run_model(
       offered_pps += outcome.offered_pps;
       // Drops are a fraction of *offered* load (see ExperimentRunner).
       drop_weighted += outcome.drop_fraction * outcome.offered_pps;
-      local.record(format("node%d_throughput_gbps", n), t,
-                   outcome.throughput_gbps);
-      local.record(format("node%d_energy_j", n), t, outcome.energy_j);
+      if (node_series) {
+        local.record(format("node%d_throughput_gbps", n), t,
+                     outcome.throughput_gbps);
+        local.record(format("node%d_energy_j", n), t, outcome.energy_j);
+      }
     }
 
     // Migration downtime and wake latency: the affected chain's traffic

@@ -63,11 +63,17 @@ struct FleetTimeline {
     int idle_nodes = 0;
     int asleep_nodes = 0;
     int live_chains = 0;
-    /// Per node: sorted chain ids hosted during this window.
-    std::vector<std::vector<int>> membership;
   };
 
+  // Per-window membership snapshots are NOT stored — at hyperscale
+  // (10k nodes x hundreds of windows) they dominate memory. Reconstruct
+  // hosted-chain lists from the per-window deltas with MembershipReplay
+  // (timeline_io.hpp); the replay is exact because arrivals record their
+  // first_node and migrations/departures are logged per window.
   std::vector<Window> windows;
+  /// Fleet width (spec.num_nodes) — what MembershipReplay needs to size
+  /// per-node state without the spec in hand.
+  int num_nodes = 0;
   /// Every chain ever seen, indexed by id.
   std::vector<ChainInstance> chains;
   /// Fleet-wide flow list in arrival order (chain_index = chain id) —
@@ -117,6 +123,12 @@ class FleetOrchestrator {
   /// anything trains or runs.
   explicit FleetOrchestrator(scenario::ScenarioSpec spec);
 
+  /// Same, but drives placement/consolidation with `policy` instead of
+  /// the spec's named policy — the seam custom-policy tests (e.g. the
+  /// wake-charge regression suite) inject through.
+  FleetOrchestrator(scenario::ScenarioSpec spec,
+                    std::unique_ptr<FleetPolicy> policy);
+
   [[nodiscard]] const scenario::ScenarioSpec& spec() const { return spec_; }
   [[nodiscard]] const FleetTimeline& timeline() const { return timeline_; }
   /// Measured windows (fleet.horizon, or the scenario's eval_windows).
@@ -127,11 +139,17 @@ class FleetOrchestrator {
 
   /// One model: per-window fleet series recorded under
   /// scenario::series_prefix(entry.name) into `recorder` (may be null).
+  /// Per-node series (`node<i>_throughput_gbps`, `node<i>_energy_j`) are
+  /// recorded only for fleets of at most 64 nodes — at hyperscale they
+  /// would dwarf every other artifact.
   scenario::ModelReport run_model(const scenario::SchedulerFactory& entry,
                                   telemetry::Recorder* recorder);
 
  private:
   scenario::ScenarioSpec spec_;
+  /// Non-null when a custom policy was injected through the two-argument
+  /// constructor; otherwise the spec's named policy is instantiated.
+  std::unique_ptr<FleetPolicy> policy_override_;
   int horizon_ = 0;
   /// arrival_rate == 0 freezes the fleet: no arrivals, no departures, no
   /// migrations — the ExperimentRunner degeneration case.

@@ -1,0 +1,141 @@
+#include "orchestrator/fleet_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace greennfv::orchestrator {
+
+namespace {
+
+/// Buckets cover the integral committed-core range 0..floor(capacity);
+/// one spare level absorbs a hypothetical custom policy that overcommits
+/// (the registry policies never do — fits() forbids it).
+std::size_t bucket_count(double capacity) {
+  return static_cast<std::size_t>(std::floor(capacity + 1e-9)) + 2;
+}
+
+}  // namespace
+
+FleetIndex::FleetIndex(int num_nodes, double capacity_cores)
+    : capacity_(capacity_cores),
+      awake_(bucket_count(capacity_cores), &arena_),
+      asleep_(ArenaAllocator<int>(&arena_)),
+      committed_(static_cast<std::size_t>(num_nodes), 0.0),
+      node_level_(static_cast<std::size_t>(num_nodes), 0),
+      asleep_flags_(static_cast<std::size_t>(num_nodes), 0),
+      hosted_(static_cast<std::size_t>(num_nodes)) {
+  GNFV_REQUIRE(num_nodes > 0, "FleetIndex: num_nodes must be > 0");
+  GNFV_REQUIRE(capacity_cores > 0.0, "FleetIndex: capacity must be > 0");
+  // Every node starts awake and empty: all of level 0.
+  for (int n = 0; n < num_nodes; ++n) awake_.insert(0, n);
+}
+
+void FleetIndex::set_level(int node, double committed) {
+  committed_[static_cast<std::size_t>(node)] = committed;
+  // Committed cores are integral by construction (one core per NF);
+  // llround only guards against accumulated representation surprises.
+  auto level = static_cast<std::size_t>(std::llround(committed));
+  if (level >= awake_.num_levels()) level = awake_.num_levels() - 1;
+  auto& stored = node_level_[static_cast<std::size_t>(node)];
+  if (asleep(node)) {
+    // Asleep nodes are not in the awake buckets; remember the level for
+    // re-insertion on wake (always 0 in practice).
+    stored = level;
+    return;
+  }
+  if (stored != level) {
+    awake_.move(stored, level, node);
+    stored = level;
+  }
+}
+
+void FleetIndex::place_chain(int chain, int node, double cores,
+                             double offered_gbps) {
+  const auto id = static_cast<std::size_t>(chain);
+  if (id >= chain_node_.size()) {
+    chain_node_.resize(id + 1, -1);
+    chain_cores_.resize(id + 1, 0.0);
+    chain_gbps_.resize(id + 1, 0.0);
+  }
+  GNFV_ASSERT(chain_node_[id] < 0, "FleetIndex: chain already placed");
+  chain_node_[id] = node;
+  chain_cores_[id] = cores;
+  chain_gbps_[id] = offered_gbps;
+  hosted_[static_cast<std::size_t>(node)].push_back(chain);
+  set_level(node, committed_[static_cast<std::size_t>(node)] + cores);
+}
+
+void FleetIndex::remove_chain(int chain) {
+  const auto id = static_cast<std::size_t>(chain);
+  const int node = chain_node_[id];
+  GNFV_ASSERT(node >= 0, "FleetIndex: chain not placed");
+  chain_node_[id] = -1;
+  auto& hosted = hosted_[static_cast<std::size_t>(node)];
+  hosted.erase(std::find(hosted.begin(), hosted.end(), chain));
+  set_level(node, committed_[static_cast<std::size_t>(node)] -
+                      chain_cores_[id]);
+}
+
+void FleetIndex::move_chain(int chain, int to) {
+  const auto id = static_cast<std::size_t>(chain);
+  const double cores = chain_cores_[id];
+  const double gbps = chain_gbps_[id];
+  remove_chain(chain);
+  place_chain(chain, to, cores, gbps);
+}
+
+void FleetIndex::wake(int node) {
+  auto& flag = asleep_flags_[static_cast<std::size_t>(node)];
+  GNFV_ASSERT(flag != 0, "FleetIndex::wake: node is awake");
+  flag = 0;
+  asleep_.erase(node);
+  awake_.insert(level_of(node), node);
+}
+
+void FleetIndex::sleep(int node) {
+  auto& flag = asleep_flags_[static_cast<std::size_t>(node)];
+  GNFV_ASSERT(flag == 0, "FleetIndex::sleep: node already asleep");
+  GNFV_ASSERT(hosted_[static_cast<std::size_t>(node)].empty(),
+              "FleetIndex::sleep: node still hosts chains");
+  flag = 1;
+  awake_.erase(level_of(node), node);
+  asleep_.insert(node);
+}
+
+void FleetIndex::sort_hosted(int node) {
+  auto& hosted = hosted_[static_cast<std::size_t>(node)];
+  std::sort(hosted.begin(), hosted.end());
+}
+
+int FleetIndex::max_fitting_level(double cores) const {
+  // Same tolerance (and the same arithmetic) as NodeView::fits: a node at
+  // integral level L fits iff L + cores <= capacity + 1e-9.
+  for (int level = static_cast<int>(awake_.num_levels()) - 1; level >= 0;
+       --level) {
+    if (static_cast<double>(level) + cores <= capacity_ + 1e-9)
+      return level;
+  }
+  return -1;
+}
+
+FleetView FleetIndex::materialize_view() const {
+  FleetView view;
+  view.nodes.reserve(committed_.size());
+  for (std::size_t n = 0; n < committed_.size(); ++n) {
+    NodeView node;
+    node.capacity_cores = capacity_;
+    node.committed_cores = committed_[n];
+    node.asleep = asleep_flags_[n] != 0;
+    node.chains.reserve(hosted_[n].size());
+    for (const int id : hosted_[n]) {
+      node.chains.push_back({id, chain_cores_[static_cast<std::size_t>(id)],
+                             chain_gbps_[static_cast<std::size_t>(id)]});
+    }
+    view.nodes.push_back(std::move(node));
+  }
+  return view;
+}
+
+}  // namespace greennfv::orchestrator

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/bucket_queue.hpp"
+#include "orchestrator/policy.hpp"
+
+/// \file fleet_index.hpp
+/// Incrementally-maintained fleet state for the discrete-event engine:
+/// committed cores, hosted chain lists, and power flags per node, plus an
+/// occupancy-bucketed runqueue (awake nodes keyed by integral committed
+/// cores) and an ordered asleep-id set. Placement policies query it in
+/// O(levels) instead of scanning the roster; index-unaware policies get a
+/// materialized FleetView through the same interface.
+///
+/// The bucketing is exact, not approximate: every chain commits an
+/// integral core count (one core per NF), so two nodes compare equal on
+/// utilization/slack iff they sit in the same bucket, and the registry
+/// policies' epsilon tie-breaks (1e-12 improvements over values that
+/// differ by >= 1 core) never bind. That is what lets bucket argmin /
+/// argmax queries reproduce the reference engine's linear scans
+/// bit-for-bit.
+
+namespace greennfv::orchestrator {
+
+class FleetIndex {
+ public:
+  FleetIndex(int num_nodes, double capacity_cores);
+
+  // --- engine mutations ----------------------------------------------------
+  /// Registers `chain` on `node` (appends to the hosted list). The chain's
+  /// load is remembered for views and consolidation planning.
+  void place_chain(int chain, int node, double cores, double offered_gbps);
+  /// Removes `chain` from its current node.
+  void remove_chain(int chain);
+  /// Moves `chain` from its current node to `to` (appends to `to`'s
+  /// hosted list — call sort_hosted(to) at the window edge).
+  void move_chain(int chain, int to);
+  /// Power transitions (asleep nodes always have zero committed cores).
+  void wake(int node);
+  void sleep(int node);
+  /// Restores the sorted-hosted-list discipline after migrations.
+  void sort_hosted(int node);
+
+  // --- node state ----------------------------------------------------------
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(committed_.size());
+  }
+  [[nodiscard]] double capacity_cores() const { return capacity_; }
+  [[nodiscard]] double committed_cores(int node) const {
+    return committed_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] bool asleep(int node) const {
+    return asleep_flags_[static_cast<std::size_t>(node)] != 0;
+  }
+  [[nodiscard]] const std::vector<int>& hosted(int node) const {
+    return hosted_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] int chain_node(int chain) const {
+    return chain_node_[static_cast<std::size_t>(chain)];
+  }
+  [[nodiscard]] double chain_cores(int chain) const {
+    return chain_cores_[static_cast<std::size_t>(chain)];
+  }
+
+  // --- policy queries ------------------------------------------------------
+  /// Awake nodes bucketed by integral committed cores, ordered ids within.
+  [[nodiscard]] const BucketQueue& awake_levels() const { return awake_; }
+  /// Ordered ids of asleep nodes (always at committed == 0).
+  [[nodiscard]] const BucketQueue::IdSet& asleep_ids() const {
+    return asleep_;
+  }
+  [[nodiscard]] int min_asleep_id() const {
+    return asleep_.empty() ? -1 : *asleep_.begin();
+  }
+  /// Largest integral level L with L + cores <= capacity + 1e-9 (the
+  /// policies' fits() tolerance), or -1 when nothing fits.
+  [[nodiscard]] int max_fitting_level(double cores) const;
+
+  /// Full FleetView snapshot for index-unaware (custom) policies.
+  [[nodiscard]] FleetView materialize_view() const;
+
+ private:
+  [[nodiscard]] std::size_t level_of(int node) const {
+    return node_level_[static_cast<std::size_t>(node)];
+  }
+  void set_level(int node, double committed);
+
+  double capacity_;
+  Arena arena_;
+  BucketQueue awake_;
+  BucketQueue::IdSet asleep_;
+  std::vector<double> committed_;
+  std::vector<std::size_t> node_level_;
+  std::vector<char> asleep_flags_;
+  std::vector<std::vector<int>> hosted_;
+  // Per-chain load registry, indexed by chain id (grows on demand).
+  std::vector<int> chain_node_;
+  std::vector<double> chain_cores_;
+  std::vector<double> chain_gbps_;
+};
+
+}  // namespace greennfv::orchestrator

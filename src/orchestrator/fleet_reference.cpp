@@ -1,0 +1,260 @@
+#include "orchestrator/fleet_reference.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "nfvsim/chain.hpp"
+#include "traffic/generator.hpp"
+
+// This file intentionally mirrors the pre-refactor build_timeline line
+// for line (same RNG draw order, same floating-point accumulation order,
+// same tie-breaks). Do not "clean it up" — its value is being the frozen
+// reference the event engine is proven bit-identical against.
+
+namespace greennfv::orchestrator {
+
+namespace {
+
+// Keep in sync with fleet.cpp (the constants define the RNG streams both
+// engines must share).
+constexpr std::uint64_t kTimelineSeedSalt = 0xF1EE7C0FFEEull;
+
+}  // namespace
+
+FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
+                                       const FleetPolicy* policy_override) {
+  if (!spec.fleet.enabled) {
+    throw std::invalid_argument(
+        "orchestrator: reference timeline needs fleet.enabled");
+  }
+  const int horizon = spec.fleet.horizon_windows > 0
+                          ? spec.fleet.horizon_windows
+                          : spec.eval_windows;
+  const bool static_fleet = spec.fleet.arrival_rate == 0.0;
+  const double capacity_cores =
+      static_cast<double>(spec.node.total_cores) - spec.node.controller_cores;
+
+  FleetTimeline timeline;
+  timeline.num_nodes = spec.num_nodes;
+
+  const int num_nodes = spec.num_nodes;
+  const double window_s = spec.window_s;
+  Rng rng(spec.seed ^ kTimelineSeedSalt);
+  const std::unique_ptr<FleetPolicy> owned_policy =
+      policy_override == nullptr ? make_fleet_policy(spec.fleet.policy)
+                                 : nullptr;
+  const FleetPolicy* policy =
+      policy_override != nullptr ? policy_override : owned_policy.get();
+  const PowerStateConfig ps_config{
+      spec.node.p_idle_w, spec.node.p_sleep_w, spec.node.wake_latency_s,
+      spec.fleet.sleep_after_windows, spec.fleet.power_gating};
+  std::vector<NodePowerStateMachine> power(
+      static_cast<std::size_t>(num_nodes), NodePowerStateMachine(ps_config));
+  std::vector<std::vector<int>> hosted(static_cast<std::size_t>(num_nodes));
+  std::vector<double> committed(static_cast<std::size_t>(num_nodes), 0.0);
+
+  // --- the initial chain set (the scenario's static topology) -------------
+  const auto comps = scenario::resolved_chain_nfs(spec);
+  timeline.flows = scenario::resolved_flows(spec);
+  for (int c = 0; c < spec.num_chains; ++c) {
+    ChainInstance chain;
+    chain.id = c;
+    chain.nfs = comps[static_cast<std::size_t>(c)];
+    // Algorithm 1 line 1 allocates one core per NF.
+    chain.cores = static_cast<double>(chain.nfs.size());
+    for (const auto& flow : timeline.flows) {
+      if (flow.chain_index != c) continue;
+      chain.flows.push_back(flow);
+      chain.offered_gbps += flow.mean_rate_gbps();
+      chain.offered_pps += flow.mean_rate_pps;
+    }
+    if (chain.flows.empty()) {
+      throw std::invalid_argument(format(
+          "orchestrator: initial chain %d receives no flows (fleet runs"
+          " need traffic on every initial chain)",
+          c));
+    }
+    timeline.chains.push_back(std::move(chain));
+  }
+
+  const auto fleet_view = [&]() {
+    FleetView view;
+    for (int n = 0; n < num_nodes; ++n) {
+      NodeView node;
+      node.capacity_cores = capacity_cores;
+      node.committed_cores = committed[static_cast<std::size_t>(n)];
+      node.asleep = power[static_cast<std::size_t>(n)].asleep();
+      for (const int id : hosted[static_cast<std::size_t>(n)]) {
+        const ChainInstance& chain =
+            timeline.chains[static_cast<std::size_t>(id)];
+        node.chains.push_back({id, chain.cores, chain.offered_gbps});
+      }
+      view.nodes.push_back(std::move(node));
+    }
+    return view;
+  };
+
+  // Minimum one window of residency; exponential holding beyond that.
+  const auto draw_holding = [&]() {
+    return 1 + static_cast<int>(
+                   rng.exponential(1.0 / spec.fleet.mean_holding_windows));
+  };
+
+  const auto place = [&](int id, FleetTimeline::Window& win) {
+    ChainInstance& chain = timeline.chains[static_cast<std::size_t>(id)];
+    const int node = policy->choose(fleet_view(), chain.cores);
+    if (node < 0) {
+      ++win.rejected;
+      ++timeline.rejected;
+      chain.first_node = -1;
+      return;
+    }
+    const auto charge = power[static_cast<std::size_t>(node)].activate();
+    if (charge.woke) {
+      ++timeline.wakeups;
+      win.charges.push_back({id, charge.downtime_s, charge.energy_j, false});
+      timeline.wake_energy_j += charge.energy_j;
+      timeline.downtime_s += charge.downtime_s;
+    }
+    hosted[static_cast<std::size_t>(node)].push_back(id);
+    committed[static_cast<std::size_t>(node)] += chain.cores;
+    win.arrivals.push_back(id);
+    ++timeline.arrivals;
+    chain.first_node = node;
+  };
+
+  timeline.windows.resize(static_cast<std::size_t>(horizon));
+  int next_id = spec.num_chains;
+
+  for (int w = 0; w < horizon; ++w) {
+    FleetTimeline::Window& win =
+        timeline.windows[static_cast<std::size_t>(w)];
+
+    // 1. Departures: chains whose holding time expired leave at the
+    //    window edge (static fleets never depart).
+    if (!static_fleet) {
+      for (int n = 0; n < num_nodes; ++n) {
+        auto& chains_here = hosted[static_cast<std::size_t>(n)];
+        for (std::size_t i = 0; i < chains_here.size();) {
+          const int id = chains_here[i];
+          const ChainInstance& chain =
+              timeline.chains[static_cast<std::size_t>(id)];
+          if (chain.departure_window == w) {
+            win.departures.push_back(id);
+            committed[static_cast<std::size_t>(n)] -= chain.cores;
+            chains_here.erase(chains_here.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          } else {
+            ++i;
+          }
+        }
+      }
+      std::sort(win.departures.begin(), win.departures.end());
+      timeline.departures += static_cast<int>(win.departures.size());
+    }
+
+    // 2. Arrivals. The initial chain set lands at w=0 through the same
+    //    policy; dynamic arrivals are Poisson with the scenario's
+    //    RateProfile as the fleet-level load envelope.
+    if (w == 0) {
+      for (int c = 0; c < spec.num_chains; ++c) {
+        if (!static_fleet) {
+          timeline.chains[static_cast<std::size_t>(c)].departure_window =
+              draw_holding();
+        }
+        place(c, win);
+      }
+    }
+    if (!static_fleet) {
+      const double mean =
+          spec.fleet.arrival_rate * spec.profile.multiplier(w * window_s);
+      const std::uint64_t count = mean > 0.0 ? rng.poisson(mean) : 0;
+      for (std::uint64_t a = 0; a < count; ++a) {
+        ChainInstance chain;
+        chain.id = next_id++;
+        chain.nfs = nfvsim::standard_chain_nfs(chain.id);
+        chain.cores = static_cast<double>(chain.nfs.size());
+        chain.flows = traffic::make_eval_flows(
+            spec.fleet.flows_per_chain, /*num_chains=*/1,
+            spec.fleet.chain_offered_gbps, rng.next_u64());
+        for (auto& flow : chain.flows) {
+          flow.chain_index = chain.id;
+          chain.offered_gbps += flow.mean_rate_gbps();
+          chain.offered_pps += flow.mean_rate_pps;
+        }
+        chain.arrival_window = w;
+        chain.departure_window = w + draw_holding();
+        timeline.chains.push_back(std::move(chain));
+        ChainInstance& arrived = timeline.chains.back();
+        place(arrived.id, win);
+        // A rejected chain never joins the flow pool — its flows would
+        // otherwise be dead weight re-scanned on every node-env rebuild.
+        if (arrived.first_node >= 0) {
+          timeline.flows.insert(timeline.flows.end(), arrived.flows.begin(),
+                                arrived.flows.end());
+        }
+      }
+    }
+
+    // 3. Consolidation: the policy may drain underutilized nodes so power
+    //    gating can put them to sleep. Each move costs downtime + energy.
+    if (!static_fleet && spec.fleet.migration) {
+      const std::vector<Migration> plan =
+          policy->consolidate(fleet_view(), spec.fleet.consolidate_below);
+      for (const Migration& move : plan) {
+        const ChainInstance& chain =
+            timeline.chains[static_cast<std::size_t>(move.chain)];
+        auto& from = hosted[static_cast<std::size_t>(move.from)];
+        from.erase(std::find(from.begin(), from.end(), move.chain));
+        committed[static_cast<std::size_t>(move.from)] -= chain.cores;
+        const auto charge =
+            power[static_cast<std::size_t>(move.to)].activate();
+        if (charge.woke) {
+          // The policies never wake a node to consolidate into, but a
+          // custom policy could — account for it either way.
+          ++timeline.wakeups;
+          win.charges.push_back(
+              {move.chain, charge.downtime_s, charge.energy_j, false});
+          timeline.wake_energy_j += charge.energy_j;
+          timeline.downtime_s += charge.downtime_s;
+        }
+        hosted[static_cast<std::size_t>(move.to)].push_back(move.chain);
+        committed[static_cast<std::size_t>(move.to)] += chain.cores;
+        win.migrations.push_back(move);
+        ++timeline.migrations;
+        win.charges.push_back({move.chain, spec.fleet.migration_downtime_s,
+                               spec.fleet.migration_energy_j, true});
+        timeline.migration_energy_j += spec.fleet.migration_energy_j;
+        timeline.downtime_s += spec.fleet.migration_downtime_s;
+      }
+    }
+
+    // 4. Occupancy and power-state accounting, in node order (the
+    //    floating-point standby accumulation order is part of the
+    //    contract the event engine reproduces).
+    for (int n = 0; n < num_nodes; ++n) {
+      auto& chains_here = hosted[static_cast<std::size_t>(n)];
+      std::sort(chains_here.begin(), chains_here.end());
+      timeline.occupancy.add(chains_here.size());
+      win.live_chains += static_cast<int>(chains_here.size());
+
+      const bool occupied = !chains_here.empty();
+      if (occupied) {
+        ++win.active_nodes;
+      } else if (power[static_cast<std::size_t>(n)].asleep()) {
+        ++win.asleep_nodes;
+      } else {
+        ++win.idle_nodes;
+      }
+      win.standby_energy_j +=
+          power[static_cast<std::size_t>(n)].advance(occupied, window_s);
+    }
+    timeline.standby_energy_j += win.standby_energy_j;
+  }
+  return timeline;
+}
+
+}  // namespace greennfv::orchestrator

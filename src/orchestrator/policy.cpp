@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "orchestrator/fleet_index.hpp"
 
 namespace greennfv::orchestrator {
 
 namespace {
+
+/// Tightest fit among awake nodes via the occupancy buckets: the highest
+/// bucket whose level still fits has minimal slack; min id breaks ties
+/// (the reference scan's 1e-12-strict improvement keeps the first, i.e.
+/// lowest, index among equal-slack nodes). Falls back to the lowest
+/// asleep id, mirroring energy_bestfit_choose's wake pass.
+int indexed_bestfit(const FleetIndex& index, double cores) {
+  const int max_level = index.max_fitting_level(cores);
+  if (max_level < 0) return -1;
+  const int level = index.awake_levels().highest_nonempty(
+      0, static_cast<std::size_t>(max_level));
+  if (level >= 0)
+    return index.awake_levels().min_id(static_cast<std::size_t>(level));
+  return index.min_asleep_id();
+}
 
 class FirstFitPolicy final : public FleetPolicy {
  public:
@@ -16,6 +34,20 @@ class FirstFitPolicy final : public FleetPolicy {
     for (std::size_t n = 0; n < view.nodes.size(); ++n)
       if (view.nodes[n].fits(cores)) return static_cast<int>(n);
     return -1;
+  }
+
+  [[nodiscard]] int choose_indexed(const FleetIndex& index,
+                                   double cores) const override {
+    const int max_level = index.max_fitting_level(cores);
+    if (max_level < 0) return -1;
+    // Lowest node id that fits, awake or asleep (asleep nodes sit at
+    // level 0, which fits whenever anything does).
+    const int awake = index.awake_levels().min_id_in_range(
+        0, static_cast<std::size_t>(max_level));
+    const int asleep = index.min_asleep_id();
+    if (awake < 0) return asleep;
+    if (asleep < 0) return awake;
+    return std::min(awake, asleep);
   }
 };
 
@@ -36,6 +68,26 @@ class LeastLoadedPolicy final : public FleetPolicy {
       }
     }
     return chosen;
+  }
+
+  [[nodiscard]] int choose_indexed(const FleetIndex& index,
+                                   double cores) const override {
+    const int max_level = index.max_fitting_level(cores);
+    if (max_level < 0) return -1;
+    const int lowest = index.awake_levels().lowest_nonempty(
+        0, static_cast<std::size_t>(max_level));
+    const int asleep = index.min_asleep_id();
+    if (asleep >= 0) {
+      // Asleep nodes carry zero committed cores: they tie with awake
+      // level 0 (lowest id wins — the scan's strict-improvement keeps
+      // the first index) and beat any busier node.
+      if (lowest == 0)
+        return std::min(index.awake_levels().min_id(0), asleep);
+      return asleep;
+    }
+    return lowest < 0
+               ? -1
+               : index.awake_levels().min_id(static_cast<std::size_t>(lowest));
   }
 };
 
@@ -71,6 +123,11 @@ class EnergyBestFitPolicy final : public FleetPolicy {
                            double cores) const override {
     return energy_bestfit_choose(view, cores, /*allow_wake=*/true);
   }
+
+  [[nodiscard]] int choose_indexed(const FleetIndex& index,
+                                   double cores) const override {
+    return indexed_bestfit(index, cores);
+  }
 };
 
 class ConsolidatePolicy final : public FleetPolicy {
@@ -80,6 +137,11 @@ class ConsolidatePolicy final : public FleetPolicy {
   [[nodiscard]] int choose(const FleetView& view,
                            double cores) const override {
     return energy_bestfit_choose(view, cores, /*allow_wake=*/true);
+  }
+
+  [[nodiscard]] int choose_indexed(const FleetIndex& index,
+                                   double cores) const override {
+    return indexed_bestfit(index, cores);
   }
 
   [[nodiscard]] std::vector<Migration> consolidate(
@@ -137,9 +199,103 @@ class ConsolidatePolicy final : public FleetPolicy {
     }
     return {};
   }
+
+  [[nodiscard]] std::vector<Migration> consolidate_indexed(
+      const FleetIndex& index, double below) const override {
+    const BucketQueue& awake = index.awake_levels();
+    const double cap = index.capacity_cores();
+    // Donor candidates in (utilization asc, id asc) order = (bucket
+    // level asc, ordered ids within): utilization is committed/capacity
+    // and committed equals the bucket level exactly. Level 0 nodes are
+    // empty (never donors); past the `below` threshold no higher level
+    // qualifies either.
+    for (std::size_t level = 1; level < awake.num_levels(); ++level) {
+      if (!(static_cast<double>(level) / cap < below)) break;
+      for (const int donor : awake.at(level)) {
+        std::vector<Migration> plan = try_drain(index, donor);
+        if (!plan.empty()) return plan;
+      }
+    }
+    return {};
+  }
+
+ private:
+  /// Drain-or-nothing plan for one donor against the live index, exactly
+  /// mirroring the view-based planner's overlay of tentative receivers:
+  /// non-overlaid candidates come from the snapshot buckets (highest
+  /// fitting level = tightest fit, min id on ties), overlaid receivers
+  /// compete at their effective (snapshot + taken) level.
+  [[nodiscard]] static std::vector<Migration> try_drain(
+      const FleetIndex& index, int donor) {
+    const BucketQueue& awake = index.awake_levels();
+    const double cap = index.capacity_cores();
+    std::vector<std::pair<int, double>> taken;  // (receiver, cores so far)
+    std::vector<Migration> plan;
+    for (const int chain : index.hosted(donor)) {
+      const double cores = index.chain_cores(chain);
+      const int max_level = index.max_fitting_level(cores);
+      int target = -1;
+      double target_eff = -1.0;
+      // Highest fitting snapshot bucket, skipping the donor and already-
+      // overlaid receivers; level >= 1 keeps only awake occupied nodes.
+      for (int level = std::min(max_level,
+                                static_cast<int>(awake.num_levels()) - 1);
+           level >= 1 && target < 0; --level) {
+        for (const int id : awake.at(static_cast<std::size_t>(level))) {
+          if (id == donor) continue;
+          bool overlaid = false;
+          for (const auto& [node, extra] : taken) {
+            if (node == id) {
+              overlaid = true;
+              break;
+            }
+          }
+          if (overlaid) continue;
+          target = id;
+          target_eff = static_cast<double>(level);
+          break;
+        }
+      }
+      // Overlaid receivers at their effective load: tightest fit wins,
+      // min id on effective-level ties (the scan keeps the first index).
+      for (const auto& [node, extra] : taken) {
+        const double eff = index.committed_cores(node) + extra;
+        if (eff + cores > cap + 1e-9) continue;
+        if (target < 0 || eff > target_eff ||
+            (eff == target_eff && node < target)) {
+          target = node;
+          target_eff = eff;
+        }
+      }
+      if (target < 0) return {};  // not drainable — try the next donor
+      bool found = false;
+      for (auto& [node, extra] : taken) {
+        if (node == target) {
+          extra += cores;
+          found = true;
+          break;
+        }
+      }
+      if (!found) taken.emplace_back(target, cores);
+      plan.push_back({chain, index.chain_node(chain), target});
+    }
+    return plan;
+  }
 };
 
 }  // namespace
+
+int FleetPolicy::choose_indexed(const FleetIndex& index,
+                                double cores) const {
+  // Compatibility path for index-unaware (custom) policies: snapshot the
+  // fleet into the classic view and run the linear-scan variant.
+  return choose(index.materialize_view(), cores);
+}
+
+std::vector<Migration> FleetPolicy::consolidate_indexed(
+    const FleetIndex& index, double below) const {
+  return consolidate(index.materialize_view(), below);
+}
 
 const std::vector<std::string>& fleet_policy_names() {
   static const std::vector<std::string> names = {

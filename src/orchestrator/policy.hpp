@@ -16,6 +16,8 @@
 
 namespace greennfv::orchestrator {
 
+class FleetIndex;
+
 /// One hosted chain from the policy's perspective.
 struct ChainLoad {
   int id = 0;
@@ -74,6 +76,17 @@ class FleetPolicy {
     (void)below;
     return {};
   }
+
+  /// Index-backed variants the discrete-event engine calls on the hot
+  /// path. The registry policies answer straight from the occupancy
+  /// buckets in O(core levels) — provably equal to their linear-scan
+  /// choose()/consolidate() because committed cores are integral (see
+  /// fleet_index.hpp). The defaults materialize a FleetView and defer to
+  /// the scan variants, so custom policies keep working unchanged.
+  [[nodiscard]] virtual int choose_indexed(const FleetIndex& index,
+                                           double cores) const;
+  [[nodiscard]] virtual std::vector<Migration> consolidate_indexed(
+      const FleetIndex& index, double below) const;
 };
 
 /// Registry lookup by name ("first-fit", "least-loaded", "energy-bestfit",

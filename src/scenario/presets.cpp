@@ -154,11 +154,46 @@ ScenarioSpec fleet_smoke() {
   return spec;
 }
 
+ScenarioSpec mega_fleet() {
+  ScenarioSpec spec;
+  spec.name = "mega-fleet";
+  spec.description =
+      "Hyperscale fleet history: 10k nodes, ~1M chain arrivals over 420"
+      " windows (14 simulated minutes) — sized for the discrete-event"
+      " engine, minutes on the timeline alone; evaluate models against it"
+      " only with tiny rosters";
+  spec.seed = 42;
+  spec.num_nodes = 10000;
+  spec.num_chains = 3;
+  spec.num_flows = 6;
+  spec.total_offered_gbps = 9.0;
+  spec.window_s = 2.0;
+  spec.sub_windows = 2;
+  spec.steps_per_episode = 4;
+  spec.eval_windows = 3;
+  spec.episodes = 6;
+  spec.q_episodes = 6;
+  spec.candidates = 1;
+  spec.fleet.enabled = true;
+  spec.fleet.horizon_windows = 420;
+  // 2500 arrivals/window x 420 windows ≈ 1.05M chains; mean holding 12
+  // windows ≈ 30k live chains (90k committed cores) against 140k
+  // schedulable — enough headroom that consolidation and power gating
+  // keep churning instead of the fleet saturating.
+  spec.fleet.arrival_rate = 2500.0;
+  spec.fleet.mean_holding_windows = 12.0;
+  spec.fleet.flows_per_chain = 1;
+  spec.fleet.chain_offered_gbps = 3.0;
+  spec.fleet.policy = "consolidate";
+  spec.fleet.sleep_after_windows = 1;
+  return spec;
+}
+
 const std::vector<ScenarioSpec>& registry() {
   static const std::vector<ScenarioSpec> presets = {
       paper_default(), overload(),  diurnal(),  flash_crowd(),
       heterogeneous_cluster(),      tcp_heavy(), ci_smoke(),
-      fleet_smoke(),
+      fleet_smoke(),   mega_fleet(),
   };
   return presets;
 }

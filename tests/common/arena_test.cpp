@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+
+/// Arena contract — pool allocation for the simulation hot path:
+/// alignment is honored, freed blocks recycle through their size class
+/// (same pointer comes back), randomized churn never corrupts live
+/// blocks, and the ArenaAllocator adapter drives node containers
+/// correctly (rebind, equality, churn reuse).
+
+namespace greennfv {
+namespace {
+
+TEST(Arena, HonorsAlignment) {
+  Arena arena;
+  for (const std::size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (int i = 0; i < 8; ++i) {
+      void* p = arena.allocate(24, align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "align " << align;
+    }
+  }
+}
+
+TEST(Arena, RecyclesFreedBlocksWithinASizeClass) {
+  Arena arena;
+  void* a = arena.allocate(40, 8);
+  arena.deallocate(a, 40, 8);
+  // Same size class (16-byte steps): the freelist must hand `a` back.
+  void* b = arena.allocate(33, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(arena.reuse_count(), 1u);
+  // Different class: fresh memory.
+  void* c = arena.allocate(128, 8);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(arena.reuse_count(), 1u);
+}
+
+TEST(Arena, OversizedAllocationsGetTheirOwnChunk) {
+  Arena arena(/*chunk_bytes=*/256);
+  void* big = arena.allocate(4096, 16);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 4096);
+  EXPECT_GE(arena.reserved_bytes(), 4096u);
+  // The arena must still serve small blocks afterwards.
+  void* small = arena.allocate(16, 8);
+  ASSERT_NE(small, nullptr);
+  std::memset(small, 0xCD, 16);
+  EXPECT_EQ(*static_cast<unsigned char*>(big), 0xABu);
+}
+
+TEST(Arena, RandomizedChurnNeverCorruptsLiveBlocks) {
+  // Property test: live blocks are filled with a pattern derived from
+  // their id; any overlap between a fresh/recycled block and a live one
+  // shows up as a pattern mismatch on release.
+  Rng rng(0xA4E7Aull);
+  Arena arena(/*chunk_bytes=*/1024);
+  struct Block {
+    void* ptr;
+    std::size_t bytes;
+    unsigned char tag;
+  };
+  std::vector<Block> live;
+  unsigned char next_tag = 1;
+  for (int op = 0; op < 4000; ++op) {
+    if (live.empty() || rng.next_u64() % 2 == 0) {
+      const std::size_t bytes = 1 + rng.next_u64() % 200;
+      auto* p = static_cast<unsigned char*>(arena.allocate(bytes, 8));
+      std::memset(p, next_tag, bytes);
+      live.push_back({p, bytes, next_tag});
+      next_tag = static_cast<unsigned char>(next_tag == 255 ? 1 : next_tag + 1);
+    } else {
+      const std::size_t pick = rng.next_u64() % live.size();
+      const Block block = live[pick];
+      const auto* p = static_cast<const unsigned char*>(block.ptr);
+      for (std::size_t i = 0; i < block.bytes; ++i)
+        ASSERT_EQ(p[i], block.tag) << "byte " << i << " of live block";
+      arena.deallocate(block.ptr, block.bytes, 8);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_GT(arena.reuse_count(), 0u);
+}
+
+TEST(ArenaAllocator, DrivesNodeContainersAndRecyclesChurn) {
+  Arena arena;
+  std::set<int, std::less<int>, ArenaAllocator<int>> ids{
+      ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 100; ++i) ids.insert(i);
+  for (int i = 0; i < 100; ++i) ids.erase(i);
+  const std::size_t reserved = arena.reserved_bytes();
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) ids.insert(i);
+    for (int i = 0; i < 100; ++i) ids.erase(i);
+  }
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+  EXPECT_GT(arena.reuse_count(), 0u);
+}
+
+TEST(ArenaAllocator, RebindsAndComparesByArena) {
+  Arena a;
+  Arena b;
+  ArenaAllocator<int> ai(&a);
+  ArenaAllocator<long> al(ai);  // converting (rebind) constructor
+  EXPECT_EQ(al.arena(), &a);
+  EXPECT_TRUE(ai == ArenaAllocator<double>(&a));
+  EXPECT_TRUE(ai != ArenaAllocator<int>(&b));
+}
+
+}  // namespace
+}  // namespace greennfv

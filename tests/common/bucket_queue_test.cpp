@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/bucket_queue.hpp"
+#include "common/rng.hpp"
+
+/// BucketQueue contract — the occupancy runqueue the placement policies
+/// query instead of scanning the roster. The property test drives a
+/// randomized insert/erase/move churn against a naive oracle
+/// (map<level, set<id>>) and checks every query the policies rely on —
+/// min_id, min_id_in_range, lowest/highest_nonempty, per-level sizes —
+/// after every single mutation, so any bucket-index corruption is caught
+/// at the op that introduced it.
+
+namespace greennfv {
+namespace {
+
+using Oracle = std::map<std::size_t, std::set<int>>;
+
+void expect_queries_match(const BucketQueue& queue, const Oracle& oracle,
+                          std::size_t num_levels) {
+  std::size_t total = 0;
+  for (std::size_t level = 0; level < num_levels; ++level) {
+    const auto it = oracle.find(level);
+    const std::set<int> empty;
+    const std::set<int>& ids = it == oracle.end() ? empty : it->second;
+    total += ids.size();
+    ASSERT_EQ(queue.size(level), ids.size()) << "level " << level;
+    ASSERT_EQ(queue.empty(level), ids.empty()) << "level " << level;
+    ASSERT_EQ(queue.min_id(level), ids.empty() ? -1 : *ids.begin())
+        << "level " << level;
+    // In-bucket iteration must be ordered (the consolidation planner
+    // walks buckets and relies on ascending ids).
+    std::vector<int> got(queue.at(level).begin(), queue.at(level).end());
+    std::vector<int> want(ids.begin(), ids.end());
+    ASSERT_EQ(got, want) << "level " << level;
+  }
+  ASSERT_EQ(queue.size(), total);
+
+  // Range queries over a sample of [lo, hi] windows, including clamped
+  // and inverted ones.
+  for (std::size_t lo = 0; lo < num_levels + 2; ++lo) {
+    for (std::size_t hi = lo; hi < num_levels + 2; ++hi) {
+      int min_id = -1;
+      int lowest = -1;
+      int highest = -1;
+      for (std::size_t level = lo; level <= hi && level < num_levels;
+           ++level) {
+        const auto it = oracle.find(level);
+        if (it == oracle.end() || it->second.empty()) continue;
+        if (lowest < 0) lowest = static_cast<int>(level);
+        highest = static_cast<int>(level);
+        const int id = *it->second.begin();
+        if (min_id < 0 || id < min_id) min_id = id;
+      }
+      ASSERT_EQ(queue.min_id_in_range(lo, hi), min_id)
+          << "[" << lo << "," << hi << "]";
+      ASSERT_EQ(queue.lowest_nonempty(lo, hi), lowest)
+          << "[" << lo << "," << hi << "]";
+      ASSERT_EQ(queue.highest_nonempty(lo, hi), highest)
+          << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(BucketQueue, EmptyQueueAnswersEveryQueryWithMinusOne) {
+  Arena arena;
+  BucketQueue queue(5, &arena);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.min_id(0), -1);
+  EXPECT_EQ(queue.min_id_in_range(0, 4), -1);
+  EXPECT_EQ(queue.lowest_nonempty(0, 4), -1);
+  EXPECT_EQ(queue.highest_nonempty(0, 4), -1);
+  EXPECT_EQ(queue.highest_nonempty(0, 100), -1);  // clamped hi
+}
+
+TEST(BucketQueue, RandomizedChurnMatchesOracleAfterEveryMutation) {
+  constexpr std::size_t kLevels = 16;
+  constexpr int kIds = 48;
+  Rng rng(0xB0C4E7ull);
+  Arena arena;
+  BucketQueue queue(kLevels, &arena);
+  Oracle oracle;
+  // id -> level when present
+  std::map<int, std::size_t> where;
+
+  for (int op = 0; op < 3000; ++op) {
+    const int id = static_cast<int>(rng.next_u64() % kIds);
+    const auto placed = where.find(id);
+    if (placed == where.end()) {
+      const auto level = static_cast<std::size_t>(rng.next_u64() % kLevels);
+      queue.insert(level, id);
+      oracle[level].insert(id);
+      where[id] = level;
+    } else if (rng.next_u64() % 2 == 0) {
+      queue.erase(placed->second, id);
+      oracle[placed->second].erase(id);
+      where.erase(placed);
+    } else {
+      const auto to = static_cast<std::size_t>(rng.next_u64() % kLevels);
+      queue.move(placed->second, to, id);
+      oracle[placed->second].erase(id);
+      oracle[to].insert(id);
+      placed->second = to;
+    }
+    expect_queries_match(queue, oracle, kLevels);
+  }
+}
+
+TEST(BucketQueue, SetNodesRecycleThroughTheArena) {
+  // The whole point of arena-backing the runqueues: steady-state churn
+  // (insert/erase cycles) must reuse freed set nodes, not grow memory.
+  Arena arena;
+  BucketQueue queue(4, &arena);
+  for (int i = 0; i < 64; ++i) queue.insert(0, i);
+  for (int i = 0; i < 64; ++i) queue.erase(0, i);
+  const std::size_t reserved = arena.reserved_bytes();
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 64; ++i) queue.insert(1, i);
+    for (int i = 0; i < 64; ++i) queue.erase(1, i);
+  }
+  EXPECT_EQ(arena.reserved_bytes(), reserved)
+      << "churn after warm-up must not reserve new memory";
+  EXPECT_GT(arena.reuse_count(), 0u);
+}
+
+}  // namespace
+}  // namespace greennfv

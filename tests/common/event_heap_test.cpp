@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/event_heap.hpp"
+#include "common/rng.hpp"
+
+/// EventHeap contract — the discrete-event engine's ordering guarantees:
+/// pops come out sorted by (time, phase), equal keys pop FIFO (the seq
+/// stamp), and arbitrary randomized push/pop interleavings agree with a
+/// naive stable-sorted-vector oracle. The FIFO stability is load-bearing
+/// for the fleet engine's bit-identity (same-window departures must pop
+/// in push order), so it gets its own dedicated case.
+
+namespace greennfv {
+namespace {
+
+struct Tagged {
+  int value = 0;
+};
+
+TEST(EventHeap, PopsInTimeThenPhaseOrder) {
+  EventHeap<int, Tagged> heap;
+  heap.push(3, 1, {0});
+  heap.push(1, 2, {1});
+  heap.push(1, 0, {2});
+  heap.push(2, 0, {3});
+  heap.push(3, 0, {4});
+
+  std::vector<std::pair<int, int>> keys;
+  while (!heap.empty()) {
+    const auto entry = heap.pop();
+    keys.emplace_back(entry.time, entry.phase);
+  }
+  const std::vector<std::pair<int, int>> expected = {
+      {1, 0}, {1, 2}, {2, 0}, {3, 0}, {3, 1}};
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(EventHeap, EqualKeysPopInPushOrder) {
+  // 64 events on one (time, phase) key, pushed with increasing tags and
+  // interleaved with other keys: the tags must come back 0,1,2,... —
+  // binary heaps are not inherently stable, the seq stamp makes this one.
+  EventHeap<int, Tagged> heap;
+  for (int i = 0; i < 64; ++i) {
+    heap.push(7, 1, {i});
+    heap.push(9, 0, {1000 + i});
+    heap.push(7, 0, {2000 + i});
+  }
+  // Drain phase 0 of time 7 first (also FIFO), then the probed key.
+  for (int i = 0; i < 64; ++i) {
+    const auto entry = heap.pop();
+    ASSERT_EQ(entry.time, 7);
+    ASSERT_EQ(entry.phase, 0);
+    ASSERT_EQ(entry.payload.value, 2000 + i);
+  }
+  for (int i = 0; i < 64; ++i) {
+    const auto entry = heap.pop();
+    ASSERT_EQ(entry.time, 7);
+    ASSERT_EQ(entry.phase, 1);
+    ASSERT_EQ(entry.payload.value, i) << "FIFO stability violated";
+  }
+  EXPECT_EQ(heap.size(), 64u);
+}
+
+TEST(EventHeap, RandomizedInterleavingsMatchSortedVectorOracle) {
+  // Property test: any sequence of pushes and pops agrees with a stable
+  // sort over (time, phase, push index). Pops interleave with pushes so
+  // sift_down paths after partial drains are exercised too.
+  Rng rng(0xE4E47ull);
+  for (int round = 0; round < 50; ++round) {
+    EventHeap<int, Tagged> heap;
+    struct OracleEntry {
+      int time;
+      int phase;
+      std::uint64_t seq;
+      int value;
+    };
+    std::vector<OracleEntry> oracle;  // pending (not yet popped) events
+    std::vector<int> popped;
+    std::vector<int> expected;
+    std::uint64_t seq = 0;
+
+    const int ops = 200 + static_cast<int>(rng.next_u64() % 300);
+    for (int op = 0; op < ops; ++op) {
+      const bool push = heap.empty() || (rng.next_u64() % 3) != 0;
+      if (push) {
+        const int time = static_cast<int>(rng.next_u64() % 20);
+        const int phase = static_cast<int>(rng.next_u64() % 4);
+        const int value = static_cast<int>(seq);
+        heap.push(time, phase, {value});
+        oracle.push_back({time, phase, seq++, value});
+      } else {
+        const auto min = std::min_element(
+            oracle.begin(), oracle.end(),
+            [](const OracleEntry& a, const OracleEntry& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.phase != b.phase) return a.phase < b.phase;
+              return a.seq < b.seq;
+            });
+        expected.push_back(min->value);
+        oracle.erase(min);
+        popped.push_back(heap.pop().payload.value);
+      }
+      ASSERT_EQ(heap.size(), oracle.size());
+    }
+    // Drain the rest in oracle order.
+    std::stable_sort(oracle.begin(), oracle.end(),
+                     [](const OracleEntry& a, const OracleEntry& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       if (a.phase != b.phase) return a.phase < b.phase;
+                       return a.seq < b.seq;
+                     });
+    for (const OracleEntry& entry : oracle) expected.push_back(entry.value);
+    while (!heap.empty()) popped.push_back(heap.pop().payload.value);
+    ASSERT_EQ(popped, expected) << "round " << round;
+  }
+}
+
+TEST(EventHeap, TopMatchesNextPopAndClearEmpties) {
+  EventHeap<int, Tagged> heap;
+  heap.push(5, 0, {10});
+  heap.push(2, 3, {11});
+  EXPECT_EQ(heap.top().payload.value, 11);
+  EXPECT_EQ(heap.pop().payload.value, 11);
+  EXPECT_EQ(heap.top().payload.value, 10);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+}  // namespace
+}  // namespace greennfv

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "orchestrator/fleet.hpp"
+#include "orchestrator/timeline_io.hpp"
 #include "scenario/presets.hpp"
 
 /// FleetOrchestrator contract — the acceptance criteria of the fleet
@@ -134,12 +135,10 @@ TEST(FleetOrchestrator, DifferentSeedsChangeTheTimeline) {
   FleetOrchestrator a(spec);
   spec.seed = 1234567;
   FleetOrchestrator b(spec);
-  const auto memberships = [](const FleetTimeline& timeline) {
-    std::vector<std::vector<std::vector<int>>> all;
-    for (const auto& win : timeline.windows) all.push_back(win.membership);
-    return all;
-  };
-  EXPECT_NE(memberships(a.timeline()), memberships(b.timeline()));
+  // The canonical serialization pins the whole history (membership is
+  // replayed from the per-window deltas).
+  EXPECT_NE(timeline_to_text(a.timeline(), spec.num_nodes),
+            timeline_to_text(b.timeline(), spec.num_nodes));
 }
 
 TEST(FleetOrchestrator, TimelineChargesAreConsistent) {
@@ -201,13 +200,15 @@ TEST(FleetOrchestrator, EnergySeriesDecomposesIntoNodeStandbyAndCharges) {
 
   const TimeSeries& energy = fleet.report.series.series(prefix + "energy_j");
   ASSERT_EQ(energy.size(), timeline.windows.size());
+  MembershipReplay replay(timeline, spec.num_nodes);
   for (std::size_t w = 0; w < timeline.windows.size(); ++w) {
     const auto& win = timeline.windows[w];
+    replay.advance();
     // Recompute in the orchestrator's accumulation order: standby, then
     // node energies in node order, then the window's charge energy.
     double expected = win.standby_energy_j;
-    for (std::size_t n = 0; n < win.membership.size(); ++n) {
-      if (win.membership[n].empty()) continue;
+    for (int n = 0; n < replay.num_nodes(); ++n) {
+      if (replay.members(n).empty()) continue;
       const std::string node_series =
           prefix + "node" + std::to_string(n) + "_energy_j";
       ASSERT_TRUE(fleet.report.series.has(node_series));
