@@ -73,6 +73,13 @@ int run(const Config& config) {
                 spec.fleet.arrival_rate,
                 spec.fleet.migration ? "on" : "off",
                 spec.fleet.power_gating ? "on" : "off");
+    if (spec.topology.enabled) {
+      std::printf("fleet: topology %s (%s routing)",
+                  spec.topology.preset.c_str(), spec.topology.routing.c_str());
+      if (spec.latency_sla_us > 0.0)
+        std::printf(", latency SLA %.0f us", spec.latency_sla_us);
+      std::printf("\n");
+    }
     orchestrator::FleetReport fleet_report = fleet.run(roster);
     fleet_summary = fleet_report.fleet_summary();
     report = std::move(fleet_report.report);

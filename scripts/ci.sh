@@ -68,6 +68,29 @@ echo "=== [1c4] mega-fleet smoke: 500 nodes / ~50k arrivals + baseline check ===
 ./build/bench_fleet smoke=1 baseline=bench/baselines/BENCH_fleet.json
 
 echo
+echo "=== [1c5] topology fleet smoke: leaf-spine fabric + latency SLA ==="
+# The network subsystem end to end: routed placement over a 3-node
+# leaf-spine fabric with the topology-aware policy, link energy folded
+# into the decomposition, and the 40 us latency SLA gating the SLA column.
+./build/example_run_scenario scenario=fleet-smoke models=baseline,ee-pstate \
+  topology.enabled=1 topology.preset=leaf-spine \
+  fleet.policy=topology-aware-bestfit sla.latency=40
+
+echo
+echo "=== [1c6] path-frontier smoke: 2 topology cells at jobs=2 ==="
+# A 2-cell slice of the path-frontier preset (one preset axis value, two
+# policies, one latency budget) on the starved fabric, then the manifest
+# must parse with every aggregate field finite.
+./build/example_run_campaign campaign=path-frontier \
+  sweep.topology.preset=leaf-spine \
+  sweep.fleet.policy=energy-bestfit,topology-aware-bestfit \
+  sweep.sla.latency=40 \
+  models=baseline eval_windows=3 sub_windows=2 window_s=2 \
+  jobs=2 fresh=1
+./build/example_run_campaign \
+  validate_manifest=out/path-frontier/manifest.json
+
+echo
 echo "=== [1d] RL training microbench: smoke mode + baseline check ==="
 # Smoke-sized run of the batched training engine (train_steps/sec,
 # actions/sec -> out/BENCH_train.json). The baseline comparison warns —
@@ -93,9 +116,9 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -R '^nfvsim\.')
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
-  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetWakeRegression)\.')
+  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.')
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
-  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetWakeRegression)\.')
+  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.')
 
 echo
 echo "ci.sh: all green"

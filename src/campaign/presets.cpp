@@ -78,6 +78,29 @@ CampaignSpec sla_frontier() {
   return spec;
 }
 
+CampaignSpec path_frontier() {
+  CampaignSpec spec;
+  spec.name = "path-frontier";
+  spec.description =
+      "Topology x placement x latency-SLA grid over the dynamic fleet:"
+      " where does topology-aware placement beat network-blind bestfit?";
+  spec.scenarios = {"fleet-smoke"};
+  // Reactive models keep the 4x2x3 grid tractable; the question is about
+  // routing and link contention, not the learned schedulers.
+  spec.models = "baseline";
+  spec.overrides.set("topology.enabled", "1");
+  // Tight fabric caps so paths actually contend: each chain offers ~4
+  // Gbps, so an 8 Gbps edge link saturates at two chains per host.
+  spec.overrides.set("topology.link_gbps", "8");
+  spec.overrides.set("topology.core_gbps", "16");
+  spec.axes = {
+      {"topology.preset",
+       {"single-rack", "leaf-spine", "fat-tree", "edge-core"}},
+      {"fleet.policy", {"energy-bestfit", "topology-aware-bestfit"}},
+      {"sla.latency", {"20", "40", "80"}}};
+  return spec;
+}
+
 CampaignSpec ci_campaign_smoke() {
   CampaignSpec spec;
   spec.name = "ci-campaign-smoke";
@@ -95,8 +118,9 @@ CampaignSpec ci_campaign_smoke() {
 
 const std::vector<CampaignSpec>& registry() {
   static const std::vector<CampaignSpec> presets = {
-      fig9(),       fig11_rates(),  ablation(),
-      placement_sweep(), sla_frontier(), ci_campaign_smoke()};
+      fig9(),            fig11_rates(),  ablation(),
+      placement_sweep(), sla_frontier(), path_frontier(),
+      ci_campaign_smoke()};
   return presets;
 }
 

@@ -12,6 +12,7 @@
 #include "nfvsim/chain.hpp"
 #include "orchestrator/fleet_index.hpp"
 #include "orchestrator/timeline_io.hpp"
+#include "topology/path_table.hpp"
 #include "traffic/generator.hpp"
 
 // The timeline builder here is a discrete-event engine: a binary event
@@ -101,6 +102,24 @@ void FleetOrchestrator::build_timeline() {
       static_cast<std::size_t>(num_nodes), NodePowerStateMachine(ps_config));
   FleetIndex index(num_nodes, capacity_cores_);
 
+  // --- the network fabric (topology runs only) -----------------------------
+  // Built once per timeline; PathTable's integer kbps/ns accounting makes
+  // its state a pure function of the active chain set, so the event and
+  // reference engines agree regardless of their release orderings.
+  std::unique_ptr<topology::Topology> topo;
+  std::unique_ptr<topology::PathTable> net_owned;
+  if (spec_.topology.enabled) {
+    topo = std::make_unique<topology::Topology>(
+        topology::Topology::build(spec_.topology, num_nodes));
+    net_owned = std::make_unique<topology::PathTable>(
+        *topo, topology::routing_from_name(spec_.topology.routing),
+        topology::ns_from_us(spec_.latency_sla_us));
+    timeline_.topology_enabled = true;
+    timeline_.topology_switches = topo->num_switches();
+    timeline_.topology_links = topo->num_links();
+  }
+  topology::PathTable* const net = net_owned.get();
+
   // --- the initial chain set (the scenario's static topology) -------------
   const auto comps = scenario::resolved_chain_nfs(spec_);
   timeline_.flows = scenario::resolved_flows(spec_);
@@ -145,12 +164,28 @@ void FleetOrchestrator::build_timeline() {
 
   const auto place = [&](int id, FleetTimeline::Window& win) {
     ChainInstance& chain = timeline_.chains[static_cast<std::size_t>(id)];
-    const int node = policy->choose_indexed(index, chain.cores);
+    const ArrivalRequest request{chain.cores, chain.offered_gbps};
+    const int node = policy->choose_arrival_indexed(index, request, net);
     if (node < 0) {
       ++win.rejected;
       ++timeline_.rejected;
       chain.first_node = -1;
       return;
+    }
+    // Network admission before anything commits: a placement whose path
+    // would oversubscribe a link is rejected here, and the node is never
+    // spuriously woken for it.
+    if (net != nullptr && !net->commit_chain(id, node, chain.offered_gbps)) {
+      ++win.rejected;
+      ++timeline_.rejected;
+      ++win.net_rejected;
+      ++timeline_.net_rejected;
+      chain.first_node = -1;
+      return;
+    }
+    if (net != nullptr) {
+      chain.path_hops = net->chain_hops(id);
+      chain.path_latency_ns = net->chain_latency_ns(id);
     }
     const auto charge = power[static_cast<std::size_t>(node)].activate();
     if (charge.woke) {
@@ -192,6 +227,7 @@ void FleetOrchestrator::build_timeline() {
         const int id = event.payload;
         dirty.push_back(index.chain_node(id));
         index.remove_chain(id);
+        if (net != nullptr) net->release_chain(id);
         win.departures.push_back(id);
         ++timeline_.departures;
         break;
@@ -252,6 +288,14 @@ void FleetOrchestrator::build_timeline() {
         const std::vector<Migration> plan = policy->consolidate_indexed(
             index, spec_.fleet.consolidate_below);
         for (const Migration& move : plan) {
+          // Network veto: a consolidation move whose re-routed path has
+          // no feasible capacity is skipped (try_move leaves the fabric
+          // untouched on failure), not applied half-way.
+          if (net != nullptr && !net->try_move(move.chain, move.to)) {
+            ++win.net_blocked;
+            ++timeline_.net_blocked;
+            continue;
+          }
           const ChainInstance& chain =
               timeline_.chains[static_cast<std::size_t>(move.chain)];
           index.remove_chain(move.chain);
@@ -314,6 +358,19 @@ void FleetOrchestrator::build_timeline() {
           // Mirror a just-gated node into the index so next window's
           // placement queries see it on the asleep list.
           if (machine.asleep() && !index.asleep(n)) index.sleep(n);
+        }
+        if (net != nullptr) {
+          // End-of-window fabric snapshot from the table's exact running
+          // counters — no per-link sweep except the fixed-order energy sum.
+          win.link_energy_j = net->window_link_energy_j(window_s);
+          win.routed_chains = static_cast<int>(net->active_chains());
+          win.latency_violations =
+              static_cast<int>(net->active_latency_violations());
+          win.path_latency_sum_ns = net->active_path_latency_ns();
+          timeline_.link_energy_j += win.link_energy_j;
+          timeline_.routed_chain_windows += win.routed_chains;
+          timeline_.latency_violation_chain_windows += win.latency_violations;
+          timeline_.path_latency_sum_ns += win.path_latency_sum_ns;
         }
         timeline_.standby_energy_j += win.standby_energy_j;
         if (w + 1 < horizon_) events.push(w + 1, kAccountPhase, -1);
@@ -434,7 +491,7 @@ scenario::ModelReport FleetOrchestrator::run_model(
     // (the replay's occupied list is sorted — the accumulation order
     // below is bit-identity-relevant).
     double gbps = 0.0;
-    double energy = win.standby_energy_j;
+    double energy = win.standby_energy_j + win.link_energy_j;
     double offered_pps = 0.0;
     double drop_weighted = 0.0;
     int active = 0;
@@ -478,7 +535,8 @@ scenario::ModelReport FleetOrchestrator::run_model(
     double w_efficiency;
     double w_drop;
     double w_sla;
-    if (active == 1 && win.standby_energy_j == 0.0 && win.charges.empty()) {
+    if (active == 1 && win.standby_energy_j == 0.0 && win.charges.empty() &&
+        !spec_.topology.enabled) {
       // One node, no fleet overheads: use its window outcome verbatim —
       // this is the branch that keeps the single-node degeneration
       // bit-identical (no re-derivation through fleet formulas).
@@ -496,6 +554,12 @@ scenario::ModelReport FleetOrchestrator::run_model(
                    ? std::min(1.0, dropped_pps / offered_pps)
                    : 0.0;
       w_sla = sla.satisfied(w_gbps, w_energy) ? 1.0 : 0.0;
+    }
+    // The latency SLA is conjunctive with the scenario SLA: any routed
+    // chain over budget this window fails the window.
+    if (spec_.topology.enabled && spec_.latency_sla_us > 0.0 &&
+        win.latency_violations > 0) {
+      w_sla = 0.0;
     }
 
     result.mean_gbps += w_gbps;
@@ -521,6 +585,16 @@ scenario::ModelReport FleetOrchestrator::run_model(
     local.record("migrations", t,
                  static_cast<double>(win.migrations.size()));
     local.record("rejected", t, win.rejected);
+    if (spec_.topology.enabled) {
+      local.record("link_energy_j", t, win.link_energy_j);
+      local.record("path_latency_us", t,
+                   win.routed_chains > 0
+                       ? static_cast<double>(win.path_latency_sum_ns) /
+                             (1e3 * win.routed_chains)
+                       : 0.0);
+      local.record("latency_violations", t, win.latency_violations);
+      local.record("net_rejected", t, win.net_rejected);
+    }
   }
 
   const auto n = static_cast<double>(horizon_);
@@ -561,6 +635,29 @@ FleetReport FleetOrchestrator::run(
   fleet.mean_active_nodes /= n;
   fleet.mean_asleep_nodes /= n;
   fleet.mean_live_chains /= n;
+
+  if (timeline_.topology_enabled) {
+    fleet.topology_enabled = true;
+    fleet.topology_preset = spec_.topology.preset;
+    fleet.topology_routing = spec_.topology.routing;
+    fleet.topology_switches = timeline_.topology_switches;
+    fleet.topology_links = timeline_.topology_links;
+    fleet.net_rejected = timeline_.net_rejected;
+    fleet.net_blocked = timeline_.net_blocked;
+    fleet.link_energy_j = timeline_.link_energy_j;
+    fleet.latency_budget_us = spec_.latency_sla_us;
+    if (timeline_.routed_chain_windows > 0) {
+      fleet.mean_path_latency_us =
+          static_cast<double>(timeline_.path_latency_sum_ns) /
+          (1e3 * static_cast<double>(timeline_.routed_chain_windows));
+      if (spec_.latency_sla_us > 0.0) {
+        fleet.latency_sla_satisfaction =
+            1.0 -
+            static_cast<double>(timeline_.latency_violation_chain_windows) /
+                static_cast<double>(timeline_.routed_chain_windows);
+      }
+    }
+  }
   return fleet;
 }
 
@@ -580,6 +677,22 @@ std::string FleetReport::fleet_summary() const {
   for (std::size_t k = 0; k < occupancy_fractions.size(); ++k)
     out += format(" %zu:%.0f%%", k, occupancy_fractions[k] * 100.0);
   out += "\n";
+  if (topology_enabled) {
+    out += format(
+        "fleet: topology %s/%s, %d switch(es), %d link(s), link energy"
+        " %.0f J\n",
+        topology_preset.c_str(), topology_routing.c_str(), topology_switches,
+        topology_links, link_energy_j);
+    out += format(
+        "fleet: net %d rejected, %d blocked move(s), mean path latency"
+        " %.2f us",
+        net_rejected, net_blocked, mean_path_latency_us);
+    if (latency_budget_us > 0.0) {
+      out += format(", latency SLA (%.0f us) %.0f%%", latency_budget_us,
+                    latency_sla_satisfaction * 100.0);
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,11 @@ struct ChainInstance {
   int departure_window = -1;
   /// Node hosting the chain at arrival (-1 = rejected).
   int first_node = -1;
+  /// Routed path at arrival (topology runs only): hop count and exact
+  /// end-to-end latency in integral ns. -1/0 = unrouted (no topology,
+  /// rejected, or no feasible path).
+  int path_hops = -1;
+  std::int64_t path_latency_ns = 0;
 };
 
 /// A downtime/energy charge (wake latency or migration) against one chain
@@ -63,6 +69,18 @@ struct FleetTimeline {
     int idle_nodes = 0;
     int asleep_nodes = 0;
     int live_chains = 0;
+    /// Network accounting (topology runs only; all-zero otherwise).
+    /// Rejections that had cores but no feasible path; consolidation
+    /// moves vetoed because the new path would oversubscribe a link.
+    int net_rejected = 0;
+    int net_blocked = 0;
+    /// End-of-window fabric state: chains holding a path, how many of
+    /// them exceed the latency budget, their exact summed path latency
+    /// (integral ns — order-independent), and the window's link energy.
+    int routed_chains = 0;
+    int latency_violations = 0;
+    std::int64_t path_latency_sum_ns = 0;
+    double link_energy_j = 0.0;
   };
 
   // Per-window membership snapshots are NOT stored — at hyperscale
@@ -91,6 +109,20 @@ struct FleetTimeline {
   double downtime_s = 0.0;
   /// Chains-per-node over every (node, window) cell.
   telemetry::CountHistogram occupancy;
+
+  /// Network totals (topology runs only; all defaults otherwise — the
+  /// serializer gates its topology block on `topology_enabled` so
+  /// pre-topology timelines stay byte-identical).
+  bool topology_enabled = false;
+  int topology_switches = 0;
+  int topology_links = 0;
+  int net_rejected = 0;
+  int net_blocked = 0;
+  /// Chain-window sums of the per-window fabric state above.
+  std::int64_t routed_chain_windows = 0;
+  std::int64_t latency_violation_chain_windows = 0;
+  std::int64_t path_latency_sum_ns = 0;
+  double link_energy_j = 0.0;
 };
 
 /// A fleet evaluation: the uniform EvalReport (per-model means + telemetry
@@ -111,6 +143,21 @@ struct FleetReport {
   double mean_live_chains = 0.0;
   /// Fraction of node-windows hosting k chains, index = k.
   std::vector<double> occupancy_fractions;
+
+  /// Network block (topology runs only; defaults otherwise).
+  bool topology_enabled = false;
+  std::string topology_preset;
+  std::string topology_routing;
+  int topology_switches = 0;
+  int topology_links = 0;
+  int net_rejected = 0;
+  int net_blocked = 0;
+  double link_energy_j = 0.0;
+  /// Mean routed-path latency (us) over chain-windows, and the fraction
+  /// of chain-windows inside the sla.latency budget (1.0 when no budget).
+  double mean_path_latency_us = 0.0;
+  double latency_sla_satisfaction = 1.0;
+  double latency_budget_us = 0.0;
 
   /// Printable fleet-history block (under the EvalReport table).
   [[nodiscard]] std::string fleet_summary() const;

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
 #include "nfvsim/chain.hpp"
+#include "topology/path_table.hpp"
 #include "traffic/generator.hpp"
 
 // This file intentionally mirrors the pre-refactor build_timeline line
@@ -55,6 +56,24 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
       static_cast<std::size_t>(num_nodes), NodePowerStateMachine(ps_config));
   std::vector<std::vector<int>> hosted(static_cast<std::size_t>(num_nodes));
   std::vector<double> committed(static_cast<std::size_t>(num_nodes), 0.0);
+
+  // The network fabric (topology runs only). PathTable's integer kbps/ns
+  // accounting makes its state a pure function of the active chain set,
+  // so this engine's node-order departure releases and the event engine's
+  // id-order releases land on the identical fabric state.
+  std::unique_ptr<topology::Topology> topo;
+  std::unique_ptr<topology::PathTable> net_owned;
+  if (spec.topology.enabled) {
+    topo = std::make_unique<topology::Topology>(
+        topology::Topology::build(spec.topology, num_nodes));
+    net_owned = std::make_unique<topology::PathTable>(
+        *topo, topology::routing_from_name(spec.topology.routing),
+        topology::ns_from_us(spec.latency_sla_us));
+    timeline.topology_enabled = true;
+    timeline.topology_switches = topo->num_switches();
+    timeline.topology_links = topo->num_links();
+  }
+  topology::PathTable* const net = net_owned.get();
 
   // --- the initial chain set (the scenario's static topology) -------------
   const auto comps = scenario::resolved_chain_nfs(spec);
@@ -105,12 +124,28 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
 
   const auto place = [&](int id, FleetTimeline::Window& win) {
     ChainInstance& chain = timeline.chains[static_cast<std::size_t>(id)];
-    const int node = policy->choose(fleet_view(), chain.cores);
+    const ArrivalRequest request{chain.cores, chain.offered_gbps};
+    const int node = policy->choose_arrival(fleet_view(), request, net);
     if (node < 0) {
       ++win.rejected;
       ++timeline.rejected;
       chain.first_node = -1;
       return;
+    }
+    // Network admission before anything commits: a placement whose path
+    // would oversubscribe a link is rejected here, and the node is never
+    // spuriously woken for it.
+    if (net != nullptr && !net->commit_chain(id, node, chain.offered_gbps)) {
+      ++win.rejected;
+      ++timeline.rejected;
+      ++win.net_rejected;
+      ++timeline.net_rejected;
+      chain.first_node = -1;
+      return;
+    }
+    if (net != nullptr) {
+      chain.path_hops = net->chain_hops(id);
+      chain.path_latency_ns = net->chain_latency_ns(id);
     }
     const auto charge = power[static_cast<std::size_t>(node)].activate();
     if (charge.woke) {
@@ -145,6 +180,7 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
           if (chain.departure_window == w) {
             win.departures.push_back(id);
             committed[static_cast<std::size_t>(n)] -= chain.cores;
+            if (net != nullptr) net->release_chain(id);
             chains_here.erase(chains_here.begin() +
                               static_cast<std::ptrdiff_t>(i));
           } else {
@@ -205,6 +241,14 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
       const std::vector<Migration> plan =
           policy->consolidate(fleet_view(), spec.fleet.consolidate_below);
       for (const Migration& move : plan) {
+        // Network veto: a consolidation move whose re-routed path has no
+        // feasible capacity is skipped (try_move leaves the fabric
+        // untouched on failure), not applied half-way.
+        if (net != nullptr && !net->try_move(move.chain, move.to)) {
+          ++win.net_blocked;
+          ++timeline.net_blocked;
+          continue;
+        }
         const ChainInstance& chain =
             timeline.chains[static_cast<std::size_t>(move.chain)];
         auto& from = hosted[static_cast<std::size_t>(move.from)];
@@ -251,6 +295,17 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
       }
       win.standby_energy_j +=
           power[static_cast<std::size_t>(n)].advance(occupied, window_s);
+    }
+    if (net != nullptr) {
+      win.link_energy_j = net->window_link_energy_j(window_s);
+      win.routed_chains = static_cast<int>(net->active_chains());
+      win.latency_violations =
+          static_cast<int>(net->active_latency_violations());
+      win.path_latency_sum_ns = net->active_path_latency_ns();
+      timeline.link_energy_j += win.link_energy_j;
+      timeline.routed_chain_windows += win.routed_chains;
+      timeline.latency_violation_chain_windows += win.latency_violations;
+      timeline.path_latency_sum_ns += win.path_latency_sum_ns;
     }
     timeline.standby_energy_j += win.standby_energy_j;
   }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "orchestrator/fleet_index.hpp"
+#include "topology/path_table.hpp"
 
 namespace greennfv::orchestrator {
 
@@ -283,7 +284,80 @@ class ConsolidatePolicy final : public FleetPolicy {
   }
 };
 
+/// Joint node + path argmin. Scores every candidate with one routing
+/// pass (preview_hosts): among nodes that fit the cores AND have a
+/// feasible path, minimize (asleep, hops asc, bottleneck desc, slack asc,
+/// id asc) — awake nodes first (waking costs latency and watts), then the
+/// cheapest path, widest remaining headroom on hop ties, tightest core
+/// fit after that. This is what makes bestfit that saves node watts but
+/// crosses the core measurably lose: an extra hop outranks core slack.
+class TopologyAwareBestFitPolicy final : public FleetPolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "topology-aware-bestfit";
+  }
+
+  /// Network-free fallback (topology.enabled=0, or callers that never
+  /// route): identical to energy-bestfit, so the no-topology determinism
+  /// and golden suites exercise this policy too.
+  [[nodiscard]] int choose(const FleetView& view,
+                           double cores) const override {
+    return energy_bestfit_choose(view, cores, /*allow_wake=*/true);
+  }
+
+  [[nodiscard]] int choose_indexed(const FleetIndex& index,
+                                   double cores) const override {
+    return indexed_bestfit(index, cores);
+  }
+
+  [[nodiscard]] int choose_arrival(
+      const FleetView& view, const ArrivalRequest& request,
+      const topology::PathTable* net) const override {
+    if (net == nullptr) return choose(view, request.cores);
+    const std::vector<topology::PathView> paths =
+        net->preview_hosts(request.offered_gbps);
+    int chosen = -1;
+    bool chosen_asleep = false;
+    topology::PathView chosen_path;
+    double chosen_slack = 0.0;
+    for (std::size_t n = 0; n < view.nodes.size(); ++n) {
+      const NodeView& node = view.nodes[n];
+      if (!node.fits(request.cores)) continue;
+      const topology::PathView& path = paths[n];
+      if (!path.feasible) continue;
+      const double slack = node.free_cores() - request.cores;
+      const bool wins = [&] {
+        if (chosen < 0) return true;
+        if (node.asleep != chosen_asleep) return chosen_asleep;
+        if (path.hops != chosen_path.hops)
+          return path.hops < chosen_path.hops;
+        if (path.bottleneck_kbps != chosen_path.bottleneck_kbps)
+          return path.bottleneck_kbps > chosen_path.bottleneck_kbps;
+        // Strict improvement only: equal slack keeps the lower id.
+        return slack < chosen_slack - 1e-12;
+      }();
+      if (wins) {
+        chosen = static_cast<int>(n);
+        chosen_asleep = node.asleep;
+        chosen_path = path;
+        chosen_slack = slack;
+      }
+    }
+    return chosen;
+  }
+};
+
 }  // namespace
+
+int FleetPolicy::choose_arrival_indexed(
+    const FleetIndex& index, const ArrivalRequest& request,
+    const topology::PathTable* net) const {
+  // No network: the classic O(levels) indexed path, untouched. With one:
+  // arrival placement is no longer a pure cores argmin, so materialize
+  // the view and run the network-aware scan.
+  if (net == nullptr) return choose_indexed(index, request.cores);
+  return choose_arrival(index.materialize_view(), request, net);
+}
 
 int FleetPolicy::choose_indexed(const FleetIndex& index,
                                 double cores) const {
@@ -299,7 +373,8 @@ std::vector<Migration> FleetPolicy::consolidate_indexed(
 
 const std::vector<std::string>& fleet_policy_names() {
   static const std::vector<std::string> names = {
-      "first-fit", "least-loaded", "energy-bestfit", "consolidate"};
+      "first-fit", "least-loaded", "energy-bestfit", "consolidate",
+      "topology-aware-bestfit"};
   return names;
 }
 
@@ -309,6 +384,8 @@ std::unique_ptr<FleetPolicy> make_fleet_policy(const std::string& name) {
   if (name == "energy-bestfit")
     return std::make_unique<EnergyBestFitPolicy>();
   if (name == "consolidate") return std::make_unique<ConsolidatePolicy>();
+  if (name == "topology-aware-bestfit")
+    return std::make_unique<TopologyAwareBestFitPolicy>();
   std::string known;
   for (const auto& entry : fleet_policy_names()) {
     if (!known.empty()) known += ", ";

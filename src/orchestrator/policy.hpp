@@ -14,6 +14,10 @@
 /// related work (Tajiki et al., Sang et al.) identifies as where the
 /// energy/QoS trade-off is decided.
 
+namespace greennfv::topology {
+class PathTable;
+}  // namespace greennfv::topology
+
 namespace greennfv::orchestrator {
 
 class FleetIndex;
@@ -55,6 +59,13 @@ struct Migration {
   int to = 0;
 };
 
+/// Everything an arriving chain asks of the fleet — cores on a node plus
+/// (when a topology is live) a routed path wide enough for its traffic.
+struct ArrivalRequest {
+  double cores = 0.0;
+  double offered_gbps = 0.0;
+};
+
 class FleetPolicy {
  public:
   virtual ~FleetPolicy() = default;
@@ -87,11 +98,28 @@ class FleetPolicy {
                                            double cores) const;
   [[nodiscard]] virtual std::vector<Migration> consolidate_indexed(
       const FleetIndex& index, double below) const;
+
+  /// Arrival placement with the network in view. `net` is the live
+  /// routing/commitment table when the scenario runs a topology, null
+  /// otherwise. Defaults defer to choose()/choose_indexed(), so every
+  /// network-blind policy (including pre-existing custom ones) behaves
+  /// exactly as before; only topology-aware policies override these.
+  /// Whatever node is returned, the *engine* still admission-checks the
+  /// path — a policy cannot oversubscribe a link, only pick badly.
+  [[nodiscard]] virtual int choose_arrival(
+      const FleetView& view, const ArrivalRequest& request,
+      const topology::PathTable* net) const {
+    (void)net;
+    return choose(view, request.cores);
+  }
+  [[nodiscard]] virtual int choose_arrival_indexed(
+      const FleetIndex& index, const ArrivalRequest& request,
+      const topology::PathTable* net) const;
 };
 
 /// Registry lookup by name ("first-fit", "least-loaded", "energy-bestfit",
-/// "consolidate"); throws std::invalid_argument listing the registry on
-/// unknown names. The accepted names are mirrored by
+/// "consolidate", "topology-aware-bestfit"); throws std::invalid_argument
+/// listing the registry on unknown names. The accepted names are mirrored by
 /// scenario::FleetSpec::policy_names() so campaign expansion validates
 /// fleet.policy before anything runs.
 [[nodiscard]] std::unique_ptr<FleetPolicy> make_fleet_policy(

@@ -95,6 +95,12 @@ void append_chain(std::string& text, const ChainInstance& chain) {
                  chain.arrival_window, chain.departure_window,
                  chain.first_node, double_bits(chain.offered_gbps).c_str(),
                  double_bits(chain.offered_pps).c_str());
+  // Routed chains only (path_hops stays -1 without a topology), so
+  // pre-topology timelines serialize byte-identically.
+  if (chain.path_hops >= 0) {
+    text += format("  path: hops=%d latency_ns=%lld\n", chain.path_hops,
+                   static_cast<long long>(chain.path_latency_ns));
+  }
   for (const auto& flow : chain.flows) {
     text += format(
         "  flow %d: proto=%d arrival=%d rate_pps=%s pkt=%u p2m=%s"
@@ -126,6 +132,19 @@ std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
   text += format("migration_energy_j=%s\n",
                  double_bits(timeline.migration_energy_j).c_str());
   text += format("downtime_s=%s\n", double_bits(timeline.downtime_s).c_str());
+  if (timeline.topology_enabled) {
+    text += format(
+        "topology switches=%d links=%d net_rejected=%d net_blocked=%d\n",
+        timeline.topology_switches, timeline.topology_links,
+        timeline.net_rejected, timeline.net_blocked);
+    text += format(
+        "topology routed_cw=%lld violation_cw=%lld path_latency_ns=%lld"
+        " link_energy_j=%s\n",
+        static_cast<long long>(timeline.routed_chain_windows),
+        static_cast<long long>(timeline.latency_violation_chain_windows),
+        static_cast<long long>(timeline.path_latency_sum_ns),
+        double_bits(timeline.link_energy_j).c_str());
+  }
   text += format("occupancy_total=%llu counts=",
                  static_cast<unsigned long long>(timeline.occupancy.total()));
   const auto& counts = timeline.occupancy.counts();
@@ -146,6 +165,15 @@ std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
         static_cast<int>(w), win.rejected, win.active_nodes, win.idle_nodes,
         win.asleep_nodes, win.live_chains,
         double_bits(win.standby_energy_j).c_str());
+    if (timeline.topology_enabled) {
+      text += format(
+          "  net: rejected=%d blocked=%d routed=%d violations=%d"
+          " latency_ns=%lld link_energy_j=%s\n",
+          win.net_rejected, win.net_blocked, win.routed_chains,
+          win.latency_violations,
+          static_cast<long long>(win.path_latency_sum_ns),
+          double_bits(win.link_energy_j).c_str());
+    }
     if (!win.arrivals.empty())
       text += format("  arrivals=%s\n", join_ints(win.arrivals).c_str());
     if (!win.departures.empty())
@@ -189,6 +217,21 @@ std::string eval_to_text(const FleetReport& report) {
     text += double_bits(report.occupancy_fractions[i]);
   }
   text += '\n';
+  if (report.topology_enabled) {
+    text += format(
+        "fleet topology=%s/%s switches=%d links=%d net_rejected=%d"
+        " net_blocked=%d\n",
+        report.topology_preset.c_str(), report.topology_routing.c_str(),
+        report.topology_switches, report.topology_links, report.net_rejected,
+        report.net_blocked);
+    text += format(
+        "fleet link_energy_j=%s mean_path_latency_us=%s latency_sla=%s"
+        " latency_budget_us=%s\n",
+        double_bits(report.link_energy_j).c_str(),
+        double_bits(report.mean_path_latency_us).c_str(),
+        double_bits(report.latency_sla_satisfaction).c_str(),
+        double_bits(report.latency_budget_us).c_str());
+  }
   for (const auto& model : report.report.models) {
     const auto& r = model.result;
     text += format(

@@ -130,7 +130,8 @@ traffic::FlowSpec flow_from_text(const std::string& text, int id) {
 
 const std::vector<std::string>& FleetSpec::policy_names() {
   static const std::vector<std::string> names = {
-      "first-fit", "least-loaded", "energy-bestfit", "consolidate"};
+      "first-fit", "least-loaded", "energy-bestfit", "consolidate",
+      "topology-aware-bestfit"};
   return names;
 }
 
@@ -221,6 +222,30 @@ void ScenarioSpec::apply(const Config& config) {
       config.get_bool("fleet.power_gating", fleet.power_gating);
   fleet.sleep_after_windows = static_cast<int>(
       config.get_int("fleet.sleep_after", fleet.sleep_after_windows));
+
+  // --- topology (inter-node network fabric) --------------------------------
+  topology.enabled = config.get_bool("topology.enabled", topology.enabled);
+  topology.preset = config.get_string("topology.preset", topology.preset);
+  topology.routing = config.get_string("topology.routing", topology.routing);
+  topology.hosts_per_leaf = static_cast<int>(
+      config.get_int("topology.hosts_per_leaf", topology.hosts_per_leaf));
+  topology.spines =
+      static_cast<int>(config.get_int("topology.spines", topology.spines));
+  topology.fat_k =
+      static_cast<int>(config.get_int("topology.fat_k", topology.fat_k));
+  topology.link_gbps =
+      config.get_double("topology.link_gbps", topology.link_gbps);
+  topology.link_latency_us =
+      config.get_double("topology.link_latency_us", topology.link_latency_us);
+  topology.core_gbps =
+      config.get_double("topology.core_gbps", topology.core_gbps);
+  topology.core_latency_us =
+      config.get_double("topology.core_latency_us", topology.core_latency_us);
+  topology.link_idle_w =
+      config.get_double("topology.link_idle_w", topology.link_idle_w);
+  topology.link_nj_per_bit =
+      config.get_double("topology.link_nj_per_bit", topology.link_nj_per_bit);
+  latency_sla_us = config.get_double("sla.latency", latency_sla_us);
 
   // Scalar counts first: an explicit count without indexed entries reverts
   // the family to its generated/standard form.
@@ -341,6 +366,22 @@ std::string ScenarioSpec::to_text() const {
       << "\n";
   out << "fleet.power_gating=" << (fleet.power_gating ? 1 : 0) << "\n";
   out << "fleet.sleep_after=" << fleet.sleep_after_windows << "\n";
+  out << "topology.enabled=" << (topology.enabled ? 1 : 0) << "\n";
+  out << "topology.preset=" << topology.preset << "\n";
+  out << "topology.routing=" << topology.routing << "\n";
+  out << "topology.hosts_per_leaf=" << topology.hosts_per_leaf << "\n";
+  out << "topology.spines=" << topology.spines << "\n";
+  out << "topology.fat_k=" << topology.fat_k << "\n";
+  out << "topology.link_gbps=" << fmt_double(topology.link_gbps) << "\n";
+  out << "topology.link_latency_us=" << fmt_double(topology.link_latency_us)
+      << "\n";
+  out << "topology.core_gbps=" << fmt_double(topology.core_gbps) << "\n";
+  out << "topology.core_latency_us=" << fmt_double(topology.core_latency_us)
+      << "\n";
+  out << "topology.link_idle_w=" << fmt_double(topology.link_idle_w) << "\n";
+  out << "topology.link_nj_per_bit=" << fmt_double(topology.link_nj_per_bit)
+      << "\n";
+  out << "sla.latency=" << fmt_double(latency_sla_us) << "\n";
   out << "chains=" << num_chains << "\n";
   for (std::size_t c = 0; c < chain_nfs.size(); ++c) {
     out << "chain" << c << "=";
@@ -522,6 +563,22 @@ void ScenarioSpec::validate() const {
   if (fleet.sleep_after_windows < 1)
     throw std::invalid_argument(
         "scenario: fleet.sleep_after must be >= 1");
+
+  // --- topology block ------------------------------------------------------
+  // Name/numeric checks always run (campaign expansion rejects a typo'd
+  // topology.preset on disabled cells too); host-capacity fit binds only
+  // when the fabric is actually built.
+  topology::validate_spec(topology, num_nodes);
+  if (latency_sla_us < 0.0)
+    throw std::invalid_argument("scenario: sla.latency must be >= 0");
+  if (topology.enabled && !fleet.enabled)
+    throw std::invalid_argument(
+        "scenario: topology.enabled=1 requires fleet.enabled=1 (the fabric"
+        " is routed by the fleet orchestrator)");
+  if (latency_sla_us > 0.0 && !topology.enabled)
+    throw std::invalid_argument(
+        "scenario: sla.latency needs topology.enabled=1 (path latency comes"
+        " from the fabric)");
 }
 
 const std::vector<std::string>& ScenarioSpec::known_keys() {
@@ -539,7 +596,14 @@ const std::vector<std::string>& ScenarioSpec::known_keys() {
       "fleet.policy",   "fleet.migration",
       "fleet.migration_downtime_s", "fleet.migration_energy_j",
       "fleet.consolidate_below", "fleet.power_gating",
-      "fleet.sleep_after", "chains",
+      "fleet.sleep_after",
+      "topology.enabled", "topology.preset",
+      "topology.routing", "topology.hosts_per_leaf",
+      "topology.spines",  "topology.fat_k",
+      "topology.link_gbps", "topology.link_latency_us",
+      "topology.core_gbps", "topology.core_latency_us",
+      "topology.link_idle_w", "topology.link_nj_per_bit",
+      "sla.latency",    "chains",
       "flows",          "offered_gbps",
       "profile",        "profile_period_s",
       "profile_amplitude", "profile_surge_start_s",

@@ -7,6 +7,7 @@
 #include "common/config.hpp"
 #include "core/environment.hpp"
 #include "core/greennfv.hpp"
+#include "topology/topology.hpp"
 
 /// \file scenario_spec.hpp
 /// The declarative experiment description every bench, example, and test
@@ -77,6 +78,15 @@ struct ScenarioSpec {
   /// Dynamic-fleet simulation (arrivals, migration, power gating). Off by
   /// default — every pre-fleet scenario is bit-identical to before.
   FleetSpec fleet;
+  /// Inter-node network fabric (the `topology.*` key family): chains are
+  /// routed ingress→host over capacitated links, link energy joins the
+  /// fleet bill, and path latency is charged against `latency_sla_us`.
+  /// Off by default — the wire stays free, bit-identical to before.
+  topology::TopologySpec topology;
+  /// End-to-end latency SLA (`sla.latency`, microseconds): a routed
+  /// chain whose path latency exceeds this budget is an SLA violation in
+  /// the fleet accounting. 0 disables the axis; requires topology.
+  double latency_sla_us = 0.0;
 
   // --- chain topology ------------------------------------------------------
   int num_chains = 3;

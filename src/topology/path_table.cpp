@@ -1,0 +1,270 @@
+#include "topology/path_table.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace greennfv::topology {
+
+Routing routing_from_name(const std::string& name) {
+  if (name == "shortest") return Routing::kShortest;
+  if (name == "widest") return Routing::kWidest;
+  throw std::invalid_argument("topology: unknown routing '" + name + "'");
+}
+
+PathTable::PathTable(const Topology& topo, Routing routing,
+                     std::int64_t latency_budget_ns)
+    : topo_(topo),
+      routing_(routing),
+      latency_budget_ns_(latency_budget_ns),
+      committed_(static_cast<std::size_t>(topo.num_links()), 0) {}
+
+PathTable::Entry& PathTable::entry(int chain) {
+  if (chain >= static_cast<int>(chains_.size())) {
+    chains_.resize(static_cast<std::size_t>(chain) + 1);
+  }
+  return chains_[static_cast<std::size_t>(chain)];
+}
+
+bool PathTable::chain_active(int chain) const {
+  return chain >= 0 && chain < static_cast<int>(chains_.size()) &&
+         chains_[static_cast<std::size_t>(chain)].active;
+}
+
+int PathTable::chain_hops(int chain) const {
+  return static_cast<int>(chain_links(chain).size());
+}
+
+std::int64_t PathTable::chain_latency_ns(int chain) const {
+  return chains_[static_cast<std::size_t>(chain)].latency_ns;
+}
+
+const std::vector<int>& PathTable::chain_links(int chain) const {
+  return chains_[static_cast<std::size_t>(chain)].links;
+}
+
+void PathTable::route_labels(std::int64_t demand_kbps, int exclude_chain,
+                             std::vector<int>& hops,
+                             std::vector<std::int64_t>& bneck,
+                             std::vector<int>& parent) const {
+  const int n = topo_.num_vertices();
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  hops.assign(static_cast<std::size_t>(n), std::numeric_limits<int>::max());
+  bneck.assign(static_cast<std::size_t>(n), 0);
+  parent.assign(static_cast<std::size_t>(n), -1);
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+
+  // The excluded chain's own commitment counts as free capacity (the
+  // re-route case: its links would be released before re-committing).
+  std::vector<std::int64_t> extra;
+  const Entry* excluded = nullptr;
+  if (exclude_chain >= 0 && chain_active(exclude_chain)) {
+    excluded = &chains_[static_cast<std::size_t>(exclude_chain)];
+  }
+  auto free_kbps = [&](int link) {
+    std::int64_t used = committed_[static_cast<std::size_t>(link)];
+    if (excluded != nullptr) {
+      for (int l : excluded->links) {
+        if (l == link) {
+          used -= excluded->demand_kbps;
+          break;
+        }
+      }
+    }
+    const Link& l = topo_.links()[static_cast<std::size_t>(link)];
+    return l.capacity_kbps - used;
+  };
+
+  const int src = topo_.ingress();
+  hops[static_cast<std::size_t>(src)] = 0;
+  bneck[static_cast<std::size_t>(src)] = kInf;
+
+  // Label-setting Dijkstra, O(V^2 + E): deterministic vertex selection by
+  // (label, vertex id) — the same winner every run, on every engine.
+  // "better" is lexicographic per routing mode; both orderings keep the
+  // dominance property (extending the selected label never improves a
+  // settled vertex), so the primary objective is exact.
+  auto better = [&](int ha, std::int64_t ba, int hb, std::int64_t bb) {
+    if (routing_ == Routing::kShortest) {
+      if (ha != hb) return ha < hb;
+      return ba > bb;
+    }
+    if (ba != bb) return ba > bb;
+    return ha < hb;
+  };
+
+  for (int round = 0; round < n; ++round) {
+    int u = -1;
+    for (int v = 0; v < n; ++v) {
+      if (done[static_cast<std::size_t>(v)]) continue;
+      if (hops[static_cast<std::size_t>(v)] ==
+          std::numeric_limits<int>::max()) {
+        continue;
+      }
+      if (u < 0 || better(hops[static_cast<std::size_t>(v)],
+                          bneck[static_cast<std::size_t>(v)],
+                          hops[static_cast<std::size_t>(u)],
+                          bneck[static_cast<std::size_t>(u)])) {
+        u = v;
+      }
+    }
+    if (u < 0) break;
+    done[static_cast<std::size_t>(u)] = 1;
+    for (int link : topo_.adjacency(u)) {
+      const std::int64_t free = free_kbps(link);
+      if (free < demand_kbps) continue;  // infeasible link: absent
+      const int v = topo_.other_end(link, u);
+      if (done[static_cast<std::size_t>(v)]) continue;
+      const int nh = hops[static_cast<std::size_t>(u)] + 1;
+      const std::int64_t nb =
+          std::min(bneck[static_cast<std::size_t>(u)], free);
+      if (parent[static_cast<std::size_t>(v)] < 0 ||
+          better(nh, nb, hops[static_cast<std::size_t>(v)],
+                 bneck[static_cast<std::size_t>(v)])) {
+        hops[static_cast<std::size_t>(v)] = nh;
+        bneck[static_cast<std::size_t>(v)] = nb;
+        parent[static_cast<std::size_t>(v)] = link;
+      }
+    }
+  }
+}
+
+PathView PathTable::view_from_labels(
+    int host, const std::vector<int>& hops,
+    const std::vector<std::int64_t>& bneck,
+    const std::vector<int>& parent) const {
+  PathView view;
+  if (host == topo_.ingress()) {
+    view.feasible = true;
+    view.bottleneck_kbps = std::numeric_limits<std::int64_t>::max();
+    return view;
+  }
+  if (parent[static_cast<std::size_t>(host)] < 0) return view;
+  view.feasible = true;
+  view.hops = hops[static_cast<std::size_t>(host)];
+  view.bottleneck_kbps = bneck[static_cast<std::size_t>(host)];
+  for (int v = host; v != topo_.ingress();) {
+    const int link = parent[static_cast<std::size_t>(v)];
+    view.latency_ns +=
+        topo_.links()[static_cast<std::size_t>(link)].latency_ns;
+    v = topo_.other_end(link, v);
+  }
+  return view;
+}
+
+PathView PathTable::preview(int host, double gbps) const {
+  std::vector<int> hops;
+  std::vector<std::int64_t> bneck;
+  std::vector<int> parent;
+  route_labels(kbps_from_gbps(gbps), -1, hops, bneck, parent);
+  return view_from_labels(host, hops, bneck, parent);
+}
+
+std::vector<PathView> PathTable::preview_hosts(double gbps) const {
+  std::vector<int> hops;
+  std::vector<std::int64_t> bneck;
+  std::vector<int> parent;
+  route_labels(kbps_from_gbps(gbps), -1, hops, bneck, parent);
+  std::vector<PathView> views;
+  views.reserve(static_cast<std::size_t>(topo_.num_hosts()));
+  for (int h = 0; h < topo_.num_hosts(); ++h) {
+    views.push_back(view_from_labels(h, hops, bneck, parent));
+  }
+  return views;
+}
+
+void PathTable::commit_entry(int chain, std::int64_t demand_kbps,
+                             std::vector<int> links) {
+  Entry& e = entry(chain);
+  e.active = true;
+  e.demand_kbps = demand_kbps;
+  e.links = std::move(links);
+  e.latency_ns = 0;
+  for (int link : e.links) {
+    committed_[static_cast<std::size_t>(link)] += demand_kbps;
+    e.latency_ns += topo_.links()[static_cast<std::size_t>(link)].latency_ns;
+  }
+  ++active_chains_;
+  active_path_latency_ns_ += e.latency_ns;
+  if (latency_budget_ns_ > 0 && e.latency_ns > latency_budget_ns_) {
+    ++active_latency_violations_;
+  }
+}
+
+void PathTable::release_entry(Entry& e) {
+  for (int link : e.links) {
+    committed_[static_cast<std::size_t>(link)] -= e.demand_kbps;
+  }
+  --active_chains_;
+  active_path_latency_ns_ -= e.latency_ns;
+  if (latency_budget_ns_ > 0 && e.latency_ns > latency_budget_ns_) {
+    --active_latency_violations_;
+  }
+  e.active = false;
+  e.links.clear();
+  e.demand_kbps = 0;
+  e.latency_ns = 0;
+}
+
+bool PathTable::commit_chain(int chain, int host, double gbps) {
+  const std::int64_t demand = kbps_from_gbps(gbps);
+  std::vector<int> hops;
+  std::vector<std::int64_t> bneck;
+  std::vector<int> parent;
+  route_labels(demand, -1, hops, bneck, parent);
+  if (host != topo_.ingress() &&
+      parent[static_cast<std::size_t>(host)] < 0) {
+    return false;
+  }
+  std::vector<int> links;
+  for (int v = host; v != topo_.ingress();) {
+    const int link = parent[static_cast<std::size_t>(v)];
+    links.push_back(link);
+    v = topo_.other_end(link, v);
+  }
+  commit_entry(chain, demand, std::move(links));
+  return true;
+}
+
+void PathTable::release_chain(int chain) {
+  if (!chain_active(chain)) return;
+  release_entry(chains_[static_cast<std::size_t>(chain)]);
+}
+
+bool PathTable::try_move(int chain, int host) {
+  if (!chain_active(chain)) return false;
+  Entry& e = chains_[static_cast<std::size_t>(chain)];
+  std::vector<int> hops;
+  std::vector<std::int64_t> bneck;
+  std::vector<int> parent;
+  route_labels(e.demand_kbps, chain, hops, bneck, parent);
+  if (host != topo_.ingress() &&
+      parent[static_cast<std::size_t>(host)] < 0) {
+    return false;  // state untouched: the old commitment never left
+  }
+  std::vector<int> links;
+  for (int v = host; v != topo_.ingress();) {
+    const int link = parent[static_cast<std::size_t>(v)];
+    links.push_back(link);
+    v = topo_.other_end(link, v);
+  }
+  const std::int64_t demand = e.demand_kbps;
+  release_entry(e);
+  commit_entry(chain, demand, std::move(links));
+  return true;
+}
+
+double PathTable::window_link_energy_j(double window_s) const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < committed_.size(); ++i) {
+    const Link& l = topo_.links()[i];
+    // idle draw for the whole window + nJ/bit over carried bits:
+    // committed kbps * 1e3 bit/s * window_s * nj * 1e-9 J.
+    energy += l.idle_w * window_s;
+    energy += l.nj_per_bit * 1e-6 *
+              static_cast<double>(committed_[i]) * window_s;
+  }
+  return energy;
+}
+
+}  // namespace greennfv::topology

@@ -186,6 +186,17 @@ TEST(CampaignSpec, ExpandValidatesEveryCellUpFront) {
   EXPECT_THROW((void)spec.expand(), std::invalid_argument);
 }
 
+TEST(CampaignSpec, ExpandRejectsUnknownTopologyPresets) {
+  // A topology axis with a mistyped preset dies at expansion, before any
+  // cell executes — cell.validate() name-checks even disabled specs.
+  CampaignSpec spec;
+  spec.scenarios = {"fleet-smoke"};
+  spec.apply(make_config(
+      {{"topology.enabled", "1"},
+       {"sweep.topology.preset", "leaf-spine,leaf-spin"}}));
+  EXPECT_THROW((void)spec.expand(), std::invalid_argument);
+}
+
 TEST(CampaignPresets, RegistryResolvesAndRejectsTypos) {
   const std::vector<std::string> names = preset_names();
   ASSERT_GE(names.size(), 4u);

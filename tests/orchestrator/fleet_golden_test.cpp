@@ -97,6 +97,33 @@ std::vector<Cell> timeline_cells() {
     cell.spec.fleet.sleep_after_windows = 1;
     cells.push_back(std::move(cell));
   }
+  {
+    // PR 7: network fabric on. Leaf-spine routing with the topology-aware
+    // policy and a latency SLA pins path hops/latency, link energy, and
+    // the per-window net counters.
+    Cell cell{"fleet-topo-leafspine", scenario::preset("fleet-smoke")};
+    cell.spec.seed = 7;
+    cell.spec.fleet.policy = "topology-aware-bestfit";
+    cell.spec.topology.enabled = true;
+    cell.spec.topology.preset = "leaf-spine";
+    cell.spec.latency_sla_us = 40.0;
+    cells.push_back(std::move(cell));
+  }
+  {
+    // Starved fat-tree under widest routing: pins the net-rejection and
+    // migration-veto paths (committed bandwidth must block placements).
+    Cell cell{"fleet-topo-tight", scenario::preset("fleet-smoke")};
+    cell.spec.seed = 11;
+    cell.spec.num_nodes = 4;
+    cell.spec.fleet.horizon_windows = 24;
+    cell.spec.fleet.arrival_rate = 1.8;
+    cell.spec.topology.enabled = true;
+    cell.spec.topology.preset = "fat-tree";
+    cell.spec.topology.routing = "widest";
+    cell.spec.topology.link_gbps = 8.0;
+    cell.spec.topology.core_gbps = 8.0;
+    cells.push_back(std::move(cell));
+  }
   return cells;
 }
 
@@ -132,6 +159,22 @@ TEST(FleetGolden, EvalMatchesWindowSynchronousEngine) {
   const FleetReport report = orchestrator.run(scenario::filter_roster(
       scenario::untrained_roster(spec), "baseline,ee-pstate"));
   expect_matches_golden("eval_fleet-smoke", eval_to_text(report));
+}
+
+TEST(FleetGolden, TopologyEvalMatchesPinnedHistory) {
+  // Same eval-layer coverage with the fabric on: link energy folded into
+  // the decomposition, path-latency series, and the conjunctive latency
+  // SLA all pinned bit-exact.
+  scenario::ScenarioSpec spec = scenario::preset("fleet-smoke");
+  spec.seed = 7;
+  spec.fleet.policy = "topology-aware-bestfit";
+  spec.topology.enabled = true;
+  spec.topology.preset = "leaf-spine";
+  spec.latency_sla_us = 40.0;
+  FleetOrchestrator orchestrator(spec);
+  const FleetReport report = orchestrator.run(scenario::filter_roster(
+      scenario::untrained_roster(spec), "baseline,ee-pstate"));
+  expect_matches_golden("eval_fleet-topo-leafspine", eval_to_text(report));
 }
 
 }  // namespace

@@ -273,6 +273,66 @@ TEST(FleetSpec, MistypedFleetKeysAreAHardError) {
   std::remove(path.c_str());
 }
 
+TEST(TopologySpec, KeysApplySerializeAndRoundTrip) {
+  ScenarioSpec spec;
+  spec.apply(Config::from_string(
+      "fleet.enabled=1 topology.enabled=1 topology.preset=fat-tree"
+      " topology.routing=widest topology.hosts_per_leaf=6 topology.spines=3"
+      " topology.fat_k=6 topology.link_gbps=25 topology.link_latency_us=2.5"
+      " topology.core_gbps=50 topology.core_latency_us=8"
+      " topology.link_idle_w=1.5 topology.link_nj_per_bit=0.25"
+      " sla.latency=40"));
+  EXPECT_TRUE(spec.topology.enabled);
+  EXPECT_EQ(spec.topology.preset, "fat-tree");
+  EXPECT_EQ(spec.topology.routing, "widest");
+  EXPECT_EQ(spec.topology.hosts_per_leaf, 6);
+  EXPECT_EQ(spec.topology.spines, 3);
+  EXPECT_EQ(spec.topology.fat_k, 6);
+  EXPECT_DOUBLE_EQ(spec.topology.link_gbps, 25.0);
+  EXPECT_DOUBLE_EQ(spec.topology.link_latency_us, 2.5);
+  EXPECT_DOUBLE_EQ(spec.topology.core_gbps, 50.0);
+  EXPECT_DOUBLE_EQ(spec.topology.core_latency_us, 8.0);
+  EXPECT_DOUBLE_EQ(spec.topology.link_idle_w, 1.5);
+  EXPECT_DOUBLE_EQ(spec.topology.link_nj_per_bit, 0.25);
+  EXPECT_DOUBLE_EQ(spec.latency_sla_us, 40.0);
+  EXPECT_NO_THROW(spec.validate());
+
+  ScenarioSpec reparsed;
+  reparsed.apply(Config::from_string(spec.to_text()));
+  EXPECT_EQ(reparsed.to_text(), spec.to_text());
+}
+
+TEST(TopologySpec, ValidationNamesTheOffendingField) {
+  const auto rejects = [](const std::string& overrides) {
+    ScenarioSpec spec;
+    spec.apply(Config::from_string(overrides));
+    EXPECT_THROW(spec.validate(), std::invalid_argument) << overrides;
+  };
+  rejects("topology.preset=torus");
+  rejects("topology.routing=ecmp");
+  rejects("fleet.enabled=1 topology.enabled=1 topology.link_gbps=0");
+  rejects("fleet.enabled=1 topology.enabled=1 topology.hosts_per_leaf=0");
+  rejects("fleet.enabled=1 topology.enabled=1 topology.fat_k=3");
+  rejects("fleet.enabled=1 topology.enabled=1 topology.link_idle_w=-1");
+  rejects("fleet.enabled=1 topology.enabled=1 topology.link_latency_us=-1");
+  // The fabric needs the dynamic fleet; a latency SLA needs the fabric.
+  rejects("topology.enabled=1");
+  rejects("fleet.enabled=1 sla.latency=40");
+  rejects("fleet.enabled=1 topology.enabled=1 sla.latency=-5");
+}
+
+TEST(TopologySpec, MistypedTopologyKeysAreAHardError) {
+  for (const char* typo :
+       {"topology.enbled=1", "topology.presets=leaf-spine",
+        "topology.link_gb=40", "sla.latancy=40"}) {
+    const Config config = Config::from_string(typo);
+    EXPECT_THROW(config.check_known(ScenarioSpec::known_keys(),
+                                    ScenarioSpec::known_prefixes()),
+                 std::invalid_argument)
+        << typo;
+  }
+}
+
 TEST(FleetSpec, ClusterChainFloorIsRelaxedForDynamicFleets) {
   // Static cluster runs need a chain per node; a dynamic fleet may start
   // smaller and fill up through arrivals.

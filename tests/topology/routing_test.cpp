@@ -1,0 +1,301 @@
+#include "topology/path_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+// Property/fuzz coverage for the routing core: randomized fabrics, a
+// brute-force DFS oracle for path optimality, and commit/release churn
+// checking the link-commit conservation laws (0 <= committed <= capacity,
+// committed == the sum of active contributions, exactly zero after every
+// chain departs). All accounting is exact integer kbps, so "exactly" is a
+// plain ==, not a tolerance.
+
+namespace greennfv::topology {
+namespace {
+
+/// Random connected fabric: every host gets an edge link to a random
+/// switch (guaranteeing reachability once switches connect), switches
+/// chain 0-1-2-... plus random extra switch-switch links for path
+/// diversity. Capacities/latencies are small integers via the quantizers.
+Topology random_topology(Rng& rng, int hosts, int switches) {
+  Topology t(hosts);
+  std::vector<int> sw(static_cast<std::size_t>(switches));
+  for (int s = 0; s < switches; ++s)
+    sw[static_cast<std::size_t>(s)] = t.add_switch();
+  t.set_ingress(sw[0]);
+  for (int s = 1; s < switches; ++s) {
+    t.add_link(sw[static_cast<std::size_t>(s - 1)],
+               sw[static_cast<std::size_t>(s)],
+               static_cast<double>(rng.uniform_int(5, 40)),
+               static_cast<double>(rng.uniform_int(1, 10)), 1.0, 0.5);
+  }
+  const int extra = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(switches)));
+  for (int e = 0; e < extra; ++e) {
+    const int a = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(switches)));
+    const int b = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(switches)));
+    if (a == b) continue;
+    t.add_link(sw[static_cast<std::size_t>(a)],
+               sw[static_cast<std::size_t>(b)],
+               static_cast<double>(rng.uniform_int(5, 40)),
+               static_cast<double>(rng.uniform_int(1, 10)), 1.0, 0.5);
+  }
+  for (int h = 0; h < hosts; ++h) {
+    const int s = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(switches)));
+    t.add_link(h, sw[static_cast<std::size_t>(s)],
+               static_cast<double>(rng.uniform_int(5, 40)),
+               static_cast<double>(rng.uniform_int(1, 10)), 1.0, 0.5);
+  }
+  t.check();
+  return t;
+}
+
+/// Exhaustive DFS over all simple paths ingress->host: the oracle for
+/// "does a feasible path exist" and for the optimal (hops, bottleneck)
+/// objective values under the current commitments.
+struct Oracle {
+  const Topology& topo;
+  const PathTable& table;
+  std::int64_t demand;
+  int best_hops = std::numeric_limits<int>::max();
+  std::int64_t best_bneck = 0;  // widest bottleneck over ALL paths
+  std::int64_t best_bneck_at_min_hops = 0;
+  bool found = false;
+
+  void dfs(int v, int target, std::vector<char>& visited, int hops,
+           std::int64_t bneck) {
+    if (v == target) {
+      found = true;
+      best_bneck = std::max(best_bneck, bneck);
+      if (hops < best_hops) {
+        best_hops = hops;
+        best_bneck_at_min_hops = bneck;
+      } else if (hops == best_hops) {
+        best_bneck_at_min_hops = std::max(best_bneck_at_min_hops, bneck);
+      }
+      return;
+    }
+    for (int link : topo.adjacency(v)) {
+      const Link& l = topo.links()[static_cast<std::size_t>(link)];
+      const std::int64_t free = l.capacity_kbps - table.committed_kbps(link);
+      if (free < demand) continue;
+      const int u = topo.other_end(link, v);
+      if (visited[static_cast<std::size_t>(u)]) continue;
+      visited[static_cast<std::size_t>(u)] = 1;
+      dfs(u, target, visited, hops + 1, std::min(bneck, free));
+      visited[static_cast<std::size_t>(u)] = 0;
+    }
+  }
+};
+
+Oracle run_oracle(const Topology& topo, const PathTable& table, int host,
+                  double gbps) {
+  Oracle oracle{topo, table, kbps_from_gbps(gbps)};
+  std::vector<char> visited(static_cast<std::size_t>(topo.num_vertices()), 0);
+  visited[static_cast<std::size_t>(topo.ingress())] = 1;
+  oracle.dfs(topo.ingress(), host, visited,
+             /*hops=*/0, std::numeric_limits<std::int64_t>::max());
+  return oracle;
+}
+
+TEST(Routing, ShortestMatchesBruteForceOracleOnRandomFabrics) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int hosts = static_cast<int>(rng.uniform_int(2, 6));
+    const int switches = static_cast<int>(rng.uniform_int(2, 5));
+    const Topology topo = random_topology(rng, hosts, switches);
+    PathTable table(topo, Routing::kShortest, 0);
+    // A few committed chains so free capacity differs from raw capacity.
+    for (int c = 0; c < 3; ++c) {
+      (void)table.commit_chain(
+          c, static_cast<int>(rng.uniform_u64(
+                 static_cast<std::uint64_t>(hosts))),
+          static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    const double gbps = static_cast<double>(rng.uniform_int(1, 8));
+    for (int h = 0; h < hosts; ++h) {
+      const PathView view = table.preview(h, gbps);
+      const Oracle oracle = run_oracle(topo, table, h, gbps);
+      ASSERT_EQ(view.feasible, oracle.found)
+          << "trial " << trial << " host " << h;
+      if (!view.feasible) continue;
+      // Primary objective exact: minimum hops. Secondary (bottleneck
+      // among min-hop paths) exact too — the lexicographic labels keep
+      // the dominance property.
+      EXPECT_EQ(view.hops, oracle.best_hops);
+      EXPECT_EQ(view.bottleneck_kbps, oracle.best_bneck_at_min_hops);
+    }
+  }
+}
+
+TEST(Routing, WidestMatchesBruteForceOracleOnRandomFabrics) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int hosts = static_cast<int>(rng.uniform_int(2, 6));
+    const int switches = static_cast<int>(rng.uniform_int(2, 5));
+    const Topology topo = random_topology(rng, hosts, switches);
+    PathTable table(topo, Routing::kWidest, 0);
+    for (int c = 0; c < 3; ++c) {
+      (void)table.commit_chain(
+          c, static_cast<int>(rng.uniform_u64(
+                 static_cast<std::uint64_t>(hosts))),
+          static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    const double gbps = static_cast<double>(rng.uniform_int(1, 8));
+    for (int h = 0; h < hosts; ++h) {
+      const PathView view = table.preview(h, gbps);
+      const Oracle oracle = run_oracle(topo, table, h, gbps);
+      ASSERT_EQ(view.feasible, oracle.found);
+      if (!view.feasible) continue;
+      // Widest routing's primary objective: the maximum bottleneck over
+      // every feasible path.
+      EXPECT_EQ(view.bottleneck_kbps, oracle.best_bneck);
+    }
+  }
+}
+
+TEST(Routing, CommitReleaseChurnConservesLinkCommitments) {
+  Rng rng(99);
+  for (const Routing routing : {Routing::kShortest, Routing::kWidest}) {
+    const Topology topo = random_topology(rng, 5, 4);
+    PathTable table(topo, routing, 0);
+    // demand per active chain, by chain id (-1 = inactive).
+    std::vector<double> active_gbps;
+    int committed_count = 0;
+    for (int op = 0; op < 500; ++op) {
+      const int id = static_cast<int>(rng.uniform_u64(40));
+      if (static_cast<int>(active_gbps.size()) <= id)
+        active_gbps.resize(static_cast<std::size_t>(id) + 1, -1.0);
+      if (active_gbps[static_cast<std::size_t>(id)] < 0.0) {
+        const double gbps = static_cast<double>(rng.uniform_int(1, 5));
+        const int host = static_cast<int>(rng.uniform_u64(5));
+        if (table.commit_chain(id, host, gbps)) {
+          active_gbps[static_cast<std::size_t>(id)] = gbps;
+          ++committed_count;
+        }
+      } else {
+        table.release_chain(id);
+        active_gbps[static_cast<std::size_t>(id)] = -1.0;
+        --committed_count;
+      }
+
+      // Conservation, every op: per-link committed equals the sum of the
+      // active chains' contributions and never exceeds capacity.
+      std::vector<std::int64_t> expected(
+          static_cast<std::size_t>(topo.num_links()), 0);
+      for (int c = 0; c < static_cast<int>(active_gbps.size()); ++c) {
+        if (active_gbps[static_cast<std::size_t>(c)] < 0.0) continue;
+        ASSERT_TRUE(table.chain_active(c));
+        for (int link : table.chain_links(c)) {
+          expected[static_cast<std::size_t>(link)] +=
+              kbps_from_gbps(active_gbps[static_cast<std::size_t>(c)]);
+        }
+      }
+      for (int l = 0; l < topo.num_links(); ++l) {
+        ASSERT_EQ(table.committed_kbps(l), expected[static_cast<std::size_t>(l)])
+            << "op " << op << " link " << l;
+        ASSERT_GE(table.committed_kbps(l), 0);
+        ASSERT_LE(table.committed_kbps(l),
+                  topo.links()[static_cast<std::size_t>(l)].capacity_kbps);
+      }
+      ASSERT_EQ(table.active_chains(), committed_count);
+    }
+
+    // Drain everything: every link must return to exactly zero.
+    for (int c = 0; c < static_cast<int>(active_gbps.size()); ++c)
+      table.release_chain(c);
+    for (int l = 0; l < topo.num_links(); ++l)
+      EXPECT_EQ(table.committed_kbps(l), 0);
+    EXPECT_EQ(table.active_chains(), 0);
+    EXPECT_EQ(table.active_path_latency_ns(), 0);
+  }
+}
+
+TEST(Routing, TryMoveIsAtomicOnFailure) {
+  // Two hosts behind one 10 Gbps pipe each, ingress in the middle; a
+  // blocker on host 1 leaves no room, so moving chain 0 there must fail
+  // and leave its original commitment untouched.
+  Topology topo(2);
+  const int sw = topo.add_switch();
+  topo.set_ingress(sw);
+  topo.add_link(0, sw, 10.0, 2.0, 1.0, 0.5);
+  topo.add_link(1, sw, 10.0, 2.0, 1.0, 0.5);
+  topo.check();
+  PathTable table(topo, Routing::kShortest, 0);
+  ASSERT_TRUE(table.commit_chain(0, 0, 6.0));
+  ASSERT_TRUE(table.commit_chain(1, 1, 6.0));  // blocker
+  const std::int64_t before0 = table.committed_kbps(0);
+  const std::int64_t before1 = table.committed_kbps(1);
+  EXPECT_FALSE(table.try_move(0, 1));
+  EXPECT_EQ(table.committed_kbps(0), before0);
+  EXPECT_EQ(table.committed_kbps(1), before1);
+  EXPECT_TRUE(table.chain_active(0));
+  EXPECT_EQ(table.chain_links(0).size(), 1u);
+  // Release the blocker and the move succeeds; commitments follow.
+  table.release_chain(1);
+  EXPECT_TRUE(table.try_move(0, 1));
+  EXPECT_EQ(table.committed_kbps(0), 0);
+  EXPECT_EQ(table.committed_kbps(1), kbps_from_gbps(6.0));
+}
+
+TEST(Routing, TryMoveReusesItsOwnCapacity) {
+  // One host, one 10 Gbps link carrying a 6 Gbps chain: re-routing the
+  // chain to its own host must succeed — its own commitment is free
+  // capacity for the re-route.
+  Topology topo(1);
+  const int sw = topo.add_switch();
+  topo.set_ingress(sw);
+  topo.add_link(0, sw, 10.0, 2.0, 1.0, 0.5);
+  topo.check();
+  PathTable table(topo, Routing::kShortest, 0);
+  ASSERT_TRUE(table.commit_chain(0, 0, 6.0));
+  EXPECT_TRUE(table.try_move(0, 0));
+  EXPECT_EQ(table.committed_kbps(0), kbps_from_gbps(6.0));
+}
+
+TEST(Routing, LatencyBudgetCountsViolationsExactly) {
+  // 2-hop path with 7 us total latency vs a 5 us budget.
+  Topology topo(1);
+  const int sw = topo.add_switch();
+  const int gw = topo.add_switch();
+  topo.set_ingress(gw);
+  topo.add_link(0, sw, 10.0, 3.0, 1.0, 0.5);
+  topo.add_link(sw, gw, 10.0, 4.0, 1.0, 0.5);
+  topo.check();
+  PathTable tight(topo, Routing::kShortest, ns_from_us(5.0));
+  ASSERT_TRUE(tight.commit_chain(0, 0, 1.0));
+  EXPECT_EQ(tight.active_latency_violations(), 1);
+  EXPECT_EQ(tight.chain_latency_ns(0), ns_from_us(7.0));
+  tight.release_chain(0);
+  EXPECT_EQ(tight.active_latency_violations(), 0);
+
+  PathTable loose(topo, Routing::kShortest, ns_from_us(10.0));
+  ASSERT_TRUE(loose.commit_chain(0, 0, 1.0));
+  EXPECT_EQ(loose.active_latency_violations(), 0);
+}
+
+TEST(Routing, WindowLinkEnergySumsIdleAndCarriedBits) {
+  Topology topo(1);
+  const int sw = topo.add_switch();
+  topo.set_ingress(sw);
+  topo.add_link(0, sw, 10.0, 2.0, /*idle_w=*/2.0, /*nj_per_bit=*/0.5);
+  topo.check();
+  PathTable table(topo, Routing::kShortest, 0);
+  // Idle only: 2 W x 10 s.
+  EXPECT_DOUBLE_EQ(table.window_link_energy_j(10.0), 20.0);
+  // 4 Gbps committed: + 0.5 nJ/bit x 4e9 bit/s x 10 s = 20 J.
+  ASSERT_TRUE(table.commit_chain(0, 0, 4.0));
+  EXPECT_DOUBLE_EQ(table.window_link_energy_j(10.0), 40.0);
+}
+
+}  // namespace
+}  // namespace greennfv::topology
