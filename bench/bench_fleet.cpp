@@ -14,6 +14,16 @@
 ///   baseline=<path> compare against a checked-in BENCH_fleet.json;
 ///                   warns (exit 0) on >warn_pct% speedup regression
 ///   warn_pct=30
+///   trace=<path>    write the headline build's Perfetto trace JSON
+///   trace_check=0   1 = rebuild the headline geometry with the span
+///                   tracer runtime-enabled and report its overhead
+///                   (warn-only against overhead_budget_pct)
+///   overhead_budget_pct=5
+///
+/// The flight recorder's counter registry is enabled for the whole
+/// benchmark, so the Perf JSON carries an engine phase breakdown
+/// (phase_build_s / phase_arrival_s / phase_consolidate_s /
+/// phase_account_s) next to the headline events/sec.
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +33,8 @@
 #include "orchestrator/fleet.hpp"
 #include "orchestrator/fleet_reference.hpp"
 #include "orchestrator/timeline_io.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace greennfv;
 using namespace greennfv::orchestrator;
@@ -58,12 +70,15 @@ double baseline_metric(const std::string& path, const std::string& key) {
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
-  if (bench::handle_cli(config, {"smoke", "baseline", "warn_pct"})) return 0;
+  if (bench::handle_cli(config, {"smoke", "baseline", "warn_pct", "trace",
+                                 "trace_check", "overhead_budget_pct"}))
+    return 0;
   bench::banner("bench_fleet", "discrete-event fleet engine throughput",
                 config);
   bench::Perf perf("fleet");
 
   const bool smoke = config.get_bool("smoke", false);
+  telemetry::metrics::set_enabled(true);
 
   // Comparison geometry: mega-fleet shape shrunk to where the reference
   // engine is still timeable (~50k arrivals across 500 nodes).
@@ -83,10 +98,10 @@ int main(int argc, char** argv) {
 
   if (timeline_to_text(small_engine.timeline(), small.num_nodes) !=
       timeline_to_text(reference, small.num_nodes)) {
-    std::fprintf(stderr,
-                 "FATAL: event engine diverged from the reference engine "
-                 "on the comparison geometry — throughput numbers would "
-                 "be meaningless; run the golden/determinism suites\n");
+    GNFV_LOG_ERROR("bench_fleet")
+        << "FATAL: event engine diverged from the reference engine on the"
+           " comparison geometry — throughput numbers would be"
+           " meaningless; run the golden/determinism suites";
     return 1;
   }
   const double speedup = ref_s / small_s;
@@ -95,9 +110,20 @@ int main(int argc, char** argv) {
               small.num_nodes, small_events, small_s, ref_s, speedup);
 
   // --- headline scale -------------------------------------------------------
+  // Counters reset here so the phase breakdown reflects the headline
+  // build alone, not the comparison pass above.
+  telemetry::metrics::reset();
   double wall_s = small_s;
   double events = small_events;
   scenario::ScenarioSpec spec = small;
+  if (smoke) {
+    // Re-run the smoke geometry under the (now-reset) registry so the
+    // phase breakdown covers the reported build.
+    const auto start = std::chrono::steady_clock::now();
+    const FleetOrchestrator engine(small);
+    wall_s = seconds_since(start);
+    events = events_of(engine.timeline());
+  }
   if (!smoke) {
     spec = scenario::preset("mega-fleet");
     const auto start = std::chrono::steady_clock::now();
@@ -121,6 +147,71 @@ int main(int argc, char** argv) {
   perf.add_metric("build_wall_s", wall_s);
   perf.add_metric("reference_wall_s", ref_s);
   perf.add_metric("speedup_vs_reference", speedup);
+
+  // --- flight-recorder phase breakdown --------------------------------------
+  // Span timers accumulate whenever metrics are on (tracing itself stays
+  // off), so the headline build's time splits by engine phase for free.
+  const telemetry::metrics::Snapshot snap = telemetry::metrics::snapshot();
+  const double build_ns = snap.value("fleet.phase.build_ns");
+  const double arrival_ns = snap.value("fleet.phase.arrival_ns");
+  const double consolidate_ns = snap.value("fleet.phase.consolidate_ns");
+  const double account_ns = snap.value("fleet.phase.account_ns");
+  perf.add_metric("phase_build_s", build_ns / 1e9);
+  perf.add_metric("phase_arrival_s", arrival_ns / 1e9);
+  perf.add_metric("phase_consolidate_s", consolidate_ns / 1e9);
+  perf.add_metric("phase_account_s", account_ns / 1e9);
+  if (build_ns > 0.0) {
+    std::printf("phase breakdown: arrival %.0f%%, consolidate %.0f%%, "
+                "account %.0f%% of %.2f s build (%.0f departures popped)\n",
+                100.0 * arrival_ns / build_ns,
+                100.0 * consolidate_ns / build_ns,
+                100.0 * account_ns / build_ns, build_ns / 1e9,
+                snap.value("fleet.events.departure"));
+  }
+
+  // --- optional traced rebuild: Perfetto artifact + overhead gate -----------
+  const std::string trace_path_arg = config.get_string("trace", "");
+  const bool trace_check = config.get_bool("trace_check", false);
+  if (!trace_path_arg.empty() || trace_check) {
+#if GREENNFV_TRACING_ENABLED
+    telemetry::trace::set_enabled(true);
+    const auto traced_start = std::chrono::steady_clock::now();
+    const FleetOrchestrator traced_engine(spec);
+    const double traced_s = seconds_since(traced_start);
+    telemetry::trace::set_enabled(false);
+    (void)traced_engine;
+    if (!trace_path_arg.empty()) {
+      const std::string path = trace_path_arg.find('/') == std::string::npos
+                                   ? out_path(trace_path_arg)
+                                   : trace_path_arg;
+      telemetry::trace::write_json(path);
+      std::printf("[trace] wrote %s (%zu events, %llu dropped)\n",
+                  path.c_str(), telemetry::trace::recorded(),
+                  static_cast<unsigned long long>(
+                      telemetry::trace::dropped()));
+    }
+    if (trace_check) {
+      const double budget_pct =
+          config.get_double("overhead_budget_pct", 5.0);
+      const double overhead_pct =
+          wall_s > 0.0 ? 100.0 * (traced_s - wall_s) / wall_s : 0.0;
+      perf.add_metric("trace_overhead_pct", overhead_pct);
+      std::printf("[trace_check] traced build %.2f s vs %.2f s untraced "
+                  "= %+.1f%% overhead (budget %.0f%%)\n",
+                  traced_s, wall_s, overhead_pct, budget_pct);
+      if (overhead_pct > budget_pct) {
+        std::printf("WARNING: tracing overhead %.1f%% exceeds the %.0f%% "
+                    "budget — span granularity is too fine for this "
+                    "scale; warn-only, not failing the bench\n",
+                    overhead_pct, budget_pct);
+      }
+    }
+    telemetry::trace::reset();
+#else
+    std::printf("[trace_check] skipped: tracer compiled out "
+                "(GREENNFV_TRACING=OFF)\n");
+#endif
+  }
 
   // --- baseline regression check (warn, never fail) -------------------------
   // speedup_vs_reference is the comparison metric: both sides of the

@@ -14,6 +14,11 @@
 ///                                   BENCH_train.json; warns (exit 0) on
 ///                                   >warn_pct% train-throughput regression
 ///   warn_pct=30
+///
+/// The flight recorder's counter registry is enabled for the batched
+/// loop, so the Perf JSON splits train_step time into its four passes
+/// (phase_targets_s / phase_critic_s / phase_actor_s / phase_soft_s)
+/// and carries gemm_calls / replay_samples for the timed run.
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include "bench/bench_util.hpp"
 #include "rl/ddpg.hpp"
 #include "rl/replay.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace greennfv;
 using namespace greennfv::rl;
@@ -113,9 +119,14 @@ int main(int argc, char** argv) {
   DdpgAgent agent(ddpg, seed);
   Rng train_rng(seed ^ 0x5A5Aull);
   for (int i = 0; i < 2; ++i) (void)agent.train_step(replay, train_rng);
+  // Counters reset after warm-up so the phase breakdown covers exactly
+  // the timed batched loop below (the reference path above is excluded).
+  telemetry::metrics::set_enabled(true);
+  telemetry::metrics::reset();
   const auto train_start = std::chrono::steady_clock::now();
   for (int i = 0; i < steps; ++i) (void)agent.train_step(replay, train_rng);
   const double train_s = seconds_since(train_start);
+  const telemetry::metrics::Snapshot snap = telemetry::metrics::snapshot();
   const double train_rate = steps / train_s;
   const double speedup = train_rate / ref_rate;
 
@@ -142,6 +153,18 @@ int main(int argc, char** argv) {
   std::printf("batched GEMM engine:    %5d steps in %6.2f s  = %8.1f "
               "steps/s  (%.2fx)\n",
               steps, train_s, train_rate, speedup);
+  const double step_ns = snap.value("rl.phase.train_step_ns");
+  if (step_ns > 0.0) {
+    std::printf("  phase split: targets %.0f%%, critic %.0f%%, actor "
+                "%.0f%%, soft-update %.0f%%  (%.0f GEMMs, %.0f replay "
+                "samples)\n",
+                100.0 * snap.value("rl.phase.targets_ns") / step_ns,
+                100.0 * snap.value("rl.phase.critic_ns") / step_ns,
+                100.0 * snap.value("rl.phase.actor_ns") / step_ns,
+                100.0 * snap.value("rl.phase.soft_update_ns") / step_ns,
+                snap.value("rl.gemm_calls"),
+                snap.value("rl.replay_samples"));
+  }
   std::printf("actor inference:        %5d acts  in %6.2f s  = %8.0f "
               "actions/s  (checksum %.3f)\n",
               action_steps, act_s, act_rate, sink);
@@ -155,6 +178,13 @@ int main(int argc, char** argv) {
   perf.add_metric("hidden", hidden);
   perf.add_metric("state_dim", static_cast<double>(ddpg.state_dim));
   perf.add_metric("action_dim", static_cast<double>(ddpg.action_dim));
+  perf.add_metric("phase_targets_s", snap.value("rl.phase.targets_ns") / 1e9);
+  perf.add_metric("phase_critic_s", snap.value("rl.phase.critic_ns") / 1e9);
+  perf.add_metric("phase_actor_s", snap.value("rl.phase.actor_ns") / 1e9);
+  perf.add_metric("phase_soft_s",
+                  snap.value("rl.phase.soft_update_ns") / 1e9);
+  perf.add_metric("gemm_calls", snap.value("rl.gemm_calls"));
+  perf.add_metric("replay_samples", snap.value("rl.replay_samples"));
 
   // --- baseline regression check (warn, never fail) -------------------------
   // The comparison metric is speedup_vs_reference: both sides of that

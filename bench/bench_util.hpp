@@ -10,6 +10,7 @@
 
 #include "common/config.hpp"
 #include "common/fs_util.hpp"
+#include "common/log.hpp"
 #include "common/json.hpp"
 #include "common/string_util.hpp"
 #include "scenario/presets.hpp"
@@ -74,7 +75,7 @@ inline bool handle_cli(const Config& config,
   try {
     config.check_known(known, prefixes);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNFV_LOG_ERROR("bench") << e.what();
     std::exit(2);
   }
   return false;

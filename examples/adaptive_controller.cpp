@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "common/log.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/presets.hpp"
 
@@ -86,7 +87,7 @@ int main(int argc, char** argv) {
   try {
     return run(Config::from_args(argc, argv));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNFV_LOG_ERROR("adaptive_controller") << e.what();
     return 2;
   }
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "common/log.hpp"
 #include "common/units.hpp"
 #include "hwmodel/calibration.hpp"
 #include "hwmodel/node.hpp"
@@ -120,7 +121,7 @@ int main(int argc, char** argv) {
   try {
     return run(Config::from_args(argc, argv));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNFV_LOG_ERROR("chain_energy_audit") << e.what();
     return 2;
   }
 }

@@ -31,8 +31,11 @@
 #include "campaign/presets.hpp"
 #include "campaign/runner.hpp"
 #include "common/fs_util.hpp"
+#include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "scenario/presets.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace greennfv;
 
@@ -44,7 +47,8 @@ const std::vector<std::string>& cli_keys() {
     for (const auto& key : scenario::ScenarioSpec::known_keys())
       if (key != "scenario" && key != "scenario_file") all.push_back(key);
     all.insert(all.end(), {"jobs", "fresh", "out", "save", "list", "expand",
-                           "validate_manifest", "help"});
+                           "validate_manifest", "trace", "metrics",
+                           "timing", "log_level", "help"});
     return all;
   }();
   return keys;
@@ -75,11 +79,10 @@ int validate_manifest(const std::string& path) {
       for (const char* field : {"n", "mean", "stddev", "ci95"}) {
         const double value = stats.at(field).as_double();
         if (!std::isfinite(value)) {
-          std::fprintf(stderr,
-                       "manifest %s: cell %s %s.%s is not finite\n",
-                       path.c_str(),
-                       cell.at("cell_id").as_string().c_str(), metric,
-                       field);
+          GNFV_LOG_ERROR("run_campaign")
+              << "manifest " << path << ": cell "
+              << cell.at("cell_id").as_string() << " " << metric << "."
+              << field << " is not finite";
           return 2;
         }
         ++checked;
@@ -88,8 +91,8 @@ int validate_manifest(const std::string& path) {
   }
   if (manifest.at("runs").size() !=
       static_cast<std::size_t>(manifest.at("matrix_size").as_double())) {
-    std::fprintf(stderr, "manifest %s: run list does not cover matrix\n",
-                 path.c_str());
+    GNFV_LOG_ERROR("run_campaign")
+        << "manifest " << path << ": run list does not cover matrix";
     return 2;
   }
   std::printf("manifest %s: ok (%zu runs, %zu cells, %d finite fields)\n",
@@ -110,12 +113,26 @@ int run(const Config& config) {
   if (const auto manifest = config.get("validate_manifest"))
     return validate_manifest(*manifest);
 
+  if (const auto level = config.get("log_level"))
+    set_log_level(log_level_from_name(*level));
+  // Flight recorder: trace= writes a whole-campaign Perfetto JSON (and
+  // each run's slice lands next to its artifact as
+  // runs/<run_id>.trace.json); metrics=1 prints the counter registry;
+  // timing=1 prints the per-cell wall-clock table. None of these touch
+  // run artifacts or the manifest — traced campaigns stay byte-identical.
+  const auto trace_out = config.get("trace");
+  const bool metrics_on = config.get_bool("metrics", false);
+  const bool timing_on = config.get_bool("timing", false);
+  if (metrics_on) telemetry::metrics::set_enabled(true);
+  if (trace_out) telemetry::trace::set_enabled(true);
+
   // Key validation happens inside CampaignSpec::apply (the vocabulary is
   // open-ended via sweep.* and chainN=/flowN=); CLI-only keys are
   // stripped first.
   Config campaign_config = config;
   for (const char* key : {"jobs", "fresh", "out", "save", "list", "expand",
-                          "validate_manifest", "help"}) {
+                          "validate_manifest", "trace", "metrics", "timing",
+                          "log_level", "help"}) {
     Config stripped;
     for (const auto& [k, v] : campaign_config.entries())
       if (k != key) stripped.set(k, v);
@@ -179,6 +196,26 @@ int run(const Config& config) {
   }
   std::printf("\n%d executed, %d resumed; artifacts in %s\n",
               report.executed, report.resumed, store.dir().c_str());
+
+  if (timing_on) {
+    std::printf("\nper-cell wall clock (jobs=%d):\n%s", jobs,
+                campaign::timing_table(report).c_str());
+  }
+  if (trace_out) {
+    const std::string path = trace_out->find('/') == std::string::npos
+                                 ? store.dir() + "/" + *trace_out
+                                 : *trace_out;
+    telemetry::trace::write_json(path);
+    std::printf("\n[trace] wrote %s (%zu events, %llu dropped); per-run"
+                " slices in %s/runs/*.trace.json\n",
+                path.c_str(), telemetry::trace::recorded(),
+                static_cast<unsigned long long>(
+                    telemetry::trace::dropped()),
+                store.dir().c_str());
+  }
+  if (metrics_on) {
+    std::printf("\n[metrics]\n%s", telemetry::metrics::table().c_str());
+  }
   return 0;
 }
 
@@ -188,7 +225,7 @@ int main(int argc, char** argv) {
   try {
     return run(Config::from_args(argc, argv));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNFV_LOG_ERROR("run_campaign") << e.what();
     return 2;
   }
 }

@@ -16,31 +16,120 @@
 /// Any scenario key overrides the preset/file value (seed=7 chains=4
 /// profile=diurnal ...). models= picks a roster subset; the default runs
 /// all seven Fig. 9 models (training budgets come from the scenario).
+///
+/// Flight recorder: trace=<path> records spans (engine phases, routing,
+/// RL passes) and writes a Perfetto/chrome://tracing JSON; metrics=1
+/// prints the counter registry after the run; log_level= overrides the
+/// stderr log threshold (also via GREENNFV_LOG_LEVEL);
+/// validate_trace=<path> checks an emitted trace and exits.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <exception>
+#include <map>
 
 #include "common/fs_util.hpp"
+#include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "orchestrator/fleet.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/presets.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace greennfv;
 
 namespace {
+
+/// Parses and sanity-checks a Perfetto trace document: every traceEvent
+/// must carry ph/ts/pid/tid/name, complete events need a finite dur, and
+/// each thread's span-completion times (ts + dur) must be non-decreasing
+/// in array order — spans append when they *close*, so nested spans
+/// precede their parents but completion time is monotone per thread.
+/// Returns 0 when healthy (the CI tier's proof the recorder emits a
+/// loadable, ordered trace).
+int validate_trace(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  const Json& events = doc.at("traceEvents");
+  std::map<int, double> last_end_us;
+  std::size_t spans = 0;
+  std::size_t counters = 0;
+  for (const Json& event : events.elements()) {
+    for (const char* key : {"ph", "ts", "pid", "tid", "name"}) {
+      if (!event.has(key)) {
+        GNFV_LOG_ERROR("run_scenario")
+            << "trace " << path << ": event missing key '" << key << "'";
+        return 2;
+      }
+    }
+    const std::string ph = event.at("ph").as_string();
+    const double ts = event.at("ts").as_double();
+    if (!std::isfinite(ts) || ts < 0.0) {
+      GNFV_LOG_ERROR("run_scenario")
+          << "trace " << path << ": non-finite/negative ts";
+      return 2;
+    }
+    if (ph == "C") {
+      ++counters;
+      continue;
+    }
+    if (ph != "X") {
+      GNFV_LOG_ERROR("run_scenario")
+          << "trace " << path << ": unexpected phase '" << ph << "'";
+      return 2;
+    }
+    const double dur = event.at("dur").as_double();
+    if (!std::isfinite(dur) || dur < 0.0) {
+      GNFV_LOG_ERROR("run_scenario")
+          << "trace " << path << ": span '"
+          << event.at("name").as_string() << "' has bad dur";
+      return 2;
+    }
+    const int tid = static_cast<int>(event.at("tid").as_double());
+    const double end = ts + dur;
+    auto [it, fresh] = last_end_us.emplace(tid, end);
+    if (!fresh) {
+      if (end < it->second) {
+        GNFV_LOG_ERROR("run_scenario")
+            << "trace " << path << ": tid " << tid << " span '"
+            << event.at("name").as_string() << "' completes at " << end
+            << " us, before prior " << it->second << " us";
+        return 2;
+      }
+      it->second = end;
+    }
+    ++spans;
+  }
+  std::printf("trace %s: ok (%zu spans, %zu counter samples, %zu"
+              " threads)\n",
+              path.c_str(), spans, counters, last_end_us.size());
+  return 0;
+}
 
 int run(const Config& config) {
   if (config.get_bool("list", false)) {
     std::printf("named scenarios:\n%s", scenario::preset_table().c_str());
     return 0;
   }
-  if (scenario::print_help_if_requested(config,
-                                        {"models", "list", "save", "csv"}))
+  if (scenario::print_help_if_requested(
+          config, {"models", "list", "save", "csv", "trace", "metrics",
+                   "log_level", "validate_trace"}))
     return 0;
   std::vector<std::string> keys = scenario::ScenarioSpec::known_keys();
-  keys.insert(keys.end(), {"models", "list", "save", "csv", "help"});
+  keys.insert(keys.end(), {"models", "list", "save", "csv", "trace",
+                           "metrics", "log_level", "validate_trace",
+                           "help"});
   config.check_known(keys, scenario::ScenarioSpec::known_prefixes());
+
+  if (const auto level = config.get("log_level"))
+    set_log_level(log_level_from_name(*level));
+  if (const auto path = config.get("validate_trace"))
+    return validate_trace(*path);
+  const auto trace_out = config.get("trace");
+  const bool metrics_on = config.get_bool("metrics", false);
+  if (metrics_on) telemetry::metrics::set_enabled(true);
+  if (trace_out) telemetry::trace::set_enabled(true);
 
   const scenario::ScenarioSpec spec = scenario::resolve(config);
   if (const auto path = config.get("save")) {
@@ -106,6 +195,21 @@ int run(const Config& config) {
     report.series.to_csv(path);
     std::printf("\n[csv] wrote %s\n", path.c_str());
   }
+
+  if (trace_out) {
+    const std::string path = trace_out->find('/') == std::string::npos
+                                 ? out_path(*trace_out)
+                                 : *trace_out;
+    telemetry::trace::write_json(path);
+    std::printf("\n[trace] wrote %s (%zu events, %llu dropped) — load in"
+                " ui.perfetto.dev or chrome://tracing\n",
+                path.c_str(), telemetry::trace::recorded(),
+                static_cast<unsigned long long>(
+                    telemetry::trace::dropped()));
+  }
+  if (metrics_on) {
+    std::printf("\n[metrics]\n%s", telemetry::metrics::table().c_str());
+  }
   return 0;
 }
 
@@ -115,7 +219,7 @@ int main(int argc, char** argv) {
   try {
     return run(Config::from_args(argc, argv));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNFV_LOG_ERROR("run_scenario") << e.what();
     return 2;
   }
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "common/log.hpp"
 #include "core/greennfv.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/presets.hpp"
@@ -85,7 +86,7 @@ int main(int argc, char** argv) {
   try {
     return run(Config::from_args(argc, argv));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    GNFV_LOG_ERROR("sla_training") << e.what();
     return 2;
   }
 }

@@ -65,7 +65,8 @@ echo "=== [1c4] mega-fleet smoke: 500 nodes / ~50k arrivals + baseline check ===
 # baseline comparison warns — never fails — on a >30% regression of the
 # event-vs-reference speedup, so a future PR cannot silently lose the
 # event engine's win but a noisy machine cannot block the gate either.
-./build/bench_fleet smoke=1 baseline=bench/baselines/BENCH_fleet.json
+./build/bench_fleet smoke=1 baseline=bench/baselines/BENCH_fleet.json \
+  trace_check=1
 
 echo
 echo "=== [1c5] topology fleet smoke: leaf-spine fabric + latency SLA ==="
@@ -89,6 +90,21 @@ echo "=== [1c6] path-frontier smoke: 2 topology cells at jobs=2 ==="
   jobs=2 fresh=1
 ./build/example_run_campaign \
   validate_manifest=out/path-frontier/manifest.json
+
+echo
+echo "=== [1c7] flight recorder: traced runs, trace validation, timing ==="
+# Observability end to end: a traced fleet smoke must emit a Perfetto
+# JSON that validate_trace accepts (schema keys, finite timestamps,
+# per-thread completion order), and a traced parallel campaign must print
+# the per-cell timing table while leaving artifacts byte-identical (the
+# telemetry.TraceDeterminism suite pins the byte-identity itself).
+./build/example_run_scenario scenario=fleet-smoke models=baseline \
+  trace=ci_fleet_smoke.trace.json metrics=1
+./build/example_run_scenario validate_trace=out/ci_fleet_smoke.trace.json
+./build/example_run_campaign campaign=ci-campaign-smoke jobs=4 fresh=1 \
+  trace=campaign.trace.json timing=1
+./build/example_run_scenario \
+  validate_trace=out/ci-campaign-smoke/campaign.trace.json
 
 echo
 echo "=== [1d] RL training microbench: smoke mode + baseline check ==="
@@ -116,9 +132,9 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -R '^nfvsim\.')
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
-  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.')
+  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.|^telemetry\.')
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
-  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.')
+  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.|^telemetry\.')
 
 echo
 echo "ci.sh: all green"

@@ -51,6 +51,10 @@ std::string ArtifactStore::run_path(const std::string& run_id) const {
   return dir_ + "/runs/" + run_id + ".json";
 }
 
+std::string ArtifactStore::trace_path(const std::string& run_id) const {
+  return dir_ + "/runs/" + run_id + ".trace.json";
+}
+
 std::string ArtifactStore::manifest_path() const {
   return dir_ + "/manifest.json";
 }
@@ -129,6 +133,11 @@ std::optional<RunResult> ArtifactStore::load_run(const RunSpec& spec) const {
     // as absent and re-run.
     return std::nullopt;
   }
+}
+
+void ArtifactStore::save_trace(const std::string& run_id,
+                               const Json& trace) const {
+  write_file_atomic(trace_path(run_id), trace.dump(1) + "\n");
 }
 
 void ArtifactStore::save_manifest(const Json& manifest) const {

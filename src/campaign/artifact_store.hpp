@@ -47,10 +47,18 @@ class ArtifactStore {
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] std::string run_path(const std::string& run_id) const;
+  /// Flight-recorder slice for one run, next to its artifact:
+  /// `<root>/<campaign>/runs/<run_id>.trace.json`.
+  [[nodiscard]] std::string trace_path(const std::string& run_id) const;
   [[nodiscard]] std::string manifest_path() const;
 
   /// Serializes and atomically writes one run artifact.
   void save_run(const RunResult& result) const;
+
+  /// Atomically writes one run's Perfetto trace document. Trace files are
+  /// observability artifacts only: save_run/load_run/manifest never read
+  /// them, so tracing cannot perturb campaign results or resume.
+  void save_trace(const std::string& run_id, const Json& trace) const;
 
   /// Loads a completed run for `spec`, or nullopt when the artifact is
   /// missing, unreadable, incomplete, or belongs to a different

@@ -1,11 +1,14 @@
 #include "campaign/runner.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 #include "orchestrator/fleet.hpp"
+#include "telemetry/trace.hpp"
 
 namespace greennfv::campaign {
 
@@ -50,6 +53,13 @@ RunResult CampaignRunner::execute(const RunSpec& run,
 CampaignReport CampaignRunner::run(int jobs, bool resume) {
   CampaignReport report;
   report.runs.resize(matrix_.size());
+  report.timings.resize(matrix_.size());
+  for (const RunSpec& run : matrix_) {
+    RunTiming& timing = report.timings[run.index];
+    timing.index = run.index;
+    timing.run_id = run.run_id;
+    timing.cell_id = run.cell_id;
+  }
 
   // Resume pass: pull completed runs off disk, collect what's left. An
   // artifact only counts when its roster matches what this campaign
@@ -83,14 +93,47 @@ CampaignReport CampaignRunner::run(int jobs, bool resume) {
 
   // Parallel pass: every pending run is independent — per-run seeds, no
   // shared state — so slot-indexed results make any interleaving (and any
-  // jobs count) produce identical bytes.
+  // jobs count) produce identical bytes. The flight recorder rides along
+  // read-only: worker spans, per-run trace slices (each run executes
+  // synchronously on one worker thread, so a mark/extract pair brackets
+  // exactly its own events), and per-cell timing — none of it feeds back
+  // into results or artifacts.
+  const auto pass_start = std::chrono::steady_clock::now();
+  const auto seconds_between = [](auto from, auto to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
   ThreadPool::parallel_for(
-      todo.size(), jobs, [this, &report, &todo](std::size_t i) {
+      todo.size(), jobs,
+      [this, &report, &todo, &pass_start, &seconds_between](std::size_t i) {
         const RunSpec& run = matrix_[todo[i]];
+        const auto run_start = std::chrono::steady_clock::now();
         std::printf("[campaign] run %zu/%zu %s\n", run.index + 1,
                     matrix_.size(), run.run_id.c_str());
-        RunResult result = execute(run, roster_);
+        const bool slice =
+            store_ != nullptr && telemetry::trace::runtime_enabled();
+        telemetry::trace::Mark mark{};
+        if (slice) mark = telemetry::trace::mark();
+        RunResult result;
+        {
+          const telemetry::trace::Span span(
+              telemetry::trace::intern("campaign/run:" + run.run_id),
+              static_cast<std::uint64_t>(run.index));
+          result = execute(run, roster_);
+        }
+        if (slice) {
+          const int tid = std::max(0, ThreadPool::current_worker());
+          store_->save_trace(
+              run.run_id,
+              telemetry::trace::events_to_json(
+                  telemetry::trace::events_since(mark), tid));
+        }
         if (store_ != nullptr) store_->save_run(result);
+        RunTiming& timing = report.timings[run.index];
+        timing.executed = true;
+        timing.worker = ThreadPool::current_worker();
+        timing.queue_wait_s = seconds_between(pass_start, run_start);
+        timing.wall_s =
+            seconds_between(run_start, std::chrono::steady_clock::now());
         report.runs[run.index] = std::move(result);
       });
   report.executed = static_cast<int>(todo.size());
@@ -98,6 +141,31 @@ CampaignReport CampaignRunner::run(int jobs, bool resume) {
   report.summary = aggregate(report.runs);
   if (store_ != nullptr) store_->save_manifest(manifest(report));
   return report;
+}
+
+std::string timing_table(const CampaignReport& report) {
+  std::vector<std::vector<std::string>> rows;
+  double critical_wall_s = 0.0;
+  double total_wall_s = 0.0;
+  for (const RunTiming& timing : report.timings) {
+    if (!timing.executed) continue;
+    rows.push_back({timing.run_id, timing.cell_id,
+                    timing.worker < 0 ? std::string("inline")
+                                      : format("%d", timing.worker),
+                    format("%.3f", timing.queue_wait_s),
+                    format("%.3f", timing.wall_s)});
+    critical_wall_s = std::max(critical_wall_s,
+                               timing.queue_wait_s + timing.wall_s);
+    total_wall_s += timing.wall_s;
+  }
+  if (rows.empty()) return "[campaign] timing: no runs executed\n";
+  std::string out = render_table(
+      {"run", "cell", "worker", "queue_wait_s", "wall_s"}, rows);
+  out += format(
+      "[campaign] timing: %zu run(s), %.3f s total work, %.3f s critical"
+      " path\n",
+      rows.size(), total_wall_s, critical_wall_s);
+  return out;
 }
 
 Json CampaignRunner::manifest(const CampaignReport& report) const {

@@ -21,13 +21,33 @@
 
 namespace greennfv::campaign {
 
+/// Wall-clock accounting for one matrix cell, filled only for runs
+/// executed this invocation. Timing lives in the in-memory report — never
+/// in run artifacts or the manifest — so campaign outputs stay
+/// byte-identical whether or not anyone looks at the clock.
+struct RunTiming {
+  std::size_t index = 0;
+  std::string run_id;
+  std::string cell_id;
+  bool executed = false;
+  int worker = -1;           ///< pool worker id (-1: inline, jobs<=1)
+  double queue_wait_s = 0.0;  ///< dispatch-of-parallel-pass to run start
+  double wall_s = 0.0;        ///< execute() + artifact write
+};
+
 struct CampaignReport {
   /// Matrix order (RunSpec::index), independent of execution order.
   std::vector<RunResult> runs;
   CampaignSummary summary;
   int executed = 0;  ///< runs evaluated this invocation
   int resumed = 0;   ///< runs loaded from artifacts
+  /// Matrix order, parallel to `runs`.
+  std::vector<RunTiming> timings;
 };
+
+/// Aligned per-cell wall-clock table (run, worker, queue wait, wall) plus
+/// a critical-path footer — the `--timing` output of run_campaign.
+[[nodiscard]] std::string timing_table(const CampaignReport& report);
 
 class CampaignRunner {
  public:

@@ -2,12 +2,34 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace greennfv {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// Default level, overridable by GREENNFV_LOG_LEVEL so traced/scripted
+/// runs silence (or surface) chatter without touching every CLI.
+LogLevel initial_level() {
+  const char* env = std::getenv("GREENNFV_LOG_LEVEL");
+  if (env != nullptr) {
+    try {
+      return log_level_from_name(env);
+    } catch (const std::invalid_argument&) {
+      std::fprintf(stderr,
+                   "[WARN ] log: GREENNFV_LOG_LEVEL='%s' is not one of "
+                   "debug/info/warn/error/off; using warn\n",
+                   env);
+    }
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_flag() {
+  static std::atomic<LogLevel> g_level{initial_level()};
+  return g_level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,10 +45,22 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+  level_flag().store(level, std::memory_order_relaxed);
 }
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  return level_flag().load(std::memory_order_relaxed);
+}
+
+LogLevel log_level_from_name(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (expected debug/info/warn/error/off)");
+}
 
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {

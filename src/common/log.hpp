@@ -13,10 +13,17 @@ namespace greennfv {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level (default kWarn so tests stay quiet).
+/// Sets the global minimum level (default kWarn so tests stay quiet; the
+/// GREENNFV_LOG_LEVEL environment variable, when set to one of
+/// debug/info/warn/error/off, overrides the default at first use).
 void set_log_level(LogLevel level);
 
 [[nodiscard]] LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (the `log_level=` knob and
+/// the GREENNFV_LOG_LEVEL env var). Throws std::invalid_argument on
+/// anything else.
+[[nodiscard]] LogLevel log_level_from_name(const std::string& name);
 
 /// Emits one line to stderr if `level` passes the global threshold.
 /// Thread-safe (single write call per line).

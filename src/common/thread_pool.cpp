@@ -5,6 +5,12 @@
 
 namespace greennfv {
 
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+int ThreadPool::current_worker() { return t_worker_index; }
+
 ThreadPool::ThreadPool(int threads) {
   const std::size_t n = static_cast<std::size_t>(std::max(threads, 1));
   workers_.reserve(n);
@@ -87,6 +93,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  t_worker_index = static_cast<int>(self);
   while (true) {
     {
       std::unique_lock<std::mutex> lock(wake_mutex_);

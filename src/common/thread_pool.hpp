@@ -52,6 +52,11 @@ class ThreadPool {
   static void parallel_for(std::size_t count, int jobs,
                            const std::function<void(std::size_t)>& body);
 
+  /// Index of the pool worker running the calling thread, or -1 off-pool
+  /// (the main thread, including parallel_for's jobs<=1 inline path).
+  /// Observability only — task semantics never depend on which worker ran.
+  [[nodiscard]] static int current_worker();
+
  private:
   struct Worker {
     std::deque<std::function<void()>> queue;

@@ -12,6 +12,8 @@
 #include "nfvsim/chain.hpp"
 #include "orchestrator/fleet_index.hpp"
 #include "orchestrator/timeline_io.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "topology/path_table.hpp"
 #include "traffic/generator.hpp"
 
@@ -85,6 +87,12 @@ FleetOrchestrator::FleetOrchestrator(scenario::ScenarioSpec spec,
 }
 
 void FleetOrchestrator::build_timeline() {
+  namespace mc = telemetry::metrics;
+  // Explicit Span (not the macro) so the phase timer keeps accumulating
+  // when the tracer is compiled out — same for every timer-carrying span
+  // in this file.
+  const telemetry::trace::Span build_span(
+      "fleet/build_timeline", &mc::counter("fleet.phase.build_ns"));
   const int num_nodes = spec_.num_nodes;
   const double window_s = spec_.window_s;
   timeline_.num_nodes = num_nodes;
@@ -215,6 +223,20 @@ void FleetOrchestrator::build_timeline() {
 
   int next_id = spec_.num_chains;
 
+  // Flight-recorder handles, hoisted out of the event loop. Departures
+  // pop far too often for per-event spans (a mega-fleet run sees ~1M of
+  // them — two clock reads each would blow the <5% overhead budget), so
+  // they are counted only; the once-per-window ticks each get a span
+  // that doubles as the phase-time accumulator.
+  auto& c_ev_departure = mc::counter("fleet.events.departure");
+  auto& c_ev_arrival = mc::counter("fleet.events.arrival_tick");
+  auto& c_ev_consolidate = mc::counter("fleet.events.consolidate_tick");
+  auto& c_ev_account = mc::counter("fleet.events.account_tick");
+  auto& c_phase_arrival = mc::counter("fleet.phase.arrival_ns");
+  auto& c_phase_consolidate = mc::counter("fleet.phase.consolidate_ns");
+  auto& c_phase_account = mc::counter("fleet.phase.account_ns");
+  auto& c_mig_attempted = mc::counter("fleet.migrations.attempted");
+
   while (!events.empty()) {
     const auto event = events.pop();
     const int w = event.time;
@@ -224,6 +246,7 @@ void FleetOrchestrator::build_timeline() {
     switch (event.phase) {
       case kDeparturePhase: {
         // One chain's holding time expired at this window edge.
+        c_ev_departure.add();
         const int id = event.payload;
         dirty.push_back(index.chain_node(id));
         index.remove_chain(id);
@@ -237,6 +260,10 @@ void FleetOrchestrator::build_timeline() {
         // The initial chain set lands at w=0 through the same policy;
         // dynamic arrivals are Poisson with the scenario's RateProfile
         // as the fleet-level load envelope.
+        c_ev_arrival.add();
+        const telemetry::trace::Span arrival_span(
+            "fleet/arrival_tick", static_cast<std::uint64_t>(w),
+            &c_phase_arrival);
         if (w == 0) {
           for (int c = 0; c < spec_.num_chains; ++c) {
             if (!static_fleet_) {
@@ -285,8 +312,13 @@ void FleetOrchestrator::build_timeline() {
       case kConsolidatePhase: {
         // The policy may drain underutilized nodes so power gating can
         // put them to sleep. Each move costs downtime + energy.
+        c_ev_consolidate.add();
+        const telemetry::trace::Span consolidate_span(
+            "fleet/consolidate_tick", static_cast<std::uint64_t>(w),
+            &c_phase_consolidate);
         const std::vector<Migration> plan = policy->consolidate_indexed(
             index, spec_.fleet.consolidate_below);
+        c_mig_attempted.add(plan.size());
         for (const Migration& move : plan) {
           // Network veto: a consolidation move whose re-routed path has
           // no feasible capacity is skipped (try_move leaves the fabric
@@ -328,6 +360,10 @@ void FleetOrchestrator::build_timeline() {
       }
 
       case kAccountPhase: {
+        c_ev_account.add();
+        const telemetry::trace::Span account_span(
+            "fleet/account_tick", static_cast<std::uint64_t>(w),
+            &c_phase_account);
         // Restore the sorted-hosted-list discipline on perturbed nodes
         // (arrival appends keep lists sorted — ids grow monotonically —
         // so only migration receivers actually reorder).
@@ -381,11 +417,44 @@ void FleetOrchestrator::build_timeline() {
         throw std::logic_error("orchestrator: unknown event phase");
     }
   }
+
+  // Timeline-level tallies land once the builder finishes; the running
+  // members are already exact, so snapshot them instead of double-
+  // counting inside the loop.
+  if (mc::enabled()) {
+    mc::counter("fleet.arrivals").add(
+        static_cast<std::uint64_t>(timeline_.arrivals));
+    mc::counter("fleet.departures").add(
+        static_cast<std::uint64_t>(timeline_.departures));
+    mc::counter("fleet.rejected").add(
+        static_cast<std::uint64_t>(timeline_.rejected));
+    mc::counter("fleet.net_rejected").add(
+        static_cast<std::uint64_t>(timeline_.net_rejected));
+    mc::counter("fleet.migrations.applied").add(
+        static_cast<std::uint64_t>(timeline_.migrations));
+    mc::counter("fleet.migrations.net_blocked").add(
+        static_cast<std::uint64_t>(timeline_.net_blocked));
+    mc::counter("fleet.wakeups").add(
+        static_cast<std::uint64_t>(timeline_.wakeups));
+    mc::gauge("fleet.index.arena_bytes")
+        .set(static_cast<double>(index.arena_bytes()));
+  }
 }
 
 scenario::ModelReport FleetOrchestrator::run_model(
     const scenario::SchedulerFactory& entry,
     telemetry::Recorder* recorder) {
+  namespace mc = telemetry::metrics;
+  // Interned so the span name outlives this call; one string per model.
+  // An explicit Span (not the macro) so the run_model_ns timer keeps
+  // accumulating for bench phase breakdowns even when the tracer is
+  // compiled out.
+  const telemetry::trace::Span model_span(
+      telemetry::trace::intern("fleet/run_model:" + entry.name),
+      &mc::counter("fleet.phase.run_model_ns"));
+  auto& c_phase_measure = mc::counter("fleet.phase.measure_ns");
+  auto& c_node_windows = mc::counter("fleet.node_windows");
+  auto& c_rebuilds = mc::counter("fleet.env_rebuilds");
   scenario::ModelReport report;
   report.prefix = scenario::series_prefix(entry.name);
   telemetry::Recorder local;
@@ -434,6 +503,9 @@ scenario::ModelReport FleetOrchestrator::run_model(
   MembershipReplay replay(timeline_, num_nodes);
 
   for (int w = 0; w < horizon_; ++w) {
+    const telemetry::trace::Span window_span(
+        "fleet/measure_window", static_cast<std::uint64_t>(w),
+        &c_phase_measure);
     const FleetTimeline::Window& win =
         timeline_.windows[static_cast<std::size_t>(w)];
     const double t = w * window_s;
@@ -449,6 +521,7 @@ scenario::ModelReport FleetOrchestrator::run_model(
       rt.env.reset();
       rt.chains = members;
       if (members.empty()) continue;
+      c_rebuilds.add();
 
       core::EnvConfig env_config =
           degenerate ? spec_.env_config()
@@ -513,6 +586,7 @@ scenario::ModelReport FleetOrchestrator::run_model(
         local.record(format("node%d_energy_j", n), t, outcome.energy_j);
       }
     }
+    c_node_windows.add(static_cast<std::uint64_t>(active));
 
     // Migration downtime and wake latency: the affected chain's traffic
     // is lost for `downtime_s` of the window (counted as dropped), and

@@ -4,10 +4,31 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace greennfv::orchestrator {
 
 namespace {
+
+// Flight-recorder bucket-queue op counters. Function-local statics keep
+// the registry lookup off the hot path; Counter::add is a relaxed no-op
+// until metrics are runtime-enabled.
+telemetry::metrics::Counter& c_place() {
+  static auto& c = telemetry::metrics::counter("fleet.index.place");
+  return c;
+}
+telemetry::metrics::Counter& c_remove() {
+  static auto& c = telemetry::metrics::counter("fleet.index.remove");
+  return c;
+}
+telemetry::metrics::Counter& c_wake() {
+  static auto& c = telemetry::metrics::counter("fleet.index.wake");
+  return c;
+}
+telemetry::metrics::Counter& c_sleep() {
+  static auto& c = telemetry::metrics::counter("fleet.index.sleep");
+  return c;
+}
 
 /// Buckets cover the integral committed-core range 0..floor(capacity);
 /// one spare level absorbs a hypothetical custom policy that overcommits
@@ -60,6 +81,7 @@ void FleetIndex::place_chain(int chain, int node, double cores,
     chain_gbps_.resize(id + 1, 0.0);
   }
   GNFV_ASSERT(chain_node_[id] < 0, "FleetIndex: chain already placed");
+  c_place().add();
   chain_node_[id] = node;
   chain_cores_[id] = cores;
   chain_gbps_[id] = offered_gbps;
@@ -71,6 +93,7 @@ void FleetIndex::remove_chain(int chain) {
   const auto id = static_cast<std::size_t>(chain);
   const int node = chain_node_[id];
   GNFV_ASSERT(node >= 0, "FleetIndex: chain not placed");
+  c_remove().add();
   chain_node_[id] = -1;
   auto& hosted = hosted_[static_cast<std::size_t>(node)];
   hosted.erase(std::find(hosted.begin(), hosted.end(), chain));
@@ -89,6 +112,7 @@ void FleetIndex::move_chain(int chain, int to) {
 void FleetIndex::wake(int node) {
   auto& flag = asleep_flags_[static_cast<std::size_t>(node)];
   GNFV_ASSERT(flag != 0, "FleetIndex::wake: node is awake");
+  c_wake().add();
   flag = 0;
   asleep_.erase(node);
   awake_.insert(level_of(node), node);
@@ -99,6 +123,7 @@ void FleetIndex::sleep(int node) {
   GNFV_ASSERT(flag == 0, "FleetIndex::sleep: node already asleep");
   GNFV_ASSERT(hosted_[static_cast<std::size_t>(node)].empty(),
               "FleetIndex::sleep: node still hosts chains");
+  c_sleep().add();
   flag = 1;
   awake_.erase(level_of(node), node);
   asleep_.insert(node);

@@ -81,6 +81,12 @@ class FleetIndex {
   /// Full FleetView snapshot for index-unaware (custom) policies.
   [[nodiscard]] FleetView materialize_view() const;
 
+  /// Bytes the bucket/runqueue arena has reserved from the OS — the
+  /// flight recorder's fleet.index.arena_bytes gauge.
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_.reserved_bytes();
+  }
+
  private:
   [[nodiscard]] std::size_t level_of(int node) const {
     return node_level_[static_cast<std::size_t>(node)];

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "orchestrator/fleet_index.hpp"
+#include "telemetry/metrics.hpp"
 #include "topology/path_table.hpp"
 
 namespace greennfv::orchestrator {
@@ -352,10 +353,20 @@ class TopologyAwareBestFitPolicy final : public FleetPolicy {
 int FleetPolicy::choose_arrival_indexed(
     const FleetIndex& index, const ArrivalRequest& request,
     const topology::PathTable* net) const {
+  static auto& c_queries =
+      telemetry::metrics::counter("fleet.placement.queries");
+  static auto& c_scanned =
+      telemetry::metrics::counter("fleet.placement.candidates_scanned");
+  c_queries.add();
   // No network: the classic O(levels) indexed path, untouched. With one:
   // arrival placement is no longer a pure cores argmin, so materialize
   // the view and run the network-aware scan.
-  if (net == nullptr) return choose_indexed(index, request.cores);
+  if (net == nullptr) {
+    // Bucket queries touch at most one entry per occupancy level.
+    c_scanned.add(index.awake_levels().num_levels());
+    return choose_indexed(index, request.cores);
+  }
+  c_scanned.add(static_cast<std::uint64_t>(index.num_nodes()));
   return choose_arrival(index.materialize_view(), request, net);
 }
 

@@ -6,6 +6,8 @@
 #include "common/assert.hpp"
 #include "common/math_util.hpp"
 #include "rl/checkpoint.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace greennfv::rl {
 
@@ -122,6 +124,17 @@ void DdpgAgent::ensure_train_scratch(std::size_t n) {
 }
 
 const TrainStats& DdpgAgent::train_step(ReplayInterface& replay, Rng& rng) {
+  namespace mc = telemetry::metrics;
+  static auto& c_steps = mc::counter("rl.train_steps");
+  static auto& t_step = mc::counter("rl.phase.train_step_ns");
+  static auto& t_targets = mc::counter("rl.phase.targets_ns");
+  static auto& t_critic = mc::counter("rl.phase.critic_ns");
+  static auto& t_actor = mc::counter("rl.phase.actor_ns");
+  static auto& t_soft = mc::counter("rl.phase.soft_update_ns");
+  c_steps.add();
+  // Explicit Spans (not the macro) so the pass timers keep accumulating
+  // when the tracer is compiled out.
+  const telemetry::trace::Span step_span("rl/train_step", &t_step);
   GNFV_REQUIRE(replay.size() >= config_.batch_size,
                "DDPG::train_step: replay underfilled");
   replay.sample_into(config_.batch_size, rng, batch_);
@@ -154,61 +167,75 @@ const TrainStats& DdpgAgent::train_step(ReplayInterface& replay, Rng& rng) {
   // --- passes 1+2: targets give y = r + γ·Q'(x', μ'(x')) --------------------
   // (Algorithm 2 line 5; done rows keep y = r, exactly the reference's
   // zero bootstrap at terminal.)
-  const Matrix& next_actions = target_actor_.forward_batch(target_actor_ws_);
-  for (std::size_t i = 0; i < n; ++i) {
-    double* tc = target_critic_ws_.input.data() + i * (s + a);
-    const double* xn = target_actor_ws_.input.data() + i * s;
-    const double* na = next_actions.data() + i * a;
-    for (std::size_t d = 0; d < s; ++d) tc[d] = xn[d];
-    for (std::size_t d = 0; d < a; ++d) tc[s + d] = na[d];
-  }
-  const Matrix& next_q = target_critic_.forward_batch(target_critic_ws_);
-  for (std::size_t i = 0; i < n; ++i) {
-    double y = batch_.transitions[i].reward;
-    if (!batch_.transitions[i].done) y += config_.gamma * next_q(i, 0);
-    y_[i] = y;
+  {
+    const telemetry::trace::Span targets_span("rl/targets", &t_targets);
+    const Matrix& next_actions =
+        target_actor_.forward_batch(target_actor_ws_);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* tc = target_critic_ws_.input.data() + i * (s + a);
+      const double* xn = target_actor_ws_.input.data() + i * s;
+      const double* na = next_actions.data() + i * a;
+      for (std::size_t d = 0; d < s; ++d) tc[d] = xn[d];
+      for (std::size_t d = 0; d < a; ++d) tc[s + d] = na[d];
+    }
+    const Matrix& next_q = target_critic_.forward_batch(target_critic_ws_);
+    for (std::size_t i = 0; i < n; ++i) {
+      double y = batch_.transitions[i].reward;
+      if (!batch_.transitions[i].done) y += config_.gamma * next_q(i, 0);
+      y_[i] = y;
+    }
   }
 
   // --- pass 3: critic fwd+bwd (Algorithm 2 lines 4-6) -----------------------
-  const Matrix& q = critic_.forward_batch(critic_ws_);
-  double critic_loss = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double td = q(i, 0) - y_[i];
-    critic_loss += td * td;
-    td = math_util::clamp(td, -config_.td_error_clip, config_.td_error_clip);
-    stats_.td_errors.push_back(std::fabs(td));
-    // dL/dq for 0.5·w·td² (importance weight from PER).
-    dq_(i, 0) = td * batch_.weights[i] * inv_n;
+  {
+    const telemetry::trace::Span critic_span("rl/critic_update", &t_critic);
+    const Matrix& q = critic_.forward_batch(critic_ws_);
+    double critic_loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double td = q(i, 0) - y_[i];
+      critic_loss += td * td;
+      td =
+          math_util::clamp(td, -config_.td_error_clip, config_.td_error_clip);
+      stats_.td_errors.push_back(std::fabs(td));
+      // dL/dq for 0.5·w·td² (importance weight from PER).
+      dq_(i, 0) = td * batch_.weights[i] * inv_n;
+    }
+    stats_.critic_loss = critic_loss * inv_n;
+    (void)critic_.backward_batch(dq_, critic_ws_, critic_grads_);
+    critic_opt_.step(critic_, critic_grads_);
   }
-  stats_.critic_loss = critic_loss * inv_n;
-  (void)critic_.backward_batch(dq_, critic_ws_, critic_grads_);
-  critic_opt_.step(critic_, critic_grads_);
 
   // --- pass 4: actor fwd+bwd via the critic's ∂Q/∂a slice (lines 7-8) -------
-  const Matrix& policy_actions = actor_.forward_batch(actor_ws_);
-  for (std::size_t i = 0; i < n; ++i) {
-    double* ci = critic_pol_ws_.input.data() + i * (s + a);
-    const double* xs = actor_ws_.input.data() + i * s;
-    const double* pa = policy_actions.data() + i * a;
-    for (std::size_t d = 0; d < s; ++d) ci[d] = xs[d];
-    for (std::size_t d = 0; d < a; ++d) ci[s + d] = pa[d];
+  {
+    const telemetry::trace::Span actor_span("rl/actor_update", &t_actor);
+    const Matrix& policy_actions = actor_.forward_batch(actor_ws_);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* ci = critic_pol_ws_.input.data() + i * (s + a);
+      const double* xs = actor_ws_.input.data() + i * s;
+      const double* pa = policy_actions.data() + i * a;
+      for (std::size_t d = 0; d < s; ++d) ci[d] = xs[d];
+      for (std::size_t d = 0; d < a; ++d) ci[s + d] = pa[d];
+    }
+    const Matrix& q_policy = critic_.forward_batch(critic_pol_ws_);
+    double objective = 0.0;
+    for (std::size_t i = 0; i < n; ++i) objective += q_policy(i, 0);
+    stats_.actor_objective = objective * inv_n;
+    const Matrix& input_grad =
+        critic_.backward_batch(ones_, critic_pol_ws_, critic_scratch_);
+    // Gradient *ascent* on Q -> descend on -Q.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < a; ++d)
+        dq_da_(i, d) = -input_grad(i, s + d) * inv_n;
+    (void)actor_.backward_batch(dq_da_, actor_ws_, actor_grads_);
+    actor_opt_.step(actor_, actor_grads_);
   }
-  const Matrix& q_policy = critic_.forward_batch(critic_pol_ws_);
-  double objective = 0.0;
-  for (std::size_t i = 0; i < n; ++i) objective += q_policy(i, 0);
-  stats_.actor_objective = objective * inv_n;
-  const Matrix& input_grad =
-      critic_.backward_batch(ones_, critic_pol_ws_, critic_scratch_);
-  // Gradient *ascent* on Q -> descend on -Q.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t d = 0; d < a; ++d)
-      dq_da_(i, d) = -input_grad(i, s + d) * inv_n;
-  (void)actor_.backward_batch(dq_da_, actor_ws_, actor_grads_);
-  actor_opt_.step(actor_, actor_grads_);
 
   // --- target soft updates (Algorithm 2 lines 9-10) -------------------------
-  target_critic_.soft_update_from(critic_, config_.tau);
-  target_actor_.soft_update_from(actor_, config_.tau);
+  {
+    const telemetry::trace::Span soft_span("rl/soft_update", &t_soft);
+    target_critic_.soft_update_from(critic_, config_.tau);
+    target_actor_.soft_update_from(actor_, config_.tau);
+  }
 
   ++train_steps_;
   return stats_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace greennfv::rl {
 
@@ -78,6 +79,8 @@ void PrioritizedReplay::add(Transition t, double priority) {
 
 void PrioritizedReplay::sample_into(std::size_t n, Rng& rng,
                                     Minibatch& out) {
+  static auto& c_samples = telemetry::metrics::counter("rl.replay_samples");
+  c_samples.add(n);
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t current = size_locked();
   GNFV_REQUIRE(current >= n && n > 0, "PER::sample: not enough data");

@@ -1,6 +1,7 @@
 #include "rl/replay.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace greennfv::rl {
 
@@ -21,6 +22,8 @@ void UniformReplay::add(Transition t, double priority) {
 }
 
 void UniformReplay::sample_into(std::size_t n, Rng& rng, Minibatch& out) {
+  static auto& c_samples = telemetry::metrics::counter("rl.replay_samples");
+  c_samples.add(n);
   GNFV_REQUIRE(size() >= n && n > 0, "UniformReplay::sample: not enough data");
   out.reset(n);
   out.weights.assign(n, 1.0);

@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
+
 namespace greennfv::rl {
+
+namespace {
+// One flight-recorder counter covers all three GEMM entry points — the
+// interesting number is batched-kernel invocations per train step.
+telemetry::metrics::Counter& c_gemm_calls() {
+  static auto& c = telemetry::metrics::counter("rl.gemm_calls");
+  return c;
+}
+}  // namespace
 
 void Matrix::xavier_init(Rng& rng) {
   GNFV_REQUIRE(rows_ > 0 && cols_ > 0, "xavier_init on empty matrix");
@@ -206,6 +217,7 @@ void gemm_core(const double* ap, std::size_t si, std::size_t st,
 }  // namespace
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  c_gemm_calls().add();
   GNFV_ASSERT(a.cols() == b.rows(), "gemm: inner dimension mismatch");
   GNFV_ASSERT(c.rows() == a.rows() && c.cols() == b.cols(),
               "gemm: output shape mismatch");
@@ -219,6 +231,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  c_gemm_calls().add();
   GNFV_ASSERT(a.rows() == b.rows(), "gemm_tn: batch dimension mismatch");
   GNFV_ASSERT(c.rows() == a.cols() && c.cols() == b.cols(),
               "gemm_tn: output shape mismatch");
@@ -235,6 +248,7 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c,
              std::span<const double> bias) {
+  c_gemm_calls().add();
   GNFV_ASSERT(a.cols() == b.cols(), "gemm_nt: inner dimension mismatch");
   GNFV_ASSERT(c.rows() == a.rows() && c.cols() == b.rows(),
               "gemm_nt: output shape mismatch");

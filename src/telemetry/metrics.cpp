@@ -1,0 +1,179 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/string_util.hpp"
+
+namespace greennfv::telemetry::metrics {
+
+namespace detail {
+
+/// One thread's counter shard. Only the owner thread writes values (plain
+/// relaxed stores — no RMW); the snapshot thread reads them relaxed. The
+/// deque never invalidates element references on growth, and growth /
+/// iteration are serialized by `mutex`, so a concurrent snapshot observes
+/// a consistent container.
+struct ThreadSlots {
+  std::mutex mutex;  ///< guards deque growth vs snapshot iteration
+  std::deque<std::atomic<std::uint64_t>> values;
+  std::atomic<std::size_t> published{0};  ///< values.size() fence-free
+
+  void ensure(std::size_t id) {
+    if (id < published.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    while (values.size() <= id) values.emplace_back(0);
+    published.store(values.size(), std::memory_order_release);
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::deque<Counter> counters;  ///< stable addresses, parallel to names
+  std::vector<std::string> gauge_names;
+  std::deque<Gauge> gauges;
+  /// Every thread's shard, kept alive past thread exit so a final
+  /// snapshot still sees short-lived workers' counts.
+  std::vector<std::shared_ptr<detail::ThreadSlots>> shards;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: threads
+  return *instance;                            // may outlive main's exit
+}
+
+}  // namespace
+
+namespace detail {
+
+ThreadSlots& slots_for_this_thread() {
+  thread_local std::shared_ptr<ThreadSlots> slots = [] {
+    auto created = std::make_shared<ThreadSlots>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.shards.push_back(created);
+    return created;
+  }();
+  return *slots;
+}
+
+}  // namespace detail
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Counter::add(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::ThreadSlots& slots = detail::slots_for_this_thread();
+  slots.ensure(id_);
+  std::atomic<std::uint64_t>& slot = slots.values[id_];
+  // Owner-thread-only write: load+store beats a lock-prefixed fetch_add.
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  Registry& reg = registry();
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& shard : reg.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    if (id_ < shard->values.size())
+      total += shard->values[id_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter& counter(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < reg.counter_names.size(); ++i)
+    if (reg.counter_names[i] == name) return reg.counters[i];
+  reg.counter_names.push_back(name);
+  reg.counters.push_back(Counter(reg.counters.size()));
+  return reg.counters.back();
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < reg.gauge_names.size(); ++i)
+    if (reg.gauge_names[i] == name) return reg.gauges[i];
+  reg.gauge_names.push_back(name);
+  reg.gauges.emplace_back();
+  return reg.gauges.back();
+}
+
+double Snapshot::value(const std::string& name, double fallback) const {
+  for (const Entry& entry : entries)
+    if (entry.name == name) return entry.value;
+  return fallback;
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::uint64_t> sums(reg.counter_names.size(), 0);
+  for (const auto& shard : reg.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const std::size_t n = std::min(shard->values.size(), sums.size());
+    for (std::size_t i = 0; i < n; ++i)
+      sums[i] += shard->values[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    snap.entries.push_back(
+        {reg.counter_names[i], static_cast<double>(sums[i]), false});
+  }
+  for (std::size_t i = 0; i < reg.gauge_names.size(); ++i)
+    snap.entries.push_back({reg.gauge_names[i], reg.gauges[i].value(), true});
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const Snapshot::Entry& a, const Snapshot::Entry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& shard : reg.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (auto& value : shard->values)
+      value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& g : reg.gauges) g.value_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string table() {
+  const Snapshot snap = snapshot();
+  std::vector<std::vector<std::string>> rows;
+  for (const Snapshot::Entry& entry : snap.entries) {
+    rows.push_back({entry.name, entry.is_gauge
+                                    ? format("%.17g", entry.value)
+                                    : format("%.0f", entry.value)});
+  }
+  return render_table({"metric", "value"}, rows);
+}
+
+Json to_json() {
+  const Snapshot snap = snapshot();
+  Json json = Json::object();
+  for (const Snapshot::Entry& entry : snap.entries)
+    json.set(entry.name, entry.value);
+  return json;
+}
+
+}  // namespace greennfv::telemetry::metrics

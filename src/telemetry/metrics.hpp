@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+/// \file metrics.hpp
+/// Process-wide registry of named counters and gauges — the "how many"
+/// half of the flight recorder (trace.hpp is the "how long" half). Hot
+/// paths hold a `Counter&` (one registry lookup, usually behind a
+/// function-local static) and bump it with a relaxed store into a
+/// per-thread slot: no locks, no cross-core cache-line ping-pong, and a
+/// single relaxed flag load when the registry is disabled (the default).
+/// `snapshot()` sums the per-thread shards on demand; counting never
+/// perturbs simulation results — counters carry no floating-point state
+/// that feeds back into any model.
+
+namespace greennfv::telemetry::metrics {
+
+/// Global collection switch. Off by default: every Counter::add is a
+/// relaxed load + branch. Flip on for `metrics=1` runs and benches.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+namespace detail {
+struct ThreadSlots;
+detail::ThreadSlots& slots_for_this_thread();
+}  // namespace detail
+
+/// A named monotonic counter. Obtain via `counter(name)` (stable for the
+/// process lifetime); `add` is safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  /// Sum across every thread's shard (registry-wide, point-in-time).
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend Counter& counter(const std::string& name);
+  explicit Counter(std::size_t id) : id_(id) {}
+  std::size_t id_;
+};
+
+/// A named last-write-wins gauge (arena bytes, ring occupancy...).
+/// Obtain via `gauge(name)`; the default constructor exists only so the
+/// registry can hold them in place.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) {
+    if (enabled()) value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend void reset();
+  std::atomic<double> value_{0.0};
+};
+
+/// Finds or creates the named metric. The returned reference is stable —
+/// hot paths cache it in a function-local static.
+[[nodiscard]] Counter& counter(const std::string& name);
+[[nodiscard]] Gauge& gauge(const std::string& name);
+
+/// One registry sample: counters summed across threads plus gauges, in
+/// ascending name order (deterministic output regardless of registration
+/// interleaving).
+struct Snapshot {
+  struct Entry {
+    std::string name;
+    double value = 0.0;
+    bool is_gauge = false;
+  };
+  std::vector<Entry> entries;
+
+  /// Value of `name`, or `fallback` when the metric never registered.
+  [[nodiscard]] double value(const std::string& name,
+                             double fallback = 0.0) const;
+};
+
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes every counter shard and gauge (names stay registered) — how a
+/// bench scopes counts to one timed section.
+void reset();
+
+/// Rendered name/value table (the `metrics=1` output).
+[[nodiscard]] std::string table();
+
+/// `{"name": value, ...}` in ascending name order.
+[[nodiscard]] Json to_json();
+
+}  // namespace greennfv::telemetry::metrics

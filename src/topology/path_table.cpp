@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace greennfv::topology {
 
 Routing routing_from_name(const std::string& name) {
@@ -47,6 +50,8 @@ void PathTable::route_labels(std::int64_t demand_kbps, int exclude_chain,
                              std::vector<int>& hops,
                              std::vector<std::int64_t>& bneck,
                              std::vector<int>& parent) const {
+  static auto& c_passes = telemetry::metrics::counter("net.route_passes");
+  c_passes.add();
   const int n = topo_.num_vertices();
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
   hops.assign(static_cast<std::size_t>(n), std::numeric_limits<int>::max());
@@ -161,6 +166,7 @@ PathView PathTable::preview(int host, double gbps) const {
 }
 
 std::vector<PathView> PathTable::preview_hosts(double gbps) const {
+  GNFV_TRACE_SPAN("net/preview_hosts");
   std::vector<int> hops;
   std::vector<std::int64_t> bneck;
   std::vector<int> parent;
@@ -175,6 +181,8 @@ std::vector<PathView> PathTable::preview_hosts(double gbps) const {
 
 void PathTable::commit_entry(int chain, std::int64_t demand_kbps,
                              std::vector<int> links) {
+  static auto& c_commits = telemetry::metrics::counter("net.commits");
+  c_commits.add();
   Entry& e = entry(chain);
   e.active = true;
   e.demand_kbps = demand_kbps;
@@ -192,6 +200,8 @@ void PathTable::commit_entry(int chain, std::int64_t demand_kbps,
 }
 
 void PathTable::release_entry(Entry& e) {
+  static auto& c_releases = telemetry::metrics::counter("net.releases");
+  c_releases.add();
   for (int link : e.links) {
     committed_[static_cast<std::size_t>(link)] -= e.demand_kbps;
   }
@@ -207,6 +217,7 @@ void PathTable::release_entry(Entry& e) {
 }
 
 bool PathTable::commit_chain(int chain, int host, double gbps) {
+  GNFV_TRACE_SPAN("net/commit", static_cast<std::uint64_t>(chain));
   const std::int64_t demand = kbps_from_gbps(gbps);
   std::vector<int> hops;
   std::vector<std::int64_t> bneck;
@@ -232,6 +243,9 @@ void PathTable::release_chain(int chain) {
 }
 
 bool PathTable::try_move(int chain, int host) {
+  GNFV_TRACE_SPAN("net/try_move", static_cast<std::uint64_t>(chain));
+  static auto& c_moves_failed =
+      telemetry::metrics::counter("net.moves_failed");
   if (!chain_active(chain)) return false;
   Entry& e = chains_[static_cast<std::size_t>(chain)];
   std::vector<int> hops;
@@ -240,6 +254,7 @@ bool PathTable::try_move(int chain, int host) {
   route_labels(e.demand_kbps, chain, hops, bneck, parent);
   if (host != topo_.ingress() &&
       parent[static_cast<std::size_t>(host)] < 0) {
+    c_moves_failed.add();
     return false;  // state untouched: the old commitment never left
   }
   std::vector<int> links;

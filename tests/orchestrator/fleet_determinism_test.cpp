@@ -79,7 +79,10 @@ std::string campaign_artifacts_text(const campaign::CampaignReport& report) {
       for (const double v :
            {r.mean_gbps, r.mean_energy_j, r.mean_power_w,
             r.mean_efficiency, r.sla_satisfaction, r.drop_fraction}) {
-        out += " " + double_bits(v);
+        // Appended piecewise (GCC-12 -Wrestrict false positive on
+        // "s" + std::string&&).
+        out += ' ';
+        out += double_bits(v);
       }
       out += "\n";
     }
@@ -87,8 +90,10 @@ std::string campaign_artifacts_text(const campaign::CampaignReport& report) {
       const TimeSeries& series = run.report.series.series(name);
       out += name;
       for (std::size_t i = 0; i < series.size(); ++i) {
-        out += " " + double_bits(series.times()[i]) + ":" +
-               double_bits(series.values()[i]);
+        out += ' ';
+        out += double_bits(series.times()[i]);
+        out += ':';
+        out += double_bits(series.values()[i]);
       }
       out += "\n";
     }

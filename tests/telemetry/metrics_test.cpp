@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+/// Counter-registry contract: disabled adds are no-ops, cross-thread adds
+/// sum exactly, snapshots come out name-sorted, and reset zeroes values
+/// while keeping names registered.
+
+namespace greennfv::telemetry::metrics {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(MetricsTest, DisabledAddsAreDropped) {
+  Counter& c = counter("test.disabled");
+  c.add(42);
+  EXPECT_EQ(c.value(), 0u);
+  Gauge& g = gauge("test.disabled_gauge");
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameCounter) {
+  set_enabled(true);
+  Counter& a = counter("test.alias");
+  Counter& b = counter("test.alias");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(&gauge("test.alias_gauge"), &gauge("test.alias_gauge"));
+}
+
+TEST_F(MetricsTest, CrossThreadAddsSumExactly) {
+  set_enabled(true);
+  Counter& c = counter("test.cross_thread");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSortedAndLooksUpWithFallback) {
+  set_enabled(true);
+  counter("test.zebra").add(2);
+  counter("test.apple").add(1);
+  gauge("test.mango").set(9.0);
+  const Snapshot snap = snapshot();
+  ASSERT_GE(snap.entries.size(), 3u);
+  for (std::size_t i = 1; i < snap.entries.size(); ++i)
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  EXPECT_EQ(snap.value("test.zebra"), 2.0);
+  EXPECT_EQ(snap.value("test.apple"), 1.0);
+  EXPECT_EQ(snap.value("test.mango"), 9.0);
+  EXPECT_EQ(snap.value("test.never_registered", -1.0), -1.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsNames) {
+  set_enabled(true);
+  counter("test.resettable").add(5);
+  gauge("test.resettable_gauge").set(5.0);
+  reset();
+  EXPECT_EQ(counter("test.resettable").value(), 0u);
+  EXPECT_EQ(gauge("test.resettable_gauge").value(), 0.0);
+  // Still registered: snapshot lists it at zero rather than omitting it.
+  bool found = false;
+  for (const Snapshot::Entry& entry : snapshot().entries)
+    if (entry.name == "test.resettable") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, TableAndJsonCarryTheValues) {
+  set_enabled(true);
+  counter("test.rendered").add(11);
+  EXPECT_NE(table().find("test.rendered"), std::string::npos);
+  const Json json = to_json();
+  ASSERT_TRUE(json.has("test.rendered"));
+  EXPECT_EQ(json.at("test.rendered").as_double(), 11.0);
+}
+
+}  // namespace
+}  // namespace greennfv::telemetry::metrics
