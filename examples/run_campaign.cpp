@@ -196,6 +196,14 @@ int run(const Config& config) {
   }
   std::printf("\n%d executed, %d resumed; artifacts in %s\n",
               report.executed, report.resumed, store.dir().c_str());
+  if (report.failed > 0) {
+    std::printf("\n%d run(s) FAILED:\n", report.failed);
+    for (const auto& run_result : report.runs) {
+      if (!run_result.failed) continue;
+      std::printf("  %s: %s\n", run_result.run_id.c_str(),
+                  run_result.error.c_str());
+    }
+  }
 
   if (timing_on) {
     std::printf("\nper-cell wall clock (jobs=%d):\n%s", jobs,
@@ -216,7 +224,9 @@ int run(const Config& config) {
   if (metrics_on) {
     std::printf("\n[metrics]\n%s", telemetry::metrics::table().c_str());
   }
-  return 0;
+  // A campaign with failure records still aggregated and persisted what
+  // survived, but the invocation must not report success.
+  return report.failed > 0 ? 1 : 0;
 }
 
 }  // namespace

@@ -107,6 +107,23 @@ echo "=== [1c7] flight recorder: traced runs, trace validation, timing ==="
   validate_trace=out/ci-campaign-smoke/campaign.trace.json
 
 echo
+echo "=== [1c8] fault smoke: crashes, repairs, recovery under SLA pressure ==="
+# The fault subsystem end to end: the fault-smoke preset (node crashes,
+# rack-outage chance, wake storms, exponential repairs) through the full
+# model evaluation, then a 2-cell slice of the resilience-frontier preset
+# (one crash rate, two recovery policies) at jobs=2 with the same
+# manifest contract as every other campaign smoke.
+./build/example_run_scenario scenario=fault-smoke models=baseline,ee-pstate
+./build/example_run_campaign campaign=resilience-frontier \
+  sweep.fault.node_crash_rate=0.3 \
+  sweep.fleet.policy=energy-bestfit,topology-aware-bestfit \
+  sweep.sla.latency=40 \
+  models=baseline eval_windows=3 sub_windows=2 window_s=2 \
+  jobs=2 fresh=1
+./build/example_run_campaign \
+  validate_manifest=out/resilience-frontier/manifest.json
+
+echo
 echo "=== [1d] RL training microbench: smoke mode + baseline check ==="
 # Smoke-sized run of the batched training engine (train_steps/sec,
 # actions/sec -> out/BENCH_train.json). The baseline comparison warns —
@@ -132,9 +149,9 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" -R '^nfvsim\.')
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
-  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.|^telemetry\.')
+  -R '^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetFault|FleetTopology|FleetWakeRegression)\.|^topology\.|^telemetry\.')
 (cd build-asan && ctest --output-on-failure --no-tests=error -j "$JOBS" \
-  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetTopology|FleetWakeRegression)\.|^topology\.|^telemetry\.')
+  -E '^nfvsim\.|^common\.(Arena|ArenaAllocator|BucketQueue|EventHeap)\.|^orchestrator\.(FleetGolden|FleetDeterminism|FleetFault|FleetTopology|FleetWakeRegression)\.|^topology\.|^telemetry\.')
 
 echo
 echo "ci.sh: all green"

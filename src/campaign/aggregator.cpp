@@ -62,6 +62,9 @@ CampaignSummary aggregate(const std::vector<RunResult>& runs) {
   std::map<std::pair<std::string, std::string>, CellAccumulator> groups;
   std::size_t next_order = 0;
   for (const RunResult& run : runs) {
+    // Failed runs carry no models; skipping them here (and below in the
+    // per-cell count) keeps the surviving seeds' statistics consistent.
+    if (run.failed) continue;
     for (const auto& model : run.report.models) {
       const auto key =
           std::make_pair(run.cell_id, model.result.scheduler);
@@ -88,7 +91,10 @@ CampaignSummary aggregate(const std::vector<RunResult>& runs) {
   // Consistency: every seed of a cell must have reported the same model
   // roster, else the per-model means average different sample sets.
   std::map<std::string, std::size_t> runs_per_cell;
-  for (const RunResult& run : runs) ++runs_per_cell[run.cell_id];
+  for (const RunResult& run : runs) {
+    if (run.failed) continue;
+    ++runs_per_cell[run.cell_id];
+  }
   for (const auto& [key, acc] : groups) {
     if (acc.gbps.count() != runs_per_cell[acc.cell_id]) {
       throw std::invalid_argument(

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/fs_util.hpp"
+#include "common/log.hpp"
 #include "common/string_util.hpp"
 
 namespace greennfv::campaign {
@@ -128,9 +129,12 @@ std::optional<RunResult> ArtifactStore::load_run(const RunSpec& spec) const {
       return std::nullopt;
     result.index = spec.index;
     return result;
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     // Unreadable/corrupt artifact (interrupted write, hand edit): treat
-    // as absent and re-run.
+    // as absent and re-run — loudly, so a resumed campaign says why a
+    // run that looked done is executing again.
+    GNFV_LOG_WARN("campaign")
+        << "discarding corrupt run artifact " << path << ": " << e.what();
     return std::nullopt;
   }
 }

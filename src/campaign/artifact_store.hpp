@@ -35,6 +35,11 @@ struct RunResult {
   /// True when the result was loaded from a previous campaign's artifact
   /// instead of executed.
   bool from_cache = false;
+  /// A run whose execution threw: the campaign records the failure (run
+  /// id + error), finishes the remaining cells, and exits non-zero. A
+  /// failed run writes no artifact and is excluded from aggregation.
+  bool failed = false;
+  std::string error;
   /// Per-model results + telemetry, exactly as ExperimentRunner returns.
   scenario::EvalReport report;
 };

@@ -101,6 +101,29 @@ CampaignSpec path_frontier() {
   return spec;
 }
 
+CampaignSpec resilience_frontier() {
+  CampaignSpec spec;
+  spec.name = "resilience-frontier";
+  spec.description =
+      "Fault-rate x placement-policy x latency-SLA grid over the dynamic"
+      " fleet with a contended fabric: how much SLA each policy buys back"
+      " under crashes and link failures";
+  spec.scenarios = {"fault-smoke"};
+  // One reactive model: the question is recovery placement under
+  // pressure, not the learned schedulers.
+  spec.models = "baseline";
+  spec.overrides.set("topology.enabled", "1");
+  spec.overrides.set("topology.preset", "leaf-spine");
+  spec.overrides.set("topology.link_gbps", "8");
+  spec.overrides.set("topology.core_gbps", "16");
+  spec.overrides.set("fault.link_fail_rate", "0.15");
+  spec.axes = {
+      {"fault.node_crash_rate", {"0.1", "0.3"}},
+      {"fleet.policy", {"energy-bestfit", "topology-aware-bestfit"}},
+      {"sla.latency", {"20", "80"}}};
+  return spec;
+}
+
 CampaignSpec ci_campaign_smoke() {
   CampaignSpec spec;
   spec.name = "ci-campaign-smoke";
@@ -120,7 +143,7 @@ const std::vector<CampaignSpec>& registry() {
   static const std::vector<CampaignSpec> presets = {
       fig9(),            fig11_rates(),  ablation(),
       placement_sweep(), sla_frontier(), path_frontier(),
-      ci_campaign_smoke()};
+      resilience_frontier(), ci_campaign_smoke()};
   return presets;
 }
 

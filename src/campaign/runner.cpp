@@ -118,7 +118,25 @@ CampaignReport CampaignRunner::run(int jobs, bool resume) {
           const telemetry::trace::Span span(
               telemetry::trace::intern("campaign/run:" + run.run_id),
               static_cast<std::uint64_t>(run.index));
-          result = execute(run, roster_);
+          // Caught here, inside the task body: an uncaught exception
+          // would propagate through ThreadPool::wait() and abandon every
+          // cell still queued. One bad cell becomes a failure record; the
+          // rest of the campaign finishes.
+          try {
+            result = execute(run, roster_);
+          } catch (const std::exception& e) {
+            result.index = run.index;
+            result.run_id = run.run_id;
+            result.cell_id = run.cell_id;
+            result.scenario_name = run.scenario_name;
+            result.assignments = run.assignments;
+            result.seed = run.seed;
+            result.failed = true;
+            result.error = e.what();
+            std::printf("[campaign] run %zu/%zu %s FAILED: %s\n",
+                        run.index + 1, matrix_.size(), run.run_id.c_str(),
+                        e.what());
+          }
         }
         if (slice) {
           const int tid = std::max(0, ThreadPool::current_worker());
@@ -127,7 +145,9 @@ CampaignReport CampaignRunner::run(int jobs, bool resume) {
               telemetry::trace::events_to_json(
                   telemetry::trace::events_since(mark), tid));
         }
-        if (store_ != nullptr) store_->save_run(result);
+        // A failed run writes no artifact: its absence (not a poisoned
+        // file) is what makes a later --resume re-run it.
+        if (store_ != nullptr && !result.failed) store_->save_run(result);
         RunTiming& timing = report.timings[run.index];
         timing.executed = true;
         timing.worker = ThreadPool::current_worker();
@@ -137,6 +157,9 @@ CampaignReport CampaignRunner::run(int jobs, bool resume) {
         report.runs[run.index] = std::move(result);
       });
   report.executed = static_cast<int>(todo.size());
+  for (const RunResult& run : report.runs) {
+    if (run.failed) ++report.failed;
+  }
 
   report.summary = aggregate(report.runs);
   if (store_ != nullptr) store_->save_manifest(manifest(report));
@@ -181,6 +204,12 @@ Json CampaignRunner::manifest(const CampaignReport& report) const {
     entry.set("seed",
               format("%llu", static_cast<unsigned long long>(run.seed)));
     entry.set("resumed", run.from_cache);
+    // Only failed cells carry the marker — success manifests keep their
+    // exact pre-fault bytes.
+    if (run.failed) {
+      entry.set("failed", true);
+      entry.set("error", run.error);
+    }
     runs.push_back(std::move(entry));
   }
   json.set("runs", std::move(runs));

@@ -41,6 +41,7 @@ struct CampaignReport {
   CampaignSummary summary;
   int executed = 0;  ///< runs evaluated this invocation
   int resumed = 0;   ///< runs loaded from artifacts
+  int failed = 0;    ///< runs whose execution threw (see RunResult::failed)
   /// Matrix order, parallel to `runs`.
   std::vector<RunTiming> timings;
 };

@@ -1,0 +1,170 @@
+#include "orchestrator/fault.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace greennfv::orchestrator {
+
+namespace {
+
+/// Salt for the fault stream. Distinct from the timeline salt in
+/// fleet.cpp so the arrival/holding/flow draws are untouched by
+/// fault.enabled — that independence is what keeps fault-free histories
+/// byte-identical to the pre-fault goldens.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA177AB1E5EEDull;
+
+/// Build-time bookkeeping: which nodes/links are currently up, plus the
+/// repairs already scheduled. Victims are always drawn uniformly over
+/// the *up* population, so an emitted crash/fail is applicable by
+/// construction and engines never have to re-check.
+struct Builder {
+  const scenario::FaultSpec& fault;
+  int horizon;
+  Rng rng;
+  std::vector<char> node_up;
+  std::vector<char> link_up;
+  /// Repairs land at the start of their window, before that window's new
+  /// faults, in the order they were scheduled (deterministic: schedule
+  /// order is draw order).
+  std::map<int, std::vector<FaultEvent>> due;
+  FaultSchedule out;
+
+  Builder(const scenario::ScenarioSpec& spec, int horizon_windows,
+          int num_nodes, int num_links)
+      : fault(spec.fault),
+        horizon(horizon_windows),
+        rng(spec.seed ^ kFaultSeedSalt),
+        node_up(static_cast<std::size_t>(num_nodes), 1),
+        link_up(static_cast<std::size_t>(num_links), 1) {
+    out.windows.resize(static_cast<std::size_t>(horizon_windows));
+    out.wake_storm.assign(static_cast<std::size_t>(horizon_windows), 0);
+  }
+
+  /// Repair delay in windows: exponential with the configured mean,
+  /// floored at one window (a fault is never repaired within its own
+  /// window — the fleet must actually live with it).
+  [[nodiscard]] int draw_repair_delay() {
+    return 1 + static_cast<int>(
+                   rng.exponential(1.0 / fault.mean_repair_windows));
+  }
+
+  /// Draws the k-th up entry (uniform over the up population). Returns
+  /// -1 when everything is already down.
+  [[nodiscard]] int draw_up(const std::vector<char>& up) {
+    std::vector<int> candidates;
+    candidates.reserve(up.size());
+    for (std::size_t i = 0; i < up.size(); ++i)
+      if (up[i]) candidates.push_back(static_cast<int>(i));
+    if (candidates.empty()) return -1;
+    return candidates[rng.uniform_u64(candidates.size())];
+  }
+
+  void crash_node(int node, int window, int repair_window) {
+    node_up[static_cast<std::size_t>(node)] = 0;
+    out.windows[static_cast<std::size_t>(window)].push_back(
+        {FaultEvent::Kind::kNodeCrash, node});
+    ++out.node_crashes;
+    if (repair_window < horizon) {
+      due[repair_window].push_back({FaultEvent::Kind::kNodeRepair, node});
+    }
+  }
+
+  void build() {
+    for (int w = 0; w < horizon; ++w) {
+      auto& events = out.windows[static_cast<std::size_t>(w)];
+      // 1. Repairs due this window (scheduled order).
+      if (const auto it = due.find(w); it != due.end()) {
+        for (const FaultEvent& repair : it->second) {
+          events.push_back(repair);
+          if (repair.kind == FaultEvent::Kind::kNodeRepair) {
+            node_up[static_cast<std::size_t>(repair.target)] = 1;
+            ++out.node_repairs;
+          } else {
+            link_up[static_cast<std::size_t>(repair.target)] = 1;
+            ++out.link_repairs;
+          }
+        }
+        due.erase(it);
+      }
+      // 2. Independent node crashes.
+      const std::uint64_t crashes =
+          fault.node_crash_rate > 0.0 ? rng.poisson(fault.node_crash_rate)
+                                      : 0;
+      for (std::uint64_t i = 0; i < crashes; ++i) {
+        const int victim = draw_up(node_up);
+        if (victim < 0) break;
+        crash_node(victim, w, w + draw_repair_delay());
+      }
+      // 3. Correlated rack outages: every up node in the victim rack
+      // crashes now and the whole rack repairs together.
+      const std::uint64_t outages =
+          fault.rack_outage_rate > 0.0
+              ? rng.poisson(fault.rack_outage_rate)
+              : 0;
+      const int num_racks =
+          (static_cast<int>(node_up.size()) + fault.rack_size - 1) /
+          fault.rack_size;
+      for (std::uint64_t i = 0; i < outages && num_racks > 0; ++i) {
+        const int rack =
+            static_cast<int>(rng.uniform_u64(
+                static_cast<std::uint64_t>(num_racks)));
+        const int repair_window = w + draw_repair_delay();
+        const int lo = rack * fault.rack_size;
+        const int hi = std::min(lo + fault.rack_size,
+                                static_cast<int>(node_up.size()));
+        bool hit = false;
+        for (int node = lo; node < hi; ++node) {
+          if (!node_up[static_cast<std::size_t>(node)]) continue;
+          crash_node(node, w, repair_window);
+          hit = true;
+        }
+        if (hit) ++out.rack_outages;
+      }
+      // 4. Link failures (only with a fabric to fail).
+      const std::uint64_t fails =
+          fault.link_fail_rate > 0.0 && !link_up.empty()
+              ? rng.poisson(fault.link_fail_rate)
+              : 0;
+      for (std::uint64_t i = 0; i < fails; ++i) {
+        const int victim = draw_up(link_up);
+        if (victim < 0) break;
+        link_up[static_cast<std::size_t>(victim)] = 0;
+        events.push_back({FaultEvent::Kind::kLinkFail, victim});
+        ++out.link_fails;
+        const int repair_window = w + draw_repair_delay();
+        if (repair_window < horizon) {
+          due[repair_window].push_back(
+              {FaultEvent::Kind::kLinkRepair, victim});
+        }
+      }
+      // 5. Wake-latency storm flag.
+      if (fault.wake_storm_prob > 0.0 &&
+          rng.bernoulli(fault.wake_storm_prob)) {
+        out.wake_storm[static_cast<std::size_t>(w)] = 1;
+        ++out.storm_windows;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+FaultSchedule build_fault_schedule(const scenario::ScenarioSpec& spec,
+                                   int horizon, int num_nodes,
+                                   int num_links) {
+  if (!spec.fault.enabled || horizon <= 0) {
+    FaultSchedule empty;
+    empty.windows.resize(
+        static_cast<std::size_t>(horizon > 0 ? horizon : 0));
+    empty.wake_storm.assign(
+        static_cast<std::size_t>(horizon > 0 ? horizon : 0), 0);
+    return empty;
+  }
+  Builder builder(spec, horizon, num_nodes, num_links);
+  builder.build();
+  return std::move(builder.out);
+}
+
+}  // namespace greennfv::orchestrator

@@ -10,6 +10,7 @@
 #include "common/string_util.hpp"
 #include "core/nf_controller.hpp"
 #include "nfvsim/chain.hpp"
+#include "orchestrator/fault.hpp"
 #include "orchestrator/fleet_index.hpp"
 #include "orchestrator/timeline_io.hpp"
 #include "telemetry/metrics.hpp"
@@ -40,13 +41,15 @@ constexpr std::uint64_t kTimelineSeedSalt = 0xF1EE7C0FFEEull;
 constexpr std::uint64_t kEpochSeedStride = 0x9E3779B97F4A7C15ull;
 
 /// Event phases within one window, in the order the reference engine ran
-/// its per-window steps: departures leave, arrivals land, consolidation
-/// migrates, then occupancy/power accounting closes the window.
+/// its per-window steps: departures leave, faults strike and recovery
+/// runs, arrivals land, consolidation migrates, then occupancy/power
+/// accounting closes the window.
 enum EventPhase : int {
   kDeparturePhase = 0,
-  kArrivalPhase = 1,
-  kConsolidatePhase = 2,
-  kAccountPhase = 3,
+  kFaultPhase = 1,
+  kArrivalPhase = 2,
+  kConsolidatePhase = 3,
+  kAccountPhase = 4,
 };
 
 void copy_series(const telemetry::Recorder& from, telemetry::Recorder* to,
@@ -128,6 +131,30 @@ void FleetOrchestrator::build_timeline() {
   }
   topology::PathTable* const net = net_owned.get();
 
+  // --- the fault schedule (fault runs only) -------------------------------
+  // Expanded once from its own salted RNG stream, exactly like the
+  // arrival process: a pure function of (spec, horizon, fleet shape) both
+  // engines consume verbatim. fault.enabled=0 draws nothing, so every
+  // pre-fault history keeps its bits.
+  const FaultSchedule faults = build_fault_schedule(
+      spec_, horizon_, num_nodes, net != nullptr ? topo->num_links() : 0);
+  if (spec_.fault.enabled) {
+    timeline_.fault_enabled = true;
+    timeline_.node_crashes = faults.node_crashes;
+    timeline_.node_repairs = faults.node_repairs;
+    timeline_.link_fails = faults.link_fails;
+    timeline_.link_repairs = faults.link_repairs;
+    timeline_.rack_outages = faults.rack_outages;
+    timeline_.storm_windows = faults.storm_windows;
+  }
+  // Wake charges cost `wake_storm_factor`x during storm windows (cold
+  // nodes thundering awake under datacenter-wide pressure); 1.0x
+  // otherwise — multiplying by 1.0 is exact, so fault-free runs are
+  // untouched bit for bit.
+  const auto storm_scale = [&](int w) {
+    return faults.storm_active(w) ? spec_.fault.wake_storm_factor : 1.0;
+  };
+
   // --- the initial chain set (the scenario's static topology) -------------
   const auto comps = scenario::resolved_chain_nfs(spec_);
   timeline_.flows = scenario::resolved_flows(spec_);
@@ -170,7 +197,7 @@ void FleetOrchestrator::build_timeline() {
   // the sorted-at-window-edge invariant for free.
   std::vector<int> dirty;
 
-  const auto place = [&](int id, FleetTimeline::Window& win) {
+  const auto place = [&](int id, int w, FleetTimeline::Window& win) {
     ChainInstance& chain = timeline_.chains[static_cast<std::size_t>(id)];
     const ArrivalRequest request{chain.cores, chain.offered_gbps};
     const int node = policy->choose_arrival_indexed(index, request, net);
@@ -197,11 +224,13 @@ void FleetOrchestrator::build_timeline() {
     }
     const auto charge = power[static_cast<std::size_t>(node)].activate();
     if (charge.woke) {
+      const double scale = storm_scale(w);
       index.wake(node);
       ++timeline_.wakeups;
-      win.charges.push_back({id, charge.downtime_s, charge.energy_j, false});
-      timeline_.wake_energy_j += charge.energy_j;
-      timeline_.downtime_s += charge.downtime_s;
+      win.charges.push_back({id, charge.downtime_s * scale,
+                             charge.energy_j * scale, ChargeKind::kWake});
+      timeline_.wake_energy_j += charge.energy_j * scale;
+      timeline_.downtime_s += charge.downtime_s * scale;
     }
     index.place_chain(id, node, chain.cores, chain.offered_gbps);
     win.arrivals.push_back(id);
@@ -214,8 +243,54 @@ void FleetOrchestrator::build_timeline() {
     }
   };
 
+  // Recovery re-placement for a chain a fault evicted from `from`: the
+  // same policy seam that places arrivals picks the new host, the move
+  // pays a replace charge (plus a wake charge if the host was asleep),
+  // and a chain no node/path can take is dropped — it pays one full
+  // window of downtime and leaves the fleet for good (its pending
+  // departure event is lazily skipped).
+  const auto replace_chain = [&](int id, int from, int w,
+                                 FleetTimeline::Window& win) {
+    const ChainInstance& chain =
+        timeline_.chains[static_cast<std::size_t>(id)];
+    const ArrivalRequest request{chain.cores, chain.offered_gbps};
+    const int node = policy->choose_arrival_indexed(index, request, net);
+    bool placed = node >= 0;
+    if (placed && net != nullptr &&
+        !net->commit_chain(id, node, chain.offered_gbps)) {
+      placed = false;
+    }
+    if (!placed) {
+      win.fault_dropped.push_back(id);
+      ++timeline_.fault_dropped;
+      win.charges.push_back({id, window_s, 0.0, ChargeKind::kDrop});
+      timeline_.downtime_s += window_s;
+      return;
+    }
+    const auto charge = power[static_cast<std::size_t>(node)].activate();
+    if (charge.woke) {
+      const double scale = storm_scale(w);
+      index.wake(node);
+      ++timeline_.wakeups;
+      win.charges.push_back({id, charge.downtime_s * scale,
+                             charge.energy_j * scale, ChargeKind::kWake});
+      timeline_.wake_energy_j += charge.energy_j * scale;
+      timeline_.downtime_s += charge.downtime_s * scale;
+    }
+    index.place_chain(id, node, chain.cores, chain.offered_gbps);
+    win.replacements.push_back({id, from, node});
+    ++timeline_.replaced;
+    win.charges.push_back({id, spec_.fault.replace_downtime_s,
+                           spec_.fault.replace_energy_j,
+                           ChargeKind::kReplace});
+    timeline_.replace_energy_j += spec_.fault.replace_energy_j;
+    timeline_.downtime_s += spec_.fault.replace_downtime_s;
+    dirty.push_back(node);
+  };
+
   timeline_.windows.resize(static_cast<std::size_t>(horizon_));
 
+  if (spec_.fault.enabled) events.push(0, kFaultPhase, -1);
   events.push(0, kArrivalPhase, -1);
   if (!static_fleet_ && spec_.fleet.migration)
     events.push(0, kConsolidatePhase, -1);
@@ -229,6 +304,8 @@ void FleetOrchestrator::build_timeline() {
   // they are counted only; the once-per-window ticks each get a span
   // that doubles as the phase-time accumulator.
   auto& c_ev_departure = mc::counter("fleet.events.departure");
+  auto& c_ev_fault = mc::counter("fleet.events.fault_tick");
+  auto& c_phase_fault = mc::counter("fleet.phase.recover_ns");
   auto& c_ev_arrival = mc::counter("fleet.events.arrival_tick");
   auto& c_ev_consolidate = mc::counter("fleet.events.consolidate_tick");
   auto& c_ev_account = mc::counter("fleet.events.account_tick");
@@ -248,11 +325,83 @@ void FleetOrchestrator::build_timeline() {
         // One chain's holding time expired at this window edge.
         c_ev_departure.add();
         const int id = event.payload;
-        dirty.push_back(index.chain_node(id));
+        const int node = index.chain_node(id);
+        // A fault dropped this chain before its holding time ran out —
+        // it already left the fleet; its departure never happens.
+        if (node < 0) break;
+        dirty.push_back(node);
         index.remove_chain(id);
         if (net != nullptr) net->release_chain(id);
         win.departures.push_back(id);
         ++timeline_.departures;
+        break;
+      }
+
+      case kFaultPhase: {
+        // Inject this window's scheduled faults and recover: crashed
+        // nodes evict their chains through the placement policy, failed
+        // links re-route or evict their riders, repairs return capacity.
+        c_ev_fault.add();
+        const telemetry::trace::Span recover_span(
+            "fleet/recover", static_cast<std::uint64_t>(w), &c_phase_fault);
+        for (const FaultEvent& ev :
+             faults.windows[static_cast<std::size_t>(w)]) {
+          switch (ev.kind) {
+            case FaultEvent::Kind::kNodeCrash: {
+              const int node = ev.target;
+              ++win.node_crashes;
+              // Copy: eviction mutates the hosted list underneath. Sort:
+              // a same-window replacement may have appended out of order,
+              // and eviction order is part of the bit-identity contract.
+              std::vector<int> victims = index.hosted(node);
+              std::sort(victims.begin(), victims.end());
+              for (const int id : victims) {
+                index.remove_chain(id);
+                if (net != nullptr) net->release_chain(id);
+              }
+              index.crash(node);
+              // The node loses its power state with everything else; it
+              // comes back cold (fresh machine, Idle) at repair.
+              power[static_cast<std::size_t>(node)] =
+                  NodePowerStateMachine(ps_config);
+              dirty.push_back(node);
+              for (const int id : victims) replace_chain(id, node, w, win);
+              break;
+            }
+            case FaultEvent::Kind::kNodeRepair: {
+              ++win.node_repairs;
+              index.repair(ev.target);
+              break;
+            }
+            case FaultEvent::Kind::kLinkFail: {
+              ++win.link_fails;
+              // Riders come back in ascending chain id; each either
+              // re-routes in place (same host, new path) or is evicted
+              // and re-placed like a crash victim.
+              const std::vector<int> riders = net->fail_link(ev.target);
+              for (const int id : riders) {
+                const int host = index.chain_node(id);
+                if (host < 0) continue;
+                if (net->try_move(id, host)) {
+                  ++win.rerouted;
+                  ++timeline_.rerouted;
+                  continue;
+                }
+                index.remove_chain(id);
+                net->release_chain(id);
+                dirty.push_back(host);
+                replace_chain(id, host, w, win);
+              }
+              break;
+            }
+            case FaultEvent::Kind::kLinkRepair: {
+              ++win.link_repairs;
+              net->repair_link(ev.target);
+              break;
+            }
+          }
+        }
+        if (w + 1 < horizon_) events.push(w + 1, kFaultPhase, -1);
         break;
       }
 
@@ -270,7 +419,7 @@ void FleetOrchestrator::build_timeline() {
               timeline_.chains[static_cast<std::size_t>(c)]
                   .departure_window = draw_holding();
             }
-            place(c, win);
+            place(c, w, win);
           }
         }
         if (!static_fleet_) {
@@ -294,7 +443,7 @@ void FleetOrchestrator::build_timeline() {
             chain.departure_window = w + draw_holding();
             timeline_.chains.push_back(std::move(chain));
             ChainInstance& arrived = timeline_.chains.back();
-            place(arrived.id, win);
+            place(arrived.id, w, win);
             // A rejected chain never joins the flow pool — its flows
             // would otherwise be dead weight re-scanned on every
             // node-env rebuild.
@@ -336,12 +485,14 @@ void FleetOrchestrator::build_timeline() {
           if (charge.woke) {
             // The policies never wake a node to consolidate into, but a
             // custom policy could — account for it either way.
+            const double scale = storm_scale(w);
             index.wake(move.to);
             ++timeline_.wakeups;
-            win.charges.push_back(
-                {move.chain, charge.downtime_s, charge.energy_j, false});
-            timeline_.wake_energy_j += charge.energy_j;
-            timeline_.downtime_s += charge.downtime_s;
+            win.charges.push_back({move.chain, charge.downtime_s * scale,
+                                   charge.energy_j * scale,
+                                   ChargeKind::kWake});
+            timeline_.wake_energy_j += charge.energy_j * scale;
+            timeline_.downtime_s += charge.downtime_s * scale;
           }
           index.place_chain(move.chain, move.to, chain.cores,
                             chain.offered_gbps);
@@ -349,7 +500,8 @@ void FleetOrchestrator::build_timeline() {
           ++timeline_.migrations;
           win.charges.push_back({move.chain,
                                  spec_.fleet.migration_downtime_s,
-                                 spec_.fleet.migration_energy_j, true});
+                                 spec_.fleet.migration_energy_j,
+                                 ChargeKind::kMigration});
           timeline_.migration_energy_j += spec_.fleet.migration_energy_j;
           timeline_.downtime_s += spec_.fleet.migration_downtime_s;
           dirty.push_back(move.from);
@@ -377,6 +529,13 @@ void FleetOrchestrator::build_timeline() {
         // part of the bit-identity contract, and every unoccupied node
         // contributes draw each window — there is nothing to skip.
         for (int n = 0; n < num_nodes; ++n) {
+          // A crashed node is out of the fleet until repair: no standby
+          // draw, no occupancy sample, no power-state advance — it only
+          // counts toward the window's down-node tally.
+          if (index.down(n)) {
+            ++win.down_nodes;
+            continue;
+          }
           const std::size_t count = index.hosted(n).size();
           timeline_.occupancy.add(count);
           win.live_chains += static_cast<int>(count);
@@ -438,6 +597,24 @@ void FleetOrchestrator::build_timeline() {
         static_cast<std::uint64_t>(timeline_.wakeups));
     mc::gauge("fleet.index.arena_bytes")
         .set(static_cast<double>(index.arena_bytes()));
+    if (timeline_.fault_enabled) {
+      mc::counter("fault.injected.node_crash")
+          .add(static_cast<std::uint64_t>(timeline_.node_crashes));
+      mc::counter("fault.injected.node_repair")
+          .add(static_cast<std::uint64_t>(timeline_.node_repairs));
+      mc::counter("fault.injected.link_fail")
+          .add(static_cast<std::uint64_t>(timeline_.link_fails));
+      mc::counter("fault.injected.link_repair")
+          .add(static_cast<std::uint64_t>(timeline_.link_repairs));
+      mc::counter("fault.injected.rack_outage")
+          .add(static_cast<std::uint64_t>(timeline_.rack_outages));
+      mc::counter("fault.replaced")
+          .add(static_cast<std::uint64_t>(timeline_.replaced));
+      mc::counter("fault.dropped")
+          .add(static_cast<std::uint64_t>(timeline_.fault_dropped));
+      mc::counter("fault.rerouted")
+          .add(static_cast<std::uint64_t>(timeline_.rerouted));
+    }
   }
 }
 
@@ -477,7 +654,7 @@ scenario::ModelReport FleetOrchestrator::run_model(
   // NfController window per fleet window — same seeds, same loop, same
   // numbers, bit for bit.
   const bool degenerate =
-      num_nodes == 1 && static_fleet_ &&
+      num_nodes == 1 && static_fleet_ && !spec_.fault.enabled &&
       timeline_.windows.front().rejected == 0;
 
   // Per-node runtime: rebuilt whenever the hosted chain set changes.
@@ -610,7 +787,7 @@ scenario::ModelReport FleetOrchestrator::run_model(
     double w_drop;
     double w_sla;
     if (active == 1 && win.standby_energy_j == 0.0 && win.charges.empty() &&
-        !spec_.topology.enabled) {
+        !spec_.topology.enabled && !spec_.fault.enabled) {
       // One node, no fleet overheads: use its window outcome verbatim —
       // this is the branch that keeps the single-node degeneration
       // bit-identical (no re-derivation through fleet formulas).
@@ -669,6 +846,15 @@ scenario::ModelReport FleetOrchestrator::run_model(
       local.record("latency_violations", t, win.latency_violations);
       local.record("net_rejected", t, win.net_rejected);
     }
+    if (spec_.fault.enabled) {
+      local.record("down_nodes", t, win.down_nodes);
+      local.record("node_crashes", t, win.node_crashes);
+      local.record("fault_replaced", t,
+                   static_cast<double>(win.replacements.size()));
+      local.record("fault_dropped", t,
+                   static_cast<double>(win.fault_dropped.size()));
+      local.record("fault_rerouted", t, win.rerouted);
+    }
   }
 
   const auto n = static_cast<double>(horizon_);
@@ -704,11 +890,13 @@ FleetReport FleetOrchestrator::run(
     fleet.mean_active_nodes += win.active_nodes;
     fleet.mean_asleep_nodes += win.asleep_nodes;
     fleet.mean_live_chains += win.live_chains;
+    fleet.mean_down_nodes += win.down_nodes;
   }
   const auto n = static_cast<double>(timeline_.windows.size());
   fleet.mean_active_nodes /= n;
   fleet.mean_asleep_nodes /= n;
   fleet.mean_live_chains /= n;
+  fleet.mean_down_nodes /= n;
 
   if (timeline_.topology_enabled) {
     fleet.topology_enabled = true;
@@ -731,6 +919,20 @@ FleetReport FleetOrchestrator::run(
                 static_cast<double>(timeline_.routed_chain_windows);
       }
     }
+  }
+
+  if (timeline_.fault_enabled) {
+    fleet.fault_enabled = true;
+    fleet.node_crashes = timeline_.node_crashes;
+    fleet.node_repairs = timeline_.node_repairs;
+    fleet.link_fails = timeline_.link_fails;
+    fleet.link_repairs = timeline_.link_repairs;
+    fleet.rack_outages = timeline_.rack_outages;
+    fleet.storm_windows = timeline_.storm_windows;
+    fleet.replaced = timeline_.replaced;
+    fleet.fault_dropped = timeline_.fault_dropped;
+    fleet.rerouted = timeline_.rerouted;
+    fleet.replace_energy_j = timeline_.replace_energy_j;
   }
   return fleet;
 }
@@ -766,6 +968,17 @@ std::string FleetReport::fleet_summary() const {
                     latency_sla_satisfaction * 100.0);
     }
     out += "\n";
+  }
+  if (fault_enabled) {
+    out += format(
+        "fleet: faults %d crash(es) (%d rack outage(s)), %d link fail(s),"
+        " %d storm window(s)\n",
+        node_crashes, rack_outages, link_fails, storm_windows);
+    out += format(
+        "fleet: recovery %d replaced, %d dropped, %d rerouted, replace"
+        " energy %.0f J, mean %.2f down node(s)\n",
+        replaced, fault_dropped, rerouted, replace_energy_j,
+        mean_down_nodes);
   }
   return out;
 }

@@ -46,13 +46,18 @@ struct ChainInstance {
   std::int64_t path_latency_ns = 0;
 };
 
-/// A downtime/energy charge (wake latency or migration) against one chain
-/// in one window.
+/// What a DowntimeCharge pays for. Wake and migration predate fault
+/// injection; replace charges the recovery re-placement of a chain
+/// evicted by a fault, and drop charges the window in which a chain died
+/// because no node/path could take it.
+enum class ChargeKind { kWake, kMigration, kReplace, kDrop };
+
+/// A downtime/energy charge against one chain in one window.
 struct DowntimeCharge {
   int chain = 0;
   double downtime_s = 0.0;
   double energy_j = 0.0;
-  bool is_migration = false;  ///< false = wake-up
+  ChargeKind kind = ChargeKind::kWake;
 };
 
 /// The model-independent fleet history.
@@ -81,6 +86,19 @@ struct FleetTimeline {
     int latency_violations = 0;
     std::int64_t path_latency_sum_ns = 0;
     double link_energy_j = 0.0;
+    /// Fault accounting (fault runs only; all-zero otherwise). Injections
+    /// applied at the start of this window, the recovery outcome per
+    /// evicted chain (replacements in application order, then drops), the
+    /// chains re-routed in place after a link failure, and the number of
+    /// nodes down at the end of the window.
+    int node_crashes = 0;
+    int node_repairs = 0;
+    int link_fails = 0;
+    int link_repairs = 0;
+    std::vector<Migration> replacements;
+    std::vector<int> fault_dropped;
+    int rerouted = 0;
+    int down_nodes = 0;
   };
 
   // Per-window membership snapshots are NOT stored — at hyperscale
@@ -123,6 +141,21 @@ struct FleetTimeline {
   std::int64_t latency_violation_chain_windows = 0;
   std::int64_t path_latency_sum_ns = 0;
   double link_energy_j = 0.0;
+
+  /// Fault totals (fault runs only; all defaults otherwise — the
+  /// serializer gates its fault block on `fault_enabled` so fault-free
+  /// timelines stay byte-identical to the pre-fault goldens).
+  bool fault_enabled = false;
+  int node_crashes = 0;
+  int node_repairs = 0;
+  int link_fails = 0;
+  int link_repairs = 0;
+  int rack_outages = 0;
+  int storm_windows = 0;
+  int replaced = 0;        ///< evicted chains successfully re-placed
+  int fault_dropped = 0;   ///< evicted chains no node/path could take
+  int rerouted = 0;        ///< chains re-pathed in place after a link fail
+  double replace_energy_j = 0.0;
 };
 
 /// A fleet evaluation: the uniform EvalReport (per-model means + telemetry
@@ -158,6 +191,20 @@ struct FleetReport {
   double mean_path_latency_us = 0.0;
   double latency_sla_satisfaction = 1.0;
   double latency_budget_us = 0.0;
+
+  /// Fault block (fault runs only; defaults otherwise).
+  bool fault_enabled = false;
+  int node_crashes = 0;
+  int node_repairs = 0;
+  int link_fails = 0;
+  int link_repairs = 0;
+  int rack_outages = 0;
+  int storm_windows = 0;
+  int replaced = 0;
+  int fault_dropped = 0;
+  int rerouted = 0;
+  double replace_energy_j = 0.0;
+  double mean_down_nodes = 0.0;
 
   /// Printable fleet-history block (under the EvalReport table).
   [[nodiscard]] std::string fleet_summary() const;

@@ -46,6 +46,7 @@ FleetIndex::FleetIndex(int num_nodes, double capacity_cores)
       committed_(static_cast<std::size_t>(num_nodes), 0.0),
       node_level_(static_cast<std::size_t>(num_nodes), 0),
       asleep_flags_(static_cast<std::size_t>(num_nodes), 0),
+      down_flags_(static_cast<std::size_t>(num_nodes), 0),
       hosted_(static_cast<std::size_t>(num_nodes)) {
   GNFV_REQUIRE(num_nodes > 0, "FleetIndex: num_nodes must be > 0");
   GNFV_REQUIRE(capacity_cores > 0.0, "FleetIndex: capacity must be > 0");
@@ -129,6 +130,32 @@ void FleetIndex::sleep(int node) {
   asleep_.insert(node);
 }
 
+void FleetIndex::crash(int node) {
+  auto& flag = down_flags_[static_cast<std::size_t>(node)];
+  GNFV_ASSERT(flag == 0, "FleetIndex::crash: node already down");
+  GNFV_ASSERT(hosted_[static_cast<std::size_t>(node)].empty(),
+              "FleetIndex::crash: evict hosted chains before crashing");
+  flag = 1;
+  auto& asleep_flag = asleep_flags_[static_cast<std::size_t>(node)];
+  if (asleep_flag != 0) {
+    asleep_flag = 0;
+    asleep_.erase(node);
+  } else {
+    awake_.erase(level_of(node), node);
+  }
+}
+
+void FleetIndex::repair(int node) {
+  auto& flag = down_flags_[static_cast<std::size_t>(node)];
+  GNFV_ASSERT(flag != 0, "FleetIndex::repair: node is up");
+  flag = 0;
+  // A repaired node comes back awake and empty (committed 0 = level 0).
+  GNFV_ASSERT(committed_[static_cast<std::size_t>(node)] == 0.0,
+              "FleetIndex::repair: down node has committed cores");
+  node_level_[static_cast<std::size_t>(node)] = 0;
+  awake_.insert(0, node);
+}
+
 void FleetIndex::sort_hosted(int node) {
   auto& hosted = hosted_[static_cast<std::size_t>(node)];
   std::sort(hosted.begin(), hosted.end());
@@ -150,9 +177,13 @@ FleetView FleetIndex::materialize_view() const {
   view.nodes.reserve(committed_.size());
   for (std::size_t n = 0; n < committed_.size(); ++n) {
     NodeView node;
-    node.capacity_cores = capacity_;
+    // Down nodes are presented at capacity 0 so fits() fails for any
+    // request — view-based policies mask them the same way the bucket
+    // queries do (where a down node simply is not present).
+    node.capacity_cores = down_flags_[n] != 0 ? 0.0 : capacity_;
     node.committed_cores = committed_[n];
     node.asleep = asleep_flags_[n] != 0;
+    node.down = down_flags_[n] != 0;
     node.chains.reserve(hosted_[n].size());
     for (const int id : hosted_[n]) {
       node.chains.push_back({id, chain_cores_[static_cast<std::size_t>(id)],

@@ -40,6 +40,15 @@ class FleetIndex {
   /// Power transitions (asleep nodes always have zero committed cores).
   void wake(int node);
   void sleep(int node);
+  /// Fault transitions. crash() takes the node out of service: it leaves
+  /// both the awake buckets and the asleep set, so no policy query —
+  /// indexed or view-based — can ever pick it. The caller must evict the
+  /// hosted chains first. repair() returns it to service awake and empty.
+  void crash(int node);
+  void repair(int node);
+  [[nodiscard]] bool down(int node) const {
+    return down_flags_[static_cast<std::size_t>(node)] != 0;
+  }
   /// Restores the sorted-hosted-list discipline after migrations.
   void sort_hosted(int node);
 
@@ -100,6 +109,7 @@ class FleetIndex {
   std::vector<double> committed_;
   std::vector<std::size_t> node_level_;
   std::vector<char> asleep_flags_;
+  std::vector<char> down_flags_;
   std::vector<std::vector<int>> hosted_;
   // Per-chain load registry, indexed by chain id (grows on demand).
   std::vector<int> chain_node_;

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
 #include "nfvsim/chain.hpp"
+#include "orchestrator/fault.hpp"
 #include "topology/path_table.hpp"
 #include "traffic/generator.hpp"
 
@@ -75,6 +76,25 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
   }
   topology::PathTable* const net = net_owned.get();
 
+  // The fault schedule: the identical pure function of (spec, horizon,
+  // fleet shape) the event engine expands — both engines consume the same
+  // events in the same order.
+  const FaultSchedule faults = build_fault_schedule(
+      spec, horizon, num_nodes, net != nullptr ? topo->num_links() : 0);
+  if (spec.fault.enabled) {
+    timeline.fault_enabled = true;
+    timeline.node_crashes = faults.node_crashes;
+    timeline.node_repairs = faults.node_repairs;
+    timeline.link_fails = faults.link_fails;
+    timeline.link_repairs = faults.link_repairs;
+    timeline.rack_outages = faults.rack_outages;
+    timeline.storm_windows = faults.storm_windows;
+  }
+  const auto storm_scale = [&](int w) {
+    return faults.storm_active(w) ? spec.fault.wake_storm_factor : 1.0;
+  };
+  std::vector<char> down(static_cast<std::size_t>(num_nodes), 0);
+
   // --- the initial chain set (the scenario's static topology) -------------
   const auto comps = scenario::resolved_chain_nfs(spec);
   timeline.flows = scenario::resolved_flows(spec);
@@ -103,9 +123,14 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
     FleetView view;
     for (int n = 0; n < num_nodes; ++n) {
       NodeView node;
-      node.capacity_cores = capacity_cores;
+      // Down nodes present at capacity 0 and never asleep — exactly what
+      // FleetIndex::materialize_view reports — so every fits() gate masks
+      // them and both engines' policies see the same candidate set.
+      node.down = down[static_cast<std::size_t>(n)] != 0;
+      node.capacity_cores = node.down ? 0.0 : capacity_cores;
       node.committed_cores = committed[static_cast<std::size_t>(n)];
-      node.asleep = power[static_cast<std::size_t>(n)].asleep();
+      node.asleep =
+          !node.down && power[static_cast<std::size_t>(n)].asleep();
       for (const int id : hosted[static_cast<std::size_t>(n)]) {
         const ChainInstance& chain =
             timeline.chains[static_cast<std::size_t>(id)];
@@ -122,7 +147,7 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
                    rng.exponential(1.0 / spec.fleet.mean_holding_windows));
   };
 
-  const auto place = [&](int id, FleetTimeline::Window& win) {
+  const auto place = [&](int id, int w, FleetTimeline::Window& win) {
     ChainInstance& chain = timeline.chains[static_cast<std::size_t>(id)];
     const ArrivalRequest request{chain.cores, chain.offered_gbps};
     const int node = policy->choose_arrival(fleet_view(), request, net);
@@ -149,16 +174,78 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
     }
     const auto charge = power[static_cast<std::size_t>(node)].activate();
     if (charge.woke) {
+      const double scale = storm_scale(w);
       ++timeline.wakeups;
-      win.charges.push_back({id, charge.downtime_s, charge.energy_j, false});
-      timeline.wake_energy_j += charge.energy_j;
-      timeline.downtime_s += charge.downtime_s;
+      win.charges.push_back({id, charge.downtime_s * scale,
+                             charge.energy_j * scale, ChargeKind::kWake});
+      timeline.wake_energy_j += charge.energy_j * scale;
+      timeline.downtime_s += charge.downtime_s * scale;
     }
     hosted[static_cast<std::size_t>(node)].push_back(id);
     committed[static_cast<std::size_t>(node)] += chain.cores;
     win.arrivals.push_back(id);
     ++timeline.arrivals;
     chain.first_node = node;
+  };
+
+  // Recovery re-placement for fault-evicted chains — mirrors the event
+  // engine's replace_chain exactly (same policy seam, same charges, same
+  // order of record pushes).
+  const auto replace_chain = [&](int id, int from, int w,
+                                 FleetTimeline::Window& win) {
+    const ChainInstance& chain =
+        timeline.chains[static_cast<std::size_t>(id)];
+    const ArrivalRequest request{chain.cores, chain.offered_gbps};
+    const int node = policy->choose_arrival(fleet_view(), request, net);
+    bool placed = node >= 0;
+    if (placed && net != nullptr &&
+        !net->commit_chain(id, node, chain.offered_gbps)) {
+      placed = false;
+    }
+    if (!placed) {
+      win.fault_dropped.push_back(id);
+      ++timeline.fault_dropped;
+      win.charges.push_back({id, window_s, 0.0, ChargeKind::kDrop});
+      timeline.downtime_s += window_s;
+      return;
+    }
+    const auto charge = power[static_cast<std::size_t>(node)].activate();
+    if (charge.woke) {
+      const double scale = storm_scale(w);
+      ++timeline.wakeups;
+      win.charges.push_back({id, charge.downtime_s * scale,
+                             charge.energy_j * scale, ChargeKind::kWake});
+      timeline.wake_energy_j += charge.energy_j * scale;
+      timeline.downtime_s += charge.downtime_s * scale;
+    }
+    hosted[static_cast<std::size_t>(node)].push_back(id);
+    committed[static_cast<std::size_t>(node)] += chain.cores;
+    win.replacements.push_back({id, from, node});
+    ++timeline.replaced;
+    win.charges.push_back({id, spec.fault.replace_downtime_s,
+                           spec.fault.replace_energy_j,
+                           ChargeKind::kReplace});
+    timeline.replace_energy_j += spec.fault.replace_energy_j;
+    timeline.downtime_s += spec.fault.replace_downtime_s;
+  };
+
+  // Host lookup by scan — this engine keeps no chain->node map; the scan
+  // is deterministic and only the fault step needs it.
+  const auto find_host = [&](int id) {
+    for (int n = 0; n < num_nodes; ++n) {
+      const auto& chains_here = hosted[static_cast<std::size_t>(n)];
+      if (std::find(chains_here.begin(), chains_here.end(), id) !=
+          chains_here.end()) {
+        return n;
+      }
+    }
+    return -1;
+  };
+  const auto evict = [&](int id, int node) {
+    auto& chains_here = hosted[static_cast<std::size_t>(node)];
+    chains_here.erase(std::find(chains_here.begin(), chains_here.end(), id));
+    committed[static_cast<std::size_t>(node)] -=
+        timeline.chains[static_cast<std::size_t>(id)].cores;
   };
 
   timeline.windows.resize(static_cast<std::size_t>(horizon));
@@ -192,6 +279,56 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
       timeline.departures += static_cast<int>(win.departures.size());
     }
 
+    // 1.5. Faults: inject this window's scheduled events and recover —
+    //      the same order the event engine's kFaultPhase applies them.
+    for (const FaultEvent& ev :
+         faults.windows[static_cast<std::size_t>(w)]) {
+      switch (ev.kind) {
+        case FaultEvent::Kind::kNodeCrash: {
+          const int node = ev.target;
+          ++win.node_crashes;
+          std::vector<int> victims = hosted[static_cast<std::size_t>(node)];
+          std::sort(victims.begin(), victims.end());
+          for (const int id : victims) {
+            evict(id, node);
+            if (net != nullptr) net->release_chain(id);
+          }
+          down[static_cast<std::size_t>(node)] = 1;
+          power[static_cast<std::size_t>(node)] =
+              NodePowerStateMachine(ps_config);
+          for (const int id : victims) replace_chain(id, node, w, win);
+          break;
+        }
+        case FaultEvent::Kind::kNodeRepair: {
+          ++win.node_repairs;
+          down[static_cast<std::size_t>(ev.target)] = 0;
+          break;
+        }
+        case FaultEvent::Kind::kLinkFail: {
+          ++win.link_fails;
+          const std::vector<int> riders = net->fail_link(ev.target);
+          for (const int id : riders) {
+            const int host = find_host(id);
+            if (host < 0) continue;
+            if (net->try_move(id, host)) {
+              ++win.rerouted;
+              ++timeline.rerouted;
+              continue;
+            }
+            evict(id, host);
+            net->release_chain(id);
+            replace_chain(id, host, w, win);
+          }
+          break;
+        }
+        case FaultEvent::Kind::kLinkRepair: {
+          ++win.link_repairs;
+          net->repair_link(ev.target);
+          break;
+        }
+      }
+    }
+
     // 2. Arrivals. The initial chain set lands at w=0 through the same
     //    policy; dynamic arrivals are Poisson with the scenario's
     //    RateProfile as the fleet-level load envelope.
@@ -201,7 +338,7 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
           timeline.chains[static_cast<std::size_t>(c)].departure_window =
               draw_holding();
         }
-        place(c, win);
+        place(c, w, win);
       }
     }
     if (!static_fleet) {
@@ -225,7 +362,7 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
         chain.departure_window = w + draw_holding();
         timeline.chains.push_back(std::move(chain));
         ChainInstance& arrived = timeline.chains.back();
-        place(arrived.id, win);
+        place(arrived.id, w, win);
         // A rejected chain never joins the flow pool — its flows would
         // otherwise be dead weight re-scanned on every node-env rebuild.
         if (arrived.first_node >= 0) {
@@ -259,18 +396,21 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
         if (charge.woke) {
           // The policies never wake a node to consolidate into, but a
           // custom policy could — account for it either way.
+          const double scale = storm_scale(w);
           ++timeline.wakeups;
-          win.charges.push_back(
-              {move.chain, charge.downtime_s, charge.energy_j, false});
-          timeline.wake_energy_j += charge.energy_j;
-          timeline.downtime_s += charge.downtime_s;
+          win.charges.push_back({move.chain, charge.downtime_s * scale,
+                                 charge.energy_j * scale,
+                                 ChargeKind::kWake});
+          timeline.wake_energy_j += charge.energy_j * scale;
+          timeline.downtime_s += charge.downtime_s * scale;
         }
         hosted[static_cast<std::size_t>(move.to)].push_back(move.chain);
         committed[static_cast<std::size_t>(move.to)] += chain.cores;
         win.migrations.push_back(move);
         ++timeline.migrations;
         win.charges.push_back({move.chain, spec.fleet.migration_downtime_s,
-                               spec.fleet.migration_energy_j, true});
+                               spec.fleet.migration_energy_j,
+                               ChargeKind::kMigration});
         timeline.migration_energy_j += spec.fleet.migration_energy_j;
         timeline.downtime_s += spec.fleet.migration_downtime_s;
       }
@@ -280,6 +420,12 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
     //    floating-point standby accumulation order is part of the
     //    contract the event engine reproduces).
     for (int n = 0; n < num_nodes; ++n) {
+      // A crashed node is out of the fleet until repair: no standby draw,
+      // no occupancy sample — only the down-node tally.
+      if (down[static_cast<std::size_t>(n)] != 0) {
+        ++win.down_nodes;
+        continue;
+      }
       auto& chains_here = hosted[static_cast<std::size_t>(n)];
       std::sort(chains_here.begin(), chains_here.end());
       timeline.occupancy.add(chains_here.size());

@@ -34,6 +34,10 @@ struct NodeView {
   double capacity_cores = 0.0;
   double committed_cores = 0.0;
   bool asleep = false;
+  /// Crashed/out-of-service (fault injection). Down nodes are also
+  /// presented at capacity 0, so fits() already masks them for every
+  /// registry policy; the flag is informational for custom policies.
+  bool down = false;
   std::vector<ChainLoad> chains;
 
   [[nodiscard]] bool occupied() const { return !chains.empty(); }

@@ -47,9 +47,14 @@ const std::vector<int>& MembershipReplay::advance() {
   const auto& win = timeline_->windows[static_cast<std::size_t>(cursor_)];
   ++cursor_;
   dirty_.clear();
-  // Builder order: departures leave at window start, arrivals land on
-  // their recorded first_node, then consolidation migrations move chains.
+  // Builder order: departures leave at window start, then fault recovery
+  // (replacements in application order — a chain can be re-placed twice
+  // in one window when its new host crashes too — then drops, which are
+  // always a chain's final event), then arrivals land on their recorded
+  // first_node, then consolidation migrations move chains.
   for (int chain : win.departures) move_chain(chain, -1);
+  for (const auto& mig : win.replacements) move_chain(mig.chain, mig.to);
+  for (int chain : win.fault_dropped) move_chain(chain, -1);
   for (int chain : win.arrivals) {
     move_chain(chain,
                timeline_->chains[static_cast<std::size_t>(chain)].first_node);
@@ -113,6 +118,16 @@ void append_chain(std::string& text, const ChainInstance& chain) {
   }
 }
 
+const char* charge_kind_name(ChargeKind kind) {
+  switch (kind) {
+    case ChargeKind::kWake: return "wake";
+    case ChargeKind::kMigration: return "migration";
+    case ChargeKind::kReplace: return "replace";
+    case ChargeKind::kDrop: return "drop";
+  }
+  return "wake";
+}
+
 }  // namespace
 
 std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
@@ -145,6 +160,18 @@ std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
         static_cast<long long>(timeline.path_latency_sum_ns),
         double_bits(timeline.link_energy_j).c_str());
   }
+  if (timeline.fault_enabled) {
+    text += format(
+        "fault crashes=%d repairs=%d link_fails=%d link_repairs=%d"
+        " rack_outages=%d storm_windows=%d\n",
+        timeline.node_crashes, timeline.node_repairs, timeline.link_fails,
+        timeline.link_repairs, timeline.rack_outages,
+        timeline.storm_windows);
+    text += format(
+        "fault replaced=%d dropped=%d rerouted=%d replace_energy_j=%s\n",
+        timeline.replaced, timeline.fault_dropped, timeline.rerouted,
+        double_bits(timeline.replace_energy_j).c_str());
+  }
   text += format("occupancy_total=%llu counts=",
                  static_cast<unsigned long long>(timeline.occupancy.total()));
   const auto& counts = timeline.occupancy.counts();
@@ -174,6 +201,21 @@ std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
           static_cast<long long>(win.path_latency_sum_ns),
           double_bits(win.link_energy_j).c_str());
     }
+    if (timeline.fault_enabled) {
+      text += format(
+          "  fault: crashes=%d repairs=%d link_fails=%d link_repairs=%d"
+          " rerouted=%d down=%d\n",
+          win.node_crashes, win.node_repairs, win.link_fails,
+          win.link_repairs, win.rerouted, win.down_nodes);
+    }
+    for (const auto& mig : win.replacements) {
+      text += format("  replacement %d: %d->%d\n", mig.chain, mig.from,
+                     mig.to);
+    }
+    if (!win.fault_dropped.empty()) {
+      text += format("  fault_dropped=%s\n",
+                     join_ints(win.fault_dropped).c_str());
+    }
     if (!win.arrivals.empty())
       text += format("  arrivals=%s\n", join_ints(win.arrivals).c_str());
     if (!win.departures.empty())
@@ -182,7 +224,7 @@ std::string timeline_to_text(const FleetTimeline& timeline, int num_nodes) {
       text += format("  migration %d: %d->%d\n", mig.chain, mig.from, mig.to);
     for (const auto& charge : win.charges) {
       text += format("  charge %d: %s downtime=%s energy=%s\n", charge.chain,
-                     charge.is_migration ? "migration" : "wake",
+                     charge_kind_name(charge.kind),
                      double_bits(charge.downtime_s).c_str(),
                      double_bits(charge.energy_j).c_str());
     }
@@ -231,6 +273,19 @@ std::string eval_to_text(const FleetReport& report) {
         double_bits(report.mean_path_latency_us).c_str(),
         double_bits(report.latency_sla_satisfaction).c_str(),
         double_bits(report.latency_budget_us).c_str());
+  }
+  if (report.fault_enabled) {
+    text += format(
+        "fleet fault crashes=%d repairs=%d link_fails=%d link_repairs=%d"
+        " rack_outages=%d storm_windows=%d\n",
+        report.node_crashes, report.node_repairs, report.link_fails,
+        report.link_repairs, report.rack_outages, report.storm_windows);
+    text += format(
+        "fleet fault replaced=%d dropped=%d rerouted=%d replace_energy_j=%s"
+        " mean_down_nodes=%s\n",
+        report.replaced, report.fault_dropped, report.rerouted,
+        double_bits(report.replace_energy_j).c_str(),
+        double_bits(report.mean_down_nodes).c_str());
   }
   for (const auto& model : report.report.models) {
     const auto& r = model.result;

@@ -154,6 +154,25 @@ ScenarioSpec fleet_smoke() {
   return spec;
 }
 
+ScenarioSpec fault_smoke() {
+  ScenarioSpec spec = fleet_smoke();
+  spec.name = "fault-smoke";
+  spec.description =
+      "fleet-smoke plus fault injection: node crashes, a rack-outage"
+      " chance, wake-latency storms, exponential repairs — the resilience"
+      " gate, still seconds";
+  // Rates sized so a 10-window run reliably sees crashes and recovery
+  // without flattening the 3-node fleet: ~2 crashes, ~1 storm window.
+  spec.fault.enabled = true;
+  spec.fault.node_crash_rate = 0.2;
+  spec.fault.rack_outage_rate = 0.05;
+  spec.fault.rack_size = 2;
+  spec.fault.mean_repair_windows = 3.0;
+  spec.fault.wake_storm_prob = 0.15;
+  spec.fault.wake_storm_factor = 4.0;
+  return spec;
+}
+
 ScenarioSpec mega_fleet() {
   ScenarioSpec spec;
   spec.name = "mega-fleet";
@@ -193,7 +212,7 @@ const std::vector<ScenarioSpec>& registry() {
   static const std::vector<ScenarioSpec> presets = {
       paper_default(), overload(),  diurnal(),  flash_crowd(),
       heterogeneous_cluster(),      tcp_heavy(), ci_smoke(),
-      fleet_smoke(),   mega_fleet(),
+      fleet_smoke(),   fault_smoke(), mega_fleet(),
   };
   return presets;
 }

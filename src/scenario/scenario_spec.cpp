@@ -247,6 +247,27 @@ void ScenarioSpec::apply(const Config& config) {
       config.get_double("topology.link_nj_per_bit", topology.link_nj_per_bit);
   latency_sla_us = config.get_double("sla.latency", latency_sla_us);
 
+  // --- faults (deterministic failure injection) ----------------------------
+  fault.enabled = config.get_bool("fault.enabled", fault.enabled);
+  fault.node_crash_rate =
+      config.get_double("fault.node_crash_rate", fault.node_crash_rate);
+  fault.link_fail_rate =
+      config.get_double("fault.link_fail_rate", fault.link_fail_rate);
+  fault.rack_outage_rate =
+      config.get_double("fault.rack_outage_rate", fault.rack_outage_rate);
+  fault.rack_size =
+      static_cast<int>(config.get_int("fault.rack_size", fault.rack_size));
+  fault.mean_repair_windows =
+      config.get_double("fault.mean_repair", fault.mean_repair_windows);
+  fault.replace_downtime_s = config.get_double("fault.replace_downtime_s",
+                                               fault.replace_downtime_s);
+  fault.replace_energy_j =
+      config.get_double("fault.replace_energy_j", fault.replace_energy_j);
+  fault.wake_storm_prob =
+      config.get_double("fault.wake_storm_prob", fault.wake_storm_prob);
+  fault.wake_storm_factor =
+      config.get_double("fault.wake_storm_factor", fault.wake_storm_factor);
+
   // Scalar counts first: an explicit count without indexed entries reverts
   // the family to its generated/standard form.
   if (config.has("chains")) {
@@ -382,6 +403,23 @@ std::string ScenarioSpec::to_text() const {
   out << "topology.link_nj_per_bit=" << fmt_double(topology.link_nj_per_bit)
       << "\n";
   out << "sla.latency=" << fmt_double(latency_sla_us) << "\n";
+  out << "fault.enabled=" << (fault.enabled ? 1 : 0) << "\n";
+  out << "fault.node_crash_rate=" << fmt_double(fault.node_crash_rate)
+      << "\n";
+  out << "fault.link_fail_rate=" << fmt_double(fault.link_fail_rate) << "\n";
+  out << "fault.rack_outage_rate=" << fmt_double(fault.rack_outage_rate)
+      << "\n";
+  out << "fault.rack_size=" << fault.rack_size << "\n";
+  out << "fault.mean_repair=" << fmt_double(fault.mean_repair_windows)
+      << "\n";
+  out << "fault.replace_downtime_s=" << fmt_double(fault.replace_downtime_s)
+      << "\n";
+  out << "fault.replace_energy_j=" << fmt_double(fault.replace_energy_j)
+      << "\n";
+  out << "fault.wake_storm_prob=" << fmt_double(fault.wake_storm_prob)
+      << "\n";
+  out << "fault.wake_storm_factor=" << fmt_double(fault.wake_storm_factor)
+      << "\n";
   out << "chains=" << num_chains << "\n";
   for (std::size_t c = 0; c < chain_nfs.size(); ++c) {
     out << "chain" << c << "=";
@@ -579,6 +617,36 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument(
         "scenario: sla.latency needs topology.enabled=1 (path latency comes"
         " from the fabric)");
+
+  // --- fault block ---------------------------------------------------------
+  // Numeric checks always run (campaign expansion rejects a bad fault.*
+  // value on disabled cells too); the cross-requirements bind only when
+  // injection is actually on.
+  if (fault.node_crash_rate < 0.0 || fault.link_fail_rate < 0.0 ||
+      fault.rack_outage_rate < 0.0)
+    throw std::invalid_argument("scenario: fault rates must be >= 0");
+  if (fault.rack_size < 1)
+    throw std::invalid_argument("scenario: fault.rack_size must be >= 1");
+  if (fault.mean_repair_windows <= 0.0)
+    throw std::invalid_argument(
+        "scenario: fault.mean_repair must be positive");
+  if (fault.replace_downtime_s < 0.0 || fault.replace_energy_j < 0.0)
+    throw std::invalid_argument(
+        "scenario: fault replacement costs must be >= 0");
+  if (fault.wake_storm_prob < 0.0 || fault.wake_storm_prob > 1.0)
+    throw std::invalid_argument(
+        "scenario: fault.wake_storm_prob must be in [0, 1]");
+  if (fault.wake_storm_factor < 1.0)
+    throw std::invalid_argument(
+        "scenario: fault.wake_storm_factor must be >= 1");
+  if (fault.enabled && !fleet.enabled)
+    throw std::invalid_argument(
+        "scenario: fault.enabled=1 requires fleet.enabled=1 (faults are"
+        " injected by the fleet orchestrator)");
+  if (fault.enabled && fault.link_fail_rate > 0.0 && !topology.enabled)
+    throw std::invalid_argument(
+        "scenario: fault.link_fail_rate needs topology.enabled=1 (there is"
+        " no fabric to fail)");
 }
 
 const std::vector<std::string>& ScenarioSpec::known_keys() {
@@ -603,7 +671,13 @@ const std::vector<std::string>& ScenarioSpec::known_keys() {
       "topology.link_gbps", "topology.link_latency_us",
       "topology.core_gbps", "topology.core_latency_us",
       "topology.link_idle_w", "topology.link_nj_per_bit",
-      "sla.latency",    "chains",
+      "sla.latency",
+      "fault.enabled",  "fault.node_crash_rate",
+      "fault.link_fail_rate", "fault.rack_outage_rate",
+      "fault.rack_size", "fault.mean_repair",
+      "fault.replace_downtime_s", "fault.replace_energy_j",
+      "fault.wake_storm_prob", "fault.wake_storm_factor",
+      "chains",
       "flows",          "offered_gbps",
       "profile",        "profile_period_s",
       "profile_amplitude", "profile_surge_start_s",

@@ -63,6 +63,40 @@ struct FleetSpec {
   [[nodiscard]] static const std::vector<std::string>& policy_names();
 };
 
+/// Fault-injection block of a scenario (the `fault.*` key family): a
+/// deterministic schedule of node crashes, correlated rack outages, link
+/// failures/repairs, and wake-latency storms, expanded once from the
+/// scenario seed (like arrivals) so both fleet engines replay the exact
+/// same faults. Consumed by `orchestrator::build_fault_schedule`; a spec
+/// with `enabled == false` injects nothing and leaves every history
+/// byte-identical to a fault-free run.
+struct FaultSpec {
+  bool enabled = false;  ///< fault.enabled
+  /// Mean node crashes per window (Poisson over the currently-up fleet).
+  double node_crash_rate = 0.0;  ///< fault.node_crash_rate
+  /// Mean link failures per window (Poisson over up links; requires
+  /// topology.enabled — there is no fabric to fail otherwise).
+  double link_fail_rate = 0.0;  ///< fault.link_fail_rate
+  /// Mean correlated rack outages per window: one outage crashes every
+  /// up node in a rack of `rack_size` consecutive node ids, and the whole
+  /// rack repairs together.
+  double rack_outage_rate = 0.0;  ///< fault.rack_outage_rate
+  int rack_size = 4;              ///< fault.rack_size
+  /// Mean repair delay in windows (exponential, min one window). A repair
+  /// drawn past the horizon never lands — the node/link stays down.
+  double mean_repair_windows = 4.0;  ///< fault.mean_repair
+  /// Per re-placed chain: recovery downtime charged against its traffic
+  /// and the state-rebuild energy added to the fleet bill.
+  double replace_downtime_s = 1.0;  ///< fault.replace_downtime_s
+  double replace_energy_j = 40.0;   ///< fault.replace_energy_j
+  /// Wake-latency storms: each window is independently a storm window
+  /// with this probability; every wake charge (arrival, consolidation, or
+  /// recovery) during a storm costs `wake_storm_factor` times the normal
+  /// downtime and energy.
+  double wake_storm_prob = 0.0;    ///< fault.wake_storm_prob
+  double wake_storm_factor = 4.0;  ///< fault.wake_storm_factor
+};
+
 struct ScenarioSpec {
   std::string name = "custom";
   /// Human-readable one-liner (preset listings only; not serialized).
@@ -87,6 +121,10 @@ struct ScenarioSpec {
   /// chain whose path latency exceeds this budget is an SLA violation in
   /// the fleet accounting. 0 disables the axis; requires topology.
   double latency_sla_us = 0.0;
+  /// Fault injection (crashes, link failures, rack outages, wake storms).
+  /// Off by default — every fault-free scenario is bit-identical to
+  /// before.
+  FaultSpec fault;
 
   // --- chain topology ------------------------------------------------------
   int num_chains = 3;

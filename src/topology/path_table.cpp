@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -20,7 +21,8 @@ PathTable::PathTable(const Topology& topo, Routing routing,
     : topo_(topo),
       routing_(routing),
       latency_budget_ns_(latency_budget_ns),
-      committed_(static_cast<std::size_t>(topo.num_links()), 0) {}
+      committed_(static_cast<std::size_t>(topo.num_links()), 0),
+      failed_(static_cast<std::size_t>(topo.num_links()), 0) {}
 
 PathTable::Entry& PathTable::entry(int chain) {
   if (chain >= static_cast<int>(chains_.size())) {
@@ -116,6 +118,7 @@ void PathTable::route_labels(std::int64_t demand_kbps, int exclude_chain,
     if (u < 0) break;
     done[static_cast<std::size_t>(u)] = 1;
     for (int link : topo_.adjacency(u)) {
+      if (failed_[static_cast<std::size_t>(link)]) continue;  // down link
       const std::int64_t free = free_kbps(link);
       if (free < demand_kbps) continue;  // infeasible link: absent
       const int v = topo_.other_end(link, u);
@@ -269,9 +272,34 @@ bool PathTable::try_move(int chain, int host) {
   return true;
 }
 
+std::vector<int> PathTable::fail_link(int link) {
+  auto& flag = failed_[static_cast<std::size_t>(link)];
+  GNFV_REQUIRE(flag == 0, "PathTable::fail_link: link already failed");
+  flag = 1;
+  std::vector<int> riders;
+  for (std::size_t chain = 0; chain < chains_.size(); ++chain) {
+    const Entry& e = chains_[chain];
+    if (!e.active) continue;
+    for (const int l : e.links) {
+      if (l == link) {
+        riders.push_back(static_cast<int>(chain));
+        break;
+      }
+    }
+  }
+  return riders;
+}
+
+void PathTable::repair_link(int link) {
+  auto& flag = failed_[static_cast<std::size_t>(link)];
+  GNFV_REQUIRE(flag != 0, "PathTable::repair_link: link is up");
+  flag = 0;
+}
+
 double PathTable::window_link_energy_j(double window_s) const {
   double energy = 0.0;
   for (std::size_t i = 0; i < committed_.size(); ++i) {
+    if (failed_[i]) continue;  // a failed link is powered off
     const Link& l = topo_.links()[i];
     // idle draw for the whole window + nJ/bit over carried bits:
     // committed kbps * 1e3 bit/s * window_s * nj * 1e-9 J.

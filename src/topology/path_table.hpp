@@ -59,9 +59,22 @@ class PathTable {
   /// original commitment is restored exactly and false is returned.
   bool try_move(int chain, int host);
 
+  /// Fault injection: marks `link` failed and returns the ascending ids
+  /// of the active chains whose committed path rides it — the caller
+  /// re-routes or evicts each one. Failed links are absent from routing
+  /// and draw no energy until repair_link() brings them back. The chains'
+  /// commitments are NOT released here (release/try_move does that per
+  /// chain), so the caller can process victims one at a time.
+  [[nodiscard]] std::vector<int> fail_link(int link);
+  void repair_link(int link);
+  [[nodiscard]] bool link_failed(int link) const {
+    return failed_[static_cast<std::size_t>(link)] != 0;
+  }
+
   /// Per-window link energy: every built link idles at idle_w for the
   /// whole window, and carried bits (committed rate × window) cost
   /// nj_per_bit each. Summed in ascending link order — fixed FP order.
+  /// Failed links are powered off: they contribute nothing while down.
   [[nodiscard]] double window_link_energy_j(double window_s) const;
 
   [[nodiscard]] std::int64_t committed_kbps(int link) const {
@@ -114,6 +127,7 @@ class PathTable {
   Routing routing_;
   std::int64_t latency_budget_ns_;
   std::vector<std::int64_t> committed_;  ///< per link, kbps
+  std::vector<char> failed_;             ///< per link, fault injection
   std::vector<Entry> chains_;            ///< indexed by chain id
   std::int64_t active_chains_ = 0;
   std::int64_t active_latency_violations_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
 #include "campaign/presets.hpp"
 #include "campaign/runner.hpp"
@@ -147,6 +148,99 @@ TEST(CampaignRunner, CorruptOrForeignArtifactsAreReExecuted) {
   const CampaignReport report = runner.run(/*jobs=*/1, /*resume=*/true);
   EXPECT_EQ(report.executed, 4);
   EXPECT_EQ(report.resumed, 0);
+  std::filesystem::remove_all(root);
+}
+
+TEST(CampaignRunner, TruncatedRealArtifactIsReExecutedNotTrusted) {
+  // Not a synthetic fragment: a genuine completed artifact cut mid-byte
+  // (the shape a crash mid-write or a full disk leaves behind). The store
+  // must warn, discard, and re-execute — never feed a half-parsed run
+  // into the aggregate.
+  const std::string root = testing::TempDir() + "/campaign_truncated_test";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root, "runner-test");
+
+  CampaignRunner fresh(tiny_campaign(), &store);
+  const CampaignReport first = fresh.run(/*jobs=*/2, /*resume=*/true);
+  EXPECT_EQ(first.executed, 4);
+
+  const std::string victim = fresh.matrix()[1].run_id;
+  const std::string path = store.run_path(victim);
+  const std::string bytes = read_file(path);
+  write_file_atomic(path, bytes.substr(0, bytes.size() / 2));
+
+  CampaignRunner resumed(tiny_campaign(), &store);
+  const CampaignReport second = resumed.run(/*jobs=*/2, /*resume=*/true);
+  EXPECT_EQ(second.executed, 1);
+  EXPECT_EQ(second.resumed, 3);
+  for (const RunResult& run : second.runs)
+    EXPECT_EQ(run.from_cache, run.run_id != victim);
+  // The re-executed run restores the exact fresh numbers.
+  expect_reports_bit_identical(first, second);
+  std::filesystem::remove_all(root);
+}
+
+TEST(CampaignRunner, WorkerExceptionBecomesFailureRecordNotAbort) {
+  // One deliberately poisoned cell: the roster provider throws for the
+  // 12 Gbps x seed 2 run, exactly where a bad scenario would fail inside
+  // execute(). The campaign must finish every other cell, record the
+  // failure with its run id, keep it out of the aggregate and the
+  // artifact store, and mark it in the manifest.
+  const std::string root = testing::TempDir() + "/campaign_failure_test";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root, "runner-test");
+  CampaignRunner runner(tiny_campaign(), &store);
+  runner.set_roster_provider([](const scenario::ScenarioSpec& s) {
+    if (s.total_offered_gbps == 12.0 && s.seed == 2)
+      throw std::invalid_argument("injected cell failure");
+    return scenario::filter_roster(scenario::default_roster(s),
+                                   "baseline,ee-pstate");
+  });
+  const CampaignReport report = runner.run(/*jobs=*/2);
+  EXPECT_EQ(report.executed, 4);
+  EXPECT_EQ(report.failed, 1);
+
+  std::string failed_id;
+  for (const RunResult& run : report.runs) {
+    if (!run.failed) {
+      EXPECT_FALSE(run.report.models.empty()) << run.run_id;
+      continue;
+    }
+    failed_id = run.run_id;
+    EXPECT_FALSE(run.run_id.empty());
+    EXPECT_EQ(run.seed, 2u);
+    EXPECT_NE(run.error.find("injected cell failure"), std::string::npos);
+    EXPECT_TRUE(run.report.models.empty());
+    // No artifact: absence is what makes a later --resume re-run it.
+    EXPECT_FALSE(file_exists(store.run_path(run.run_id)));
+  }
+  ASSERT_FALSE(failed_id.empty());
+
+  // The failed cell's aggregate averages only the surviving seed.
+  std::size_t one_seed_cells = 0;
+  for (const auto& cell : report.summary.cells)
+    if (cell.gbps.n == 1) ++one_seed_cells;
+  EXPECT_EQ(one_seed_cells, 2u);  // both models of the wounded cell
+
+  // The manifest marks exactly the failed run.
+  const Json manifest = Json::parse(read_file(store.manifest_path()));
+  int marked = 0;
+  for (const Json& entry : manifest.at("runs").elements()) {
+    if (!entry.has("failed")) continue;
+    ++marked;
+    EXPECT_EQ(entry.at("run_id").as_string(), failed_id);
+    EXPECT_NE(entry.at("error").as_string().find("injected cell failure"),
+              std::string::npos);
+  }
+  EXPECT_EQ(marked, 1);
+
+  // With the poison removed, --resume re-runs only the failed cell and
+  // the campaign is whole again.
+  CampaignRunner healed(tiny_campaign(), &store);
+  const CampaignReport second = healed.run(/*jobs=*/2, /*resume=*/true);
+  EXPECT_EQ(second.executed, 1);
+  EXPECT_EQ(second.resumed, 3);
+  EXPECT_EQ(second.failed, 0);
   std::filesystem::remove_all(root);
 }
 

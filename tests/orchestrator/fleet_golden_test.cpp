@@ -124,6 +124,54 @@ std::vector<Cell> timeline_cells() {
     cell.spec.topology.core_gbps = 8.0;
     cells.push_back(std::move(cell));
   }
+  {
+    // PR 9: fault injection on. The fault-smoke preset pins crashes,
+    // exponential repairs, recovery re-placements, and storm-scaled wake
+    // charges in the serialized history.
+    cells.push_back({"fleet-fault-crash", scenario::preset("fault-smoke")});
+  }
+  {
+    // Storm-heavy variant: most windows are wake storms, so the scaled
+    // wake charge path dominates the downtime/energy decomposition.
+    Cell cell{"fleet-fault-storm", scenario::preset("fault-smoke")};
+    cell.spec.seed = 5;
+    cell.spec.fault.node_crash_rate = 0.3;
+    cell.spec.fault.wake_storm_prob = 0.5;
+    cell.spec.fleet.sleep_after_windows = 1;
+    cells.push_back(std::move(cell));
+  }
+  {
+    // Correlated rack outages over a 6-node fleet in 3-node racks: pins
+    // multi-node crashes landing in one window and whole-rack repair.
+    Cell cell{"fleet-fault-rack", scenario::preset("fault-smoke")};
+    cell.spec.seed = 13;
+    cell.spec.num_nodes = 6;
+    cell.spec.fleet.horizon_windows = 20;
+    cell.spec.fleet.arrival_rate = 1.2;
+    cell.spec.fault.node_crash_rate = 0.0;
+    cell.spec.fault.rack_outage_rate = 0.3;
+    cell.spec.fault.rack_size = 3;
+    cells.push_back(std::move(cell));
+  }
+  {
+    // Faults on a contended leaf-spine fabric: link failures re-route or
+    // evict riders, failed links leave the routing table and the energy
+    // sum, and recovery placements fight the latency SLA.
+    Cell cell{"fleet-fault-linkfail", scenario::preset("fault-smoke")};
+    cell.spec.seed = 7;
+    cell.spec.num_nodes = 4;
+    cell.spec.fleet.horizon_windows = 20;
+    cell.spec.fleet.arrival_rate = 1.5;
+    cell.spec.fleet.policy = "topology-aware-bestfit";
+    cell.spec.topology.enabled = true;
+    cell.spec.topology.preset = "leaf-spine";
+    cell.spec.topology.link_gbps = 8.0;
+    cell.spec.topology.core_gbps = 16.0;
+    cell.spec.latency_sla_us = 40.0;
+    cell.spec.fault.node_crash_rate = 0.1;
+    cell.spec.fault.link_fail_rate = 0.4;
+    cells.push_back(std::move(cell));
+  }
   return cells;
 }
 
@@ -147,6 +195,33 @@ TEST(FleetGolden, WakeCellExercisesPowerTransitions) {
     EXPECT_GT(timeline.wakeups, 0);
     EXPECT_GT(timeline.migrations, 0);
     EXPECT_GT(timeline.standby_energy_j, 0.0);
+  }
+}
+
+TEST(FleetGolden, FaultCellsExerciseInjectionAndRecovery) {
+  // Guards the fault goldens against silently degenerating: each pinned
+  // fault cell must actually inject its headline fault kind and drive the
+  // recovery machinery.
+  for (const auto& cell : timeline_cells()) {
+    if (cell.name.rfind("fleet-fault-", 0) != 0) continue;
+    SCOPED_TRACE(cell.name);
+    FleetOrchestrator orchestrator(cell.spec);
+    const auto& timeline = orchestrator.timeline();
+    EXPECT_TRUE(timeline.fault_enabled);
+    if (cell.name == "fleet-fault-crash" || cell.name == "fleet-fault-storm") {
+      EXPECT_GT(timeline.node_crashes, 0);
+    }
+    if (cell.name == "fleet-fault-storm") {
+      EXPECT_GT(timeline.storm_windows, 0);
+    }
+    if (cell.name == "fleet-fault-rack") {
+      EXPECT_GT(timeline.rack_outages, 0);
+    }
+    if (cell.name == "fleet-fault-linkfail") {
+      EXPECT_GT(timeline.link_fails, 0);
+    }
+    EXPECT_GT(timeline.replaced + timeline.fault_dropped + timeline.rerouted,
+              0);
   }
 }
 
@@ -175,6 +250,18 @@ TEST(FleetGolden, TopologyEvalMatchesPinnedHistory) {
   const FleetReport report = orchestrator.run(scenario::filter_roster(
       scenario::untrained_roster(spec), "baseline,ee-pstate"));
   expect_matches_golden("eval_fleet-topo-leafspine", eval_to_text(report));
+}
+
+TEST(FleetGolden, FaultEvalMatchesPinnedHistory) {
+  // Eval-layer coverage with faults on: recovery re-placements and drops
+  // rebuilt through the membership replay, replace/drop downtime charged
+  // against traffic and SLA, storm-scaled wake energy in the bill — all
+  // pinned bit-exact.
+  scenario::ScenarioSpec spec = scenario::preset("fault-smoke");
+  FleetOrchestrator orchestrator(spec);
+  const FleetReport report = orchestrator.run(scenario::filter_roster(
+      scenario::untrained_roster(spec), "baseline,ee-pstate"));
+  expect_matches_golden("eval_fleet-fault-crash", eval_to_text(report));
 }
 
 }  // namespace

@@ -158,7 +158,7 @@ TEST(FleetOrchestrator, TimelineChargesAreConsistent) {
     migrations += static_cast<int>(win.migrations.size());
     for (const DowntimeCharge& charge : win.charges) {
       downtime += charge.downtime_s;
-      if (charge.is_migration) {
+      if (charge.kind == ChargeKind::kMigration) {
         EXPECT_EQ(charge.downtime_s, spec.fleet.migration_downtime_s);
         EXPECT_EQ(charge.energy_j, spec.fleet.migration_energy_j);
         migration_energy += charge.energy_j;
@@ -173,7 +173,7 @@ TEST(FleetOrchestrator, TimelineChargesAreConsistent) {
     // Every migration carries exactly one migration charge.
     int migration_charges = 0;
     for (const DowntimeCharge& charge : win.charges)
-      if (charge.is_migration) ++migration_charges;
+      if (charge.kind == ChargeKind::kMigration) ++migration_charges;
     EXPECT_EQ(migration_charges, static_cast<int>(win.migrations.size()));
   }
   EXPECT_EQ(migrations, timeline.migrations);

@@ -100,7 +100,9 @@ TEST(FleetWakeRegression, MigrationIntoSleepingNodeChargesWakeExactly) {
       // A wake triggered by this migration shows up as a non-migration
       // charge for the same chain in the same window.
       for (const DowntimeCharge& charge : win.charges) {
-        if (charge.chain != move.chain || charge.is_migration) continue;
+        if (charge.chain != move.chain ||
+            charge.kind == ChargeKind::kMigration)
+          continue;
         // Arrival wakes also charge the arriving chain; only count the
         // charge when the chain is not among this window's arrivals.
         bool arrived_here = false;
