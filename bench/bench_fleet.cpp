@@ -18,6 +18,9 @@
 ///   trace_check=0   1 = rebuild the headline geometry with the span
 ///                   tracer runtime-enabled and report its overhead
 ///                   (warn-only against overhead_budget_pct)
+///   series_check=0  1 = rebuild the headline geometry with the
+///                   per-window health series sampler enabled and report
+///                   its overhead (same warn-only budget)
 ///   overhead_budget_pct=5
 ///
 /// The flight recorder's counter registry is enabled for the whole
@@ -34,6 +37,7 @@
 #include "orchestrator/fleet_reference.hpp"
 #include "orchestrator/timeline_io.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
 
 using namespace greennfv;
@@ -71,7 +75,8 @@ double baseline_metric(const std::string& path, const std::string& key) {
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
   if (bench::handle_cli(config, {"smoke", "baseline", "warn_pct", "trace",
-                                 "trace_check", "overhead_budget_pct"}))
+                                 "trace_check", "series_check",
+                                 "overhead_budget_pct"}))
     return 0;
   bench::banner("bench_fleet", "discrete-event fleet engine throughput",
                 config);
@@ -211,6 +216,42 @@ int main(int argc, char** argv) {
     std::printf("[trace_check] skipped: tracer compiled out "
                 "(GREENNFV_TRACING=OFF)\n");
 #endif
+  }
+
+  // --- optional sampled rebuild: series overhead gate -----------------------
+  // Same shape as trace_check: rebuild the headline geometry with the
+  // per-window health sampler armed and compare wall clocks. The sampler
+  // appends one 34-double row per accounting window into an arena, so
+  // this should be deep inside the budget — the check exists to catch a
+  // future column that accidentally does per-event work.
+  if (config.get_bool("series_check", false)) {
+    const double budget_pct = config.get_double("overhead_budget_pct", 5.0);
+    telemetry::series::set_enabled(true);
+    const auto sampled_start = std::chrono::steady_clock::now();
+    const FleetOrchestrator sampled_engine(spec);
+    const double sampled_s = seconds_since(sampled_start);
+    telemetry::series::set_enabled(false);
+    const auto& series = sampled_engine.timeline().series;
+    if (series == nullptr) {
+      GNFV_LOG_ERROR("bench_fleet")
+          << "series_check: sampler enabled but timeline carries no"
+             " series";
+      return 1;
+    }
+    const double overhead_pct =
+        wall_s > 0.0 ? 100.0 * (sampled_s - wall_s) / wall_s : 0.0;
+    perf.add_metric("series_overhead_pct", overhead_pct);
+    std::printf("[series_check] sampled build %.2f s vs %.2f s unsampled "
+                "= %+.1f%% overhead (%zu windows x %zu columns, budget "
+                "%.0f%%)\n",
+                sampled_s, wall_s, overhead_pct, series->num_rows(),
+                series->num_columns(), budget_pct);
+    if (overhead_pct > budget_pct) {
+      std::printf("WARNING: series sampling overhead %.1f%% exceeds the "
+                  "%.0f%% budget — a column is doing per-event work; "
+                  "warn-only, not failing the bench\n",
+                  overhead_pct, budget_pct);
+    }
   }
 
   // --- baseline regression check (warn, never fail) -------------------------

@@ -29,12 +29,14 @@
 #include <exception>
 
 #include "campaign/presets.hpp"
+#include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "common/fs_util.hpp"
 #include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "scenario/presets.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
 
 using namespace greennfv;
@@ -48,7 +50,8 @@ const std::vector<std::string>& cli_keys() {
       if (key != "scenario" && key != "scenario_file") all.push_back(key);
     all.insert(all.end(), {"jobs", "fresh", "out", "save", "list", "expand",
                            "validate_manifest", "trace", "metrics",
-                           "timing", "log_level", "help"});
+                           "metrics_out", "series", "report", "timing",
+                           "log_level", "help"});
     return all;
   }();
   return keys;
@@ -121,17 +124,28 @@ int run(const Config& config) {
   // timing=1 prints the per-cell wall-clock table. None of these touch
   // run artifacts or the manifest — traced campaigns stay byte-identical.
   const auto trace_out = config.get("trace");
+  const auto metrics_out = config.get("metrics_out");
   const bool metrics_on = config.get_bool("metrics", false);
   const bool timing_on = config.get_bool("timing", false);
-  if (metrics_on) telemetry::metrics::set_enabled(true);
+  if (metrics_on || metrics_out) telemetry::metrics::set_enabled(true);
   if (trace_out) telemetry::trace::set_enabled(true);
+  // series=1 samples the per-window fleet health series in every fleet
+  // run (exported as runs/<run_id>.series.{csv,json}); report= renders
+  // the HTML dashboard from the finished campaign directory. report=
+  // implies series=1 — a dashboard without series panels is almost
+  // always a mistake.
+  const auto report_out = config.get("report");
+  if (config.get_bool("series", false) || report_out) {
+    telemetry::series::set_enabled(true);
+  }
 
   // Key validation happens inside CampaignSpec::apply (the vocabulary is
   // open-ended via sweep.* and chainN=/flowN=); CLI-only keys are
   // stripped first.
   Config campaign_config = config;
   for (const char* key : {"jobs", "fresh", "out", "save", "list", "expand",
-                          "validate_manifest", "trace", "metrics", "timing",
+                          "validate_manifest", "trace", "metrics",
+                          "metrics_out", "series", "report", "timing",
                           "log_level", "help"}) {
     Config stripped;
     for (const auto& [k, v] : campaign_config.entries())
@@ -223,6 +237,23 @@ int run(const Config& config) {
   }
   if (metrics_on) {
     std::printf("\n[metrics]\n%s", telemetry::metrics::table().c_str());
+  }
+  if (metrics_out) {
+    const std::string path = metrics_out->find('/') == std::string::npos
+                                 ? store.dir() + "/" + *metrics_out
+                                 : *metrics_out;
+    write_file_atomic(path, telemetry::metrics::to_json().dump(1) + "\n");
+    std::printf("\n[metrics] wrote %s\n", path.c_str());
+  }
+  if (report_out) {
+    // Strictly post-hoc: the generator reads the manifest + series
+    // artifacts back off disk — the same path run_report takes.
+    const std::string html_path = report_out->find('/') == std::string::npos
+                                      ? store.dir() + "/" + *report_out
+                                      : *report_out;
+    campaign::generate_report(store.dir(), html_path);
+    std::printf("\n[report] wrote %s and %s/report.json\n",
+                html_path.c_str(), store.dir().c_str());
   }
   // A campaign with failure records still aggregated and persisted what
   // survived, but the invocation must not report success.

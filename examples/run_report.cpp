@@ -1,0 +1,146 @@
+/// Generate or validate campaign report artifacts post-hoc — the
+/// standalone companion to `run_campaign report=`.
+///
+///   build/example_run_report campaign=fig9            # out/fig9 -> report
+///   build/example_run_report dir=out/fig9             # explicit directory
+///   build/example_run_report dir=out/fig9 html=dash.html
+///   build/example_run_report validate=out/fig9/report.html
+///   build/example_run_report validate=out/fig9/report.json
+///   build/example_run_report validate=out/fig9/runs/r0.series.csv
+///   build/example_run_report validate=out/fig9/runs/r0.series.json
+///   build/example_run_report help=1
+///
+/// Generate mode reads a finished campaign directory (manifest.json plus
+/// any runs/<id>.series.json side artifacts) and writes
+/// `<dir>/report.json` (schema "greennfv.report.v1") and the
+/// self-contained HTML dashboard (default `<dir>/report.html`). It only
+/// reads campaign artifacts — rerunning it can never perturb results or
+/// resume state.
+///
+/// Validate mode dispatches on the artifact: .html documents are checked
+/// for the dashboard structure markers, .csv for the series schema, and
+/// .json by its embedded "schema" key (series, cell-series, or report
+/// model). Exit status 0 = valid, 2 = problems (each printed).
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hpp"
+#include "campaign/report.hpp"
+#include "common/config.hpp"
+#include "common/fs_util.hpp"
+#include "common/log.hpp"
+#include "common/string_util.hpp"
+
+using namespace greennfv;
+
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+int report_problems(const std::string& path,
+                    const std::vector<std::string>& problems,
+                    const char* kind) {
+  if (problems.empty()) {
+    std::printf("%s %s: ok\n", kind, path.c_str());
+    return 0;
+  }
+  std::printf("%s %s: %zu problem(s)\n", kind, path.c_str(),
+              problems.size());
+  for (const auto& problem : problems)
+    std::printf("  %s\n", problem.c_str());
+  return 2;
+}
+
+int validate(const std::string& path) {
+  const std::string text = read_file(path);
+  if (ends_with(path, ".html")) {
+    return report_problems(path, campaign::validate_report_html(text),
+                           "report html");
+  }
+  if (ends_with(path, ".csv")) {
+    return report_problems(path, campaign::validate_series_csv(text),
+                           "series csv");
+  }
+  if (ends_with(path, ".json")) {
+    const Json doc = Json::parse(text);
+    const std::string schema =
+        doc.has("schema") ? doc.at("schema").as_string() : "";
+    if (schema == "greennfv.report.v1") {
+      return report_problems(path, campaign::validate_report_model(doc),
+                             "report model");
+    }
+    // Everything else must be a per-run series document; an unknown or
+    // missing schema marker comes back as a problem. (Cell-series
+    // documents only exist embedded in report.json, where
+    // validate_report_model covers them.)
+    return report_problems(path, campaign::validate_series_json(doc),
+                           "series json");
+  }
+  GNFV_LOG_ERROR("run_report")
+      << "validate=" << path
+      << ": unrecognized extension (expected .html, .csv, or .json)";
+  return 2;
+}
+
+int run(const Config& config) {
+  if (config.get_bool("help", false)) {
+    std::printf("accepted key=value arguments:\n");
+    for (const char* key :
+         {"campaign", "dir", "html", "validate", "help"}) {
+      std::printf("  %s\n", key);
+    }
+    return 0;
+  }
+  config.check_known({"campaign", "dir", "html", "validate", "help"}, {});
+
+  if (const auto path = config.get("validate")) return validate(*path);
+
+  std::string dir;
+  if (const auto explicit_dir = config.get("dir")) {
+    dir = *explicit_dir;
+  } else if (const auto name = config.get("campaign")) {
+    // Mirror ArtifactStore's directory layout so campaign= here finds
+    // what run_campaign campaign= wrote.
+    dir = out_root();
+    dir += '/';
+    dir += campaign::sanitize_token(*name);
+  } else {
+    GNFV_LOG_ERROR("run_report")
+        << "need campaign=<name>, dir=<path>, or validate=<artifact>";
+    return 2;
+  }
+
+  std::string html_path = config.get_string("html", dir + "/report.html");
+  if (html_path.find('/') == std::string::npos)
+    html_path = dir + "/" + html_path;
+
+  const Json model = campaign::generate_report(dir, html_path);
+  std::size_t cells_with_series = 0;
+  for (const Json& cell : model.at("cells").elements())
+    if (cell.at("series").is_object()) ++cells_with_series;
+  std::printf("report %s: %zu run(s), %zu cell(s) (%zu with series)\n",
+              model.at("campaign").as_string().c_str(),
+              model.at("runs").size(), model.at("cells").size(),
+              cells_with_series);
+  std::printf("wrote %s/report.json and %s\n", dir.c_str(),
+              html_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Config::from_args(argc, argv));
+  } catch (const std::exception& e) {
+    GNFV_LOG_ERROR("run_report") << e.what();
+    return 2;
+  }
+}

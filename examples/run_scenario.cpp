@@ -19,15 +19,19 @@
 ///
 /// Flight recorder: trace=<path> records spans (engine phases, routing,
 /// RL passes) and writes a Perfetto/chrome://tracing JSON; metrics=1
-/// prints the counter registry after the run; log_level= overrides the
-/// stderr log threshold (also via GREENNFV_LOG_LEVEL);
-/// validate_trace=<path> checks an emitted trace and exits.
+/// prints the counter registry after the run; metrics_out=<path> writes
+/// the same snapshot as JSON; series=1 samples the per-window fleet
+/// health series and series_out=<path> exports it (.json for JSON, CSV
+/// otherwise — fleet scenarios only); log_level= overrides the stderr
+/// log threshold (also via GREENNFV_LOG_LEVEL); validate_trace=<path>
+/// checks an emitted trace (spans AND counter samples) and exits.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <map>
+#include <memory>
 
 #include "common/fs_util.hpp"
 #include "common/log.hpp"
@@ -36,6 +40,7 @@
 #include "scenario/experiment.hpp"
 #include "scenario/presets.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
 
 using namespace greennfv;
@@ -53,6 +58,7 @@ int validate_trace(const std::string& path) {
   const Json doc = Json::parse(read_file(path));
   const Json& events = doc.at("traceEvents");
   std::map<int, double> last_end_us;
+  std::map<std::string, double> last_counter_value;
   std::size_t spans = 0;
   std::size_t counters = 0;
   for (const Json& event : events.elements()) {
@@ -71,6 +77,34 @@ int validate_trace(const std::string& path) {
       return 2;
     }
     if (ph == "C") {
+      // Counter samples: non-empty name, finite value, and monotone
+      // accumulation for the *_ns timer counters (they only ever add).
+      const std::string& name = event.at("name").as_string();
+      if (name.empty()) {
+        GNFV_LOG_ERROR("run_scenario")
+            << "trace " << path << ": counter sample with empty name";
+        return 2;
+      }
+      const double value = event.at("args").at("value").as_double();
+      if (!std::isfinite(value)) {
+        GNFV_LOG_ERROR("run_scenario")
+            << "trace " << path << ": counter '" << name
+            << "' has non-finite value";
+        return 2;
+      }
+      if (name.size() > 3 &&
+          name.compare(name.size() - 3, 3, "_ns") == 0) {
+        auto [it, fresh] = last_counter_value.emplace(name, value);
+        if (!fresh) {
+          if (value < it->second) {
+            GNFV_LOG_ERROR("run_scenario")
+                << "trace " << path << ": timer counter '" << name
+                << "' decreased from " << it->second << " to " << value;
+            return 2;
+          }
+          it->second = value;
+        }
+      }
       ++counters;
       continue;
     }
@@ -114,12 +148,13 @@ int run(const Config& config) {
   }
   if (scenario::print_help_if_requested(
           config, {"models", "list", "save", "csv", "trace", "metrics",
-                   "log_level", "validate_trace"}))
+                   "metrics_out", "series", "series_out", "log_level",
+                   "validate_trace"}))
     return 0;
   std::vector<std::string> keys = scenario::ScenarioSpec::known_keys();
   keys.insert(keys.end(), {"models", "list", "save", "csv", "trace",
-                           "metrics", "log_level", "validate_trace",
-                           "help"});
+                           "metrics", "metrics_out", "series", "series_out",
+                           "log_level", "validate_trace", "help"});
   config.check_known(keys, scenario::ScenarioSpec::known_prefixes());
 
   if (const auto level = config.get("log_level"))
@@ -127,9 +162,13 @@ int run(const Config& config) {
   if (const auto path = config.get("validate_trace"))
     return validate_trace(*path);
   const auto trace_out = config.get("trace");
+  const auto metrics_out = config.get("metrics_out");
   const bool metrics_on = config.get_bool("metrics", false);
-  if (metrics_on) telemetry::metrics::set_enabled(true);
+  if (metrics_on || metrics_out) telemetry::metrics::set_enabled(true);
   if (trace_out) telemetry::trace::set_enabled(true);
+  const auto series_out = config.get("series_out");
+  const bool series_on = config.get_bool("series", false) || series_out;
+  if (series_on) telemetry::series::set_enabled(true);
 
   const scenario::ScenarioSpec spec = scenario::resolve(config);
   if (const auto path = config.get("save")) {
@@ -153,6 +192,7 @@ int run(const Config& config) {
 
   scenario::EvalReport report;
   std::string fleet_summary;
+  std::shared_ptr<const telemetry::SeriesTable> fleet_series;
   if (spec.fleet.enabled) {
     // Dynamic fleet: online arrivals/departures, migration, power gating.
     orchestrator::FleetOrchestrator fleet(spec);
@@ -172,6 +212,7 @@ int run(const Config& config) {
     orchestrator::FleetReport fleet_report = fleet.run(roster);
     fleet_summary = fleet_report.fleet_summary();
     report = std::move(fleet_report.report);
+    fleet_series = fleet.timeline().series;
   } else {
     scenario::ExperimentRunner runner(spec);
     if (runner.idle_nodes() > 0)
@@ -207,8 +248,40 @@ int run(const Config& config) {
                 static_cast<unsigned long long>(
                     telemetry::trace::dropped()));
   }
+  if (series_on) {
+    if (fleet_series == nullptr) {
+      std::printf("\n[series] nothing recorded — series sampling is"
+                  " fleet-only (fleet.enabled scenarios)\n");
+    } else if (series_out) {
+      const std::string path = series_out->find('/') == std::string::npos
+                                   ? out_path(*series_out)
+                                   : *series_out;
+      const bool as_json =
+          path.size() > 5 &&
+          path.compare(path.size() - 5, 5, ".json") == 0;
+      if (as_json) {
+        fleet_series->write_json(path);
+      } else {
+        fleet_series->write_csv(path);
+      }
+      std::printf("\n[series] wrote %s (%zu windows x %zu columns)\n",
+                  path.c_str(), fleet_series->num_rows(),
+                  fleet_series->num_columns());
+    } else {
+      std::printf("\n[series] recorded %zu windows x %zu columns — add"
+                  " series_out=<path> to export\n",
+                  fleet_series->num_rows(), fleet_series->num_columns());
+    }
+  }
   if (metrics_on) {
     std::printf("\n[metrics]\n%s", telemetry::metrics::table().c_str());
+  }
+  if (metrics_out) {
+    const std::string path = metrics_out->find('/') == std::string::npos
+                                 ? out_path(*metrics_out)
+                                 : *metrics_out;
+    write_file_atomic(path, telemetry::metrics::to_json().dump(1) + "\n");
+    std::printf("\n[metrics] wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -66,7 +66,7 @@ echo "=== [1c4] mega-fleet smoke: 500 nodes / ~50k arrivals + baseline check ===
 # event-vs-reference speedup, so a future PR cannot silently lose the
 # event engine's win but a noisy machine cannot block the gate either.
 ./build/bench_fleet smoke=1 baseline=bench/baselines/BENCH_fleet.json \
-  trace_check=1
+  trace_check=1 series_check=1
 
 echo
 echo "=== [1c5] topology fleet smoke: leaf-spine fabric + latency SLA ==="
@@ -122,6 +122,51 @@ echo "=== [1c8] fault smoke: crashes, repairs, recovery under SLA pressure ==="
   jobs=2 fresh=1
 ./build/example_run_campaign \
   validate_manifest=out/resilience-frontier/manifest.json
+
+echo
+echo "=== [1c9] health series + campaign report: generate and validate ==="
+# The observability stack end to end: a 2-cell resilience-frontier slice
+# with per-window series sampling on and an HTML report rendered from the
+# finished directory, then every artifact class (per-run series CSV +
+# JSON, report model, dashboard HTML) must pass its schema validator, and
+# a counter snapshot must land as parseable JSON. The byte-identity of
+# sampled vs unsampled runs is pinned by telemetry.SeriesDeterminism in
+# the tier-1 suite above.
+./build/example_run_campaign campaign=resilience-frontier \
+  sweep.fault.node_crash_rate=0.3 \
+  sweep.fleet.policy=energy-bestfit,topology-aware-bestfit \
+  sweep.sla.latency=40 \
+  models=baseline eval_windows=3 sub_windows=2 window_s=2 \
+  jobs=2 fresh=1 series=1 report=report.html metrics_out=metrics.json
+./build/example_run_report validate=out/resilience-frontier/report.html
+./build/example_run_report validate=out/resilience-frontier/report.json
+for series_file in out/resilience-frontier/runs/*.series.csv \
+                   out/resilience-frontier/runs/*.series.json; do
+  ./build/example_run_report validate="$series_file"
+done
+python3 -c "import json; json.load(open('out/resilience-frontier/metrics.json'))"
+# Post-hoc generation must reproduce the dashboard from artifacts alone.
+./build/example_run_report dir=out/resilience-frontier html=report_posthoc.html
+./build/example_run_report validate=out/resilience-frontier/report_posthoc.html
+
+echo
+echo "=== [1c10] bench history: append + warn-only delta print ==="
+# Two smoke benches back to back: the second run must find the first's
+# record in out/bench_history.jsonl and print its rate deltas. The gate
+# asserts the file grows and the delta line appears; the deltas
+# themselves are warn-only by design.
+history_before=$(wc -l < out/bench_history.jsonl 2>/dev/null || echo 0)
+./build/bench_fleet smoke=1 | tee /tmp/greennfv_bench_history.log
+history_after=$(wc -l < out/bench_history.jsonl)
+if [ "$history_after" -le "$history_before" ]; then
+  echo "ci.sh: bench_history.jsonl did not grow" >&2
+  exit 1
+fi
+if [ "$history_after" -ge 2 ] && \
+   ! grep -q '^\[history\] .*_per_sec' /tmp/greennfv_bench_history.log; then
+  echo "ci.sh: bench history delta line missing" >&2
+  exit 1
+fi
 
 echo
 echo "=== [1d] RL training microbench: smoke mode + baseline check ==="

@@ -55,6 +55,71 @@ double t_critical_95(std::size_t df) {
   return 1.96;
 }
 
+SeriesStats aggregate_series(
+    const std::vector<const telemetry::SeriesTable*>& series) {
+  SeriesStats out;
+  if (series.empty()) return out;
+  const telemetry::SeriesTable& first = *series.front();
+  for (const telemetry::SeriesTable* table : series) {
+    if (table == nullptr) {
+      throw std::invalid_argument("campaign: null series in cell aggregate");
+    }
+    if (table->columns() != first.columns()) {
+      throw std::invalid_argument(
+          "campaign: mismatched series columns across a cell's seeds");
+    }
+    if (table->num_rows() != first.num_rows()) {
+      throw std::invalid_argument(
+          "campaign: mismatched series row counts across a cell's seeds (" +
+          format("%zu", table->num_rows()) + " vs " +
+          format("%zu", first.num_rows()) + ")");
+    }
+  }
+  out.seeds = series.size();
+  out.columns = first.columns();
+  const std::size_t windows = first.num_rows();
+  out.mean.assign(out.columns.size(), std::vector<double>(windows, 0.0));
+  out.ci95.assign(out.columns.size(), std::vector<double>(windows, 0.0));
+  for (std::size_t c = 0; c < out.columns.size(); ++c) {
+    for (std::size_t w = 0; w < windows; ++w) {
+      telemetry::RunningStats stats;
+      for (const telemetry::SeriesTable* table : series) {
+        stats.add(table->at(w, c));
+      }
+      out.mean[c][w] = stats.mean();
+      out.ci95[c][w] =
+          stats.count() > 1
+              ? t_critical_95(stats.count() - 1) * stats.stddev() /
+                    std::sqrt(static_cast<double>(stats.count()))
+              : 0.0;
+    }
+  }
+  return out;
+}
+
+Json SeriesStats::to_json() const {
+  const auto matrix_json = [](const std::vector<std::vector<double>>& m) {
+    Json rows = Json::array();
+    for (const auto& column : m) {
+      Json values = Json::array();
+      for (const double v : column) values.push_back(v);
+      rows.push_back(std::move(values));
+    }
+    return rows;
+  };
+  Json json = Json::object();
+  json.set("schema", "greennfv.cellseries.v1");
+  json.set("seeds", static_cast<double>(seeds));
+  json.set("windows",
+           static_cast<double>(mean.empty() ? 0 : mean.front().size()));
+  Json names = Json::array();
+  for (const auto& name : columns) names.push_back(name);
+  json.set("columns", std::move(names));
+  json.set("mean", matrix_json(mean));
+  json.set("ci95", matrix_json(ci95));
+  return json;
+}
+
 CampaignSummary aggregate(const std::vector<RunResult>& runs) {
   // Group by (cell, model) preserving first-seen order — runs arrive in
   // matrix order, so cells come out in expansion order and models in

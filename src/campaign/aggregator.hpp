@@ -59,6 +59,28 @@ struct CampaignSummary {
 /// (1.96 beyond the tabulated range). Exposed for the tests.
 [[nodiscard]] double t_critical_95(std::size_t df);
 
+/// Per-cell time-series aggregate: for every (column, window) of the
+/// member runs' health series, the cross-seed mean and 95% CI half-width.
+/// `mean`/`ci95` are column-major ([column][window]), mirroring the
+/// "greennfv.series.v1" data layout.
+struct SeriesStats {
+  std::size_t seeds = 0;
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> mean;
+  std::vector<std::vector<double>> ci95;
+
+  /// {"schema": "greennfv.cellseries.v1", "seeds", "windows",
+  ///  "columns", "mean": [[...]], "ci95": [[...]]}.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Reduces one cell's per-seed series (all non-null) to per-window
+/// statistics. Throws std::invalid_argument on column-schema or row-count
+/// mismatches — seeds of one cell share a horizon by construction, so a
+/// mismatch means mixed artifacts, not noise.
+[[nodiscard]] SeriesStats aggregate_series(
+    const std::vector<const telemetry::SeriesTable*>& series);
+
 /// Groups runs by (cell, model), computes the statistics, and marks the
 /// Pareto front. Models must be consistent across a cell's seeds (the
 /// runner guarantees this; mismatches throw).

@@ -56,6 +56,14 @@ std::string ArtifactStore::trace_path(const std::string& run_id) const {
   return dir_ + "/runs/" + run_id + ".trace.json";
 }
 
+std::string ArtifactStore::series_csv_path(const std::string& run_id) const {
+  return dir_ + "/runs/" + run_id + ".series.csv";
+}
+
+std::string ArtifactStore::series_json_path(const std::string& run_id) const {
+  return dir_ + "/runs/" + run_id + ".series.json";
+}
+
 std::string ArtifactStore::manifest_path() const {
   return dir_ + "/manifest.json";
 }
@@ -142,6 +150,12 @@ std::optional<RunResult> ArtifactStore::load_run(const RunSpec& spec) const {
 void ArtifactStore::save_trace(const std::string& run_id,
                                const Json& trace) const {
   write_file_atomic(trace_path(run_id), trace.dump(1) + "\n");
+}
+
+void ArtifactStore::save_series(const std::string& run_id,
+                                const telemetry::SeriesTable& series) const {
+  series.write_csv(series_csv_path(run_id));
+  series.write_json(series_json_path(run_id));
 }
 
 void ArtifactStore::save_manifest(const Json& manifest) const {

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "campaign/campaign_spec.hpp"
 #include "common/json.hpp"
 #include "scenario/experiment.hpp"
+#include "telemetry/series.hpp"
 
 /// \file artifact_store.hpp
 /// On-disk layout of a campaign: `<root>/<campaign>/runs/<run_id>.json`
@@ -42,6 +44,12 @@ struct RunResult {
   std::string error;
   /// Per-model results + telemetry, exactly as ExperimentRunner returns.
   scenario::EvalReport report;
+  /// Per-window fleet health series (fleet runs with
+  /// telemetry::series::enabled() only; null otherwise). Exported as a
+  /// side artifact (`runs/<id>.series.{csv,json}`) — never part of the
+  /// run JSON or the manifest, so series sampling cannot perturb resume
+  /// or aggregation.
+  std::shared_ptr<const telemetry::SeriesTable> fleet_series;
 };
 
 class ArtifactStore {
@@ -55,6 +63,10 @@ class ArtifactStore {
   /// Flight-recorder slice for one run, next to its artifact:
   /// `<root>/<campaign>/runs/<run_id>.trace.json`.
   [[nodiscard]] std::string trace_path(const std::string& run_id) const;
+  /// Per-window health series for one run, next to its artifact:
+  /// `<root>/<campaign>/runs/<run_id>.series.{csv,json}`.
+  [[nodiscard]] std::string series_csv_path(const std::string& run_id) const;
+  [[nodiscard]] std::string series_json_path(const std::string& run_id) const;
   [[nodiscard]] std::string manifest_path() const;
 
   /// Serializes and atomically writes one run artifact.
@@ -64,6 +76,12 @@ class ArtifactStore {
   /// observability artifacts only: save_run/load_run/manifest never read
   /// them, so tracing cannot perturb campaign results or resume.
   void save_trace(const std::string& run_id, const Json& trace) const;
+
+  /// Atomically writes one run's health series as CSV + JSON. Like trace
+  /// slices, series files are observability artifacts only — resume and
+  /// aggregation never depend on them.
+  void save_series(const std::string& run_id,
+                   const telemetry::SeriesTable& series) const;
 
   /// Loads a completed run for `spec`, or nullopt when the artifact is
   /// missing, unreadable, incomplete, or belongs to a different

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+/// \file report.hpp
+/// The campaign report generator: turns a finished campaign directory
+/// (manifest.json + per-run `runs/<id>.series.{csv,json}` side artifacts)
+/// into (1) a machine-readable report model — schema
+/// "greennfv.report.v1", written as `<campaign>/report.json` — and (2) a
+/// self-contained HTML dashboard: per-cell summary table, throughput-vs-
+/// energy Pareto scatter, and inline-SVG health time-series per cell with
+/// 95% CI bands and fault annotations. The dashboard embeds no scripts
+/// and fetches nothing — one file, openable anywhere.
+///
+/// Everything here runs strictly *after* a campaign (reading artifacts
+/// off disk through the same code path whether invoked by
+/// `run_campaign report=` in-process or by `run_report` post-hoc), so
+/// report generation can never perturb campaign results or resume.
+///
+/// Report model schema ("greennfv.report.v1"):
+///   schema    "greennfv.report.v1"
+///   campaign  campaign name (manifest echo)
+///   spec      campaign spec text (manifest echo)
+///   summary   per-cell aggregate stats + Pareto front (manifest echo)
+///   runs      [{run_id, cell_id, seed, failed?, has_series}]
+///   cells     [{cell_id, seeds, series}] — series is a
+///             "greennfv.cellseries.v1" document (cross-seed mean/ci95
+///             per column per window), or null when no member run wrote
+///             a series artifact.
+
+namespace greennfv::campaign {
+
+/// Escapes &, <, >, " and ' for safe embedding in HTML text and
+/// attribute positions.
+[[nodiscard]] std::string html_escape(const std::string& text);
+
+/// Builds the report model from a campaign directory. Throws
+/// std::invalid_argument when the manifest is missing/corrupt or a series
+/// artifact is malformed.
+[[nodiscard]] Json build_report_model(const std::string& campaign_dir);
+
+/// Renders the self-contained HTML dashboard for a report model.
+[[nodiscard]] std::string render_report_html(const Json& model);
+
+/// Schema validators, shared by the tests, the `run_report validate=`
+/// mode, and the CI tier. Each returns a list of human-readable problems
+/// — empty means valid.
+[[nodiscard]] std::vector<std::string> validate_report_model(
+    const Json& model);
+[[nodiscard]] std::vector<std::string> validate_series_json(const Json& json);
+[[nodiscard]] std::vector<std::string> validate_series_csv(
+    const std::string& text);
+[[nodiscard]] std::vector<std::string> validate_report_html(
+    const std::string& html);
+
+/// End-to-end: builds the model, writes `<campaign_dir>/report.json`,
+/// renders the dashboard to `html_path` (both atomic), and returns the
+/// model.
+Json generate_report(const std::string& campaign_dir,
+                     const std::string& html_path);
+
+}  // namespace greennfv::campaign

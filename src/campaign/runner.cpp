@@ -43,6 +43,9 @@ RunResult CampaignRunner::execute(const RunSpec& run,
     // resume, and aggregation work unchanged.
     orchestrator::FleetOrchestrator fleet(run.scenario);
     result.report = fleet.run(roster(run.scenario)).report;
+    // Null unless telemetry::series::enabled() — the sampler armed
+    // itself inside the timeline build.
+    result.fleet_series = fleet.timeline().series;
   } else {
     scenario::ExperimentRunner runner(run.scenario);
     result.report = runner.run(roster(run.scenario));
@@ -147,7 +150,14 @@ CampaignReport CampaignRunner::run(int jobs, bool resume) {
         }
         // A failed run writes no artifact: its absence (not a poisoned
         // file) is what makes a later --resume re-run it.
-        if (store_ != nullptr && !result.failed) store_->save_run(result);
+        if (store_ != nullptr && !result.failed) {
+          store_->save_run(result);
+          // Health-series side artifacts ride along like trace slices:
+          // written next to the run, never read back by resume.
+          if (result.fleet_series != nullptr) {
+            store_->save_series(run.run_id, *result.fleet_series);
+          }
+        }
         RunTiming& timing = report.timings[run.index];
         timing.executed = true;
         timing.worker = ThreadPool::current_worker();

@@ -12,6 +12,7 @@
 #include "nfvsim/chain.hpp"
 #include "orchestrator/fault.hpp"
 #include "orchestrator/fleet_index.hpp"
+#include "orchestrator/fleet_series.hpp"
 #include "orchestrator/timeline_io.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -314,6 +315,11 @@ void FleetOrchestrator::build_timeline() {
   auto& c_phase_account = mc::counter("fleet.phase.account_ns");
   auto& c_mig_attempted = mc::counter("fleet.migrations.attempted");
 
+  // Per-window health sampler — inert unless telemetry::series::enabled().
+  // It only *reads* window state after accounting closes, so arming it
+  // cannot perturb the timeline.
+  FleetSeriesSampler sampler(horizon_, window_s);
+
   while (!events.empty()) {
     const auto event = events.pop();
     const int w = event.time;
@@ -568,6 +574,16 @@ void FleetOrchestrator::build_timeline() {
           timeline_.path_latency_sum_ns += win.path_latency_sum_ns;
         }
         timeline_.standby_energy_j += win.standby_energy_j;
+        if (sampler.active()) {
+          double committed = 0.0;
+          for (int n = 0; n < num_nodes; ++n) {
+            if (!index.down(n)) committed += index.committed_cores(n);
+          }
+          const double capacity =
+              static_cast<double>(num_nodes - win.down_nodes) *
+              capacity_cores_;
+          sampler.sample(w, win, committed, capacity, net);
+        }
         if (w + 1 < horizon_) events.push(w + 1, kAccountPhase, -1);
         break;
       }
@@ -576,6 +592,8 @@ void FleetOrchestrator::build_timeline() {
         throw std::logic_error("orchestrator: unknown event phase");
     }
   }
+
+  if (sampler.active()) timeline_.series = sampler.table();
 
   // Timeline-level tallies land once the builder finishes; the running
   // members are already exact, so snapshot them instead of double-

@@ -23,6 +23,10 @@
 /// which is what keeps a static single-node fleet bit-identical to
 /// ExperimentRunner.
 
+namespace greennfv::telemetry {
+class SeriesTable;
+}  // namespace greennfv::telemetry
+
 namespace greennfv::orchestrator {
 
 /// One service chain over its fleet lifetime.
@@ -156,6 +160,12 @@ struct FleetTimeline {
   int fault_dropped = 0;   ///< evicted chains no node/path could take
   int rerouted = 0;        ///< chains re-pathed in place after a link fail
   double replace_energy_j = 0.0;
+
+  /// Per-window health series (fleet_series.hpp schema), captured only
+  /// when telemetry::series::enabled() — null otherwise. Pure
+  /// observability: never read by the engines or the serializer, so
+  /// timelines stay byte-identical with sampling on or off.
+  std::shared_ptr<const telemetry::SeriesTable> series;
 };
 
 /// A fleet evaluation: the uniform EvalReport (per-model means + telemetry

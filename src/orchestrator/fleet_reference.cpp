@@ -8,6 +8,7 @@
 #include "common/string_util.hpp"
 #include "nfvsim/chain.hpp"
 #include "orchestrator/fault.hpp"
+#include "orchestrator/fleet_series.hpp"
 #include "topology/path_table.hpp"
 #include "traffic/generator.hpp"
 
@@ -57,6 +58,11 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
       static_cast<std::size_t>(num_nodes), NodePowerStateMachine(ps_config));
   std::vector<std::vector<int>> hosted(static_cast<std::size_t>(num_nodes));
   std::vector<double> committed(static_cast<std::size_t>(num_nodes), 0.0);
+
+  // PR 10 addition, read-only: the per-window health sampler. Inert
+  // unless telemetry::series::enabled(); samples after step 4 closes the
+  // window, so it cannot perturb the frozen accounting above/below.
+  FleetSeriesSampler sampler(horizon, window_s);
 
   // The network fabric (topology runs only). PathTable's integer kbps/ns
   // accounting makes its state a pure function of the active chain set,
@@ -454,7 +460,19 @@ FleetTimeline build_reference_timeline(const scenario::ScenarioSpec& spec,
       timeline.path_latency_sum_ns += win.path_latency_sum_ns;
     }
     timeline.standby_energy_j += win.standby_energy_j;
+    if (sampler.active()) {
+      double committed_total = 0.0;
+      for (int n = 0; n < num_nodes; ++n) {
+        if (down[static_cast<std::size_t>(n)] == 0) {
+          committed_total += committed[static_cast<std::size_t>(n)];
+        }
+      }
+      const double capacity =
+          static_cast<double>(num_nodes - win.down_nodes) * capacity_cores;
+      sampler.sample(w, win, committed_total, capacity, net);
+    }
   }
+  if (sampler.active()) timeline.series = sampler.table();
   return timeline;
 }
 
